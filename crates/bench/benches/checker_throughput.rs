@@ -1,0 +1,41 @@
+//! Criterion benchmarks for end-to-end checker throughput (the analysis-time
+//! column of Figure 16) and for the compiler-profile pipeline (Figure 4).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stack_core::Checker;
+use stack_corpus::{FIG10_POSTGRES_DIVISION, FIG12_FFMPEG_BOUNDS, FIG2_TUN_NULL_CHECK};
+use stack_opt::{most_aggressive, run_profile};
+
+fn checker_on_paper_examples(c: &mut Criterion) {
+    let checker = Checker::new();
+    let mut group = c.benchmark_group("checker");
+    for pattern in [
+        FIG2_TUN_NULL_CHECK,
+        FIG10_POSTGRES_DIVISION,
+        FIG12_FFMPEG_BOUNDS,
+    ] {
+        group.bench_function(pattern.id, |b| {
+            b.iter(|| {
+                criterion::black_box(
+                    checker
+                        .check_source(pattern.source, &format!("{}.c", pattern.id))
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn profile_pipeline(c: &mut Criterion) {
+    c.bench_function("opt/aggressive_profile_on_fig12", |b| {
+        b.iter(|| {
+            let mut module =
+                stack_minic::compile(FIG12_FFMPEG_BOUNDS.source, "fig12.c").unwrap();
+            criterion::black_box(run_profile(&mut module, &most_aggressive(), 2))
+        })
+    });
+}
+
+criterion_group!(benches, checker_on_paper_examples, profile_pipeline);
+criterion_main!(benches);

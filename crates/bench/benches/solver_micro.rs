@@ -1,0 +1,47 @@
+//! Criterion microbenchmarks for the bit-vector solver: the per-query cost
+//! that dominates the Figure 16 analysis time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stack_solver::{BvSolver, TermPool};
+
+fn pointer_overflow_query(c: &mut Criterion) {
+    c.bench_function("solver/pointer_overflow_unsat", |b| {
+        b.iter(|| {
+            let mut pool = TermPool::new();
+            let mut solver = BvSolver::new();
+            let buf = pool.bv_var("buf", 64);
+            let len = pool.bv_var("len", 32);
+            let len64 = pool.zext(len, 64);
+            let sum = pool.bv_add(buf, len64);
+            let wrapped = pool.bv_ult(sum, buf);
+            let zero = pool.bv_const(64, 0);
+            let nonneg = pool.bv_sge(len64, zero);
+            let not_wrapped = pool.not(wrapped);
+            let no_ovf = pool.implies(nonneg, not_wrapped);
+            let q = pool.and(wrapped, no_ovf);
+            criterion::black_box(solver.check(&pool, &[q]));
+        })
+    });
+}
+
+fn signed_overflow_query(c: &mut Criterion) {
+    c.bench_function("solver/signed_overflow_unsat", |b| {
+        b.iter(|| {
+            let mut pool = TermPool::new();
+            let mut solver = BvSolver::new();
+            let x = pool.bv_var("x", 32);
+            let c100 = pool.bv_const(32, 100);
+            let sum = pool.bv_add(x, c100);
+            let check = pool.bv_slt(sum, x);
+            let x64 = pool.sext(x, 33);
+            let c64 = pool.sext(c100, 33);
+            let wide = pool.bv_add(x64, c64);
+            let narrow = pool.sext(sum, 33);
+            let no_ovf = pool.eq(wide, narrow);
+            criterion::black_box(solver.check(&pool, &[check, no_ovf]));
+        })
+    });
+}
+
+criterion_group!(benches, pointer_overflow_query, signed_overflow_query);
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! Regenerates Figure 16: build/analysis time, queries, and timeouts.
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    println!("{}", stack_bench::render_figure16(&stack_bench::figure16(scale)));
+}

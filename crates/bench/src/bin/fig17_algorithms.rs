@@ -1,0 +1,8 @@
+//! Regenerates Figure 17 (+ the §6.5 prevalence number): reports per algorithm.
+fn main() {
+    let packages = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60);
+    println!("{}", stack_bench::prevalence(packages, 0x57ac4).render_figure17());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 4: the compiler/optimization-level survey.
+fn main() {
+    println!("{}", stack_bench::figure4().render());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 9: bugs per system and undefined-behavior class.
+fn main() {
+    println!("{}", stack_bench::figure9().render());
+}

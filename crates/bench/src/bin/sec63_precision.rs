@@ -1,0 +1,10 @@
+//! Regenerates the §6.3 precision experiment: report classification for the
+//! Kerberos- and Postgres-like corpora.
+fn main() {
+    for row in stack_bench::sec63_precision() {
+        println!(
+            "{:<10} {:>3} reports  ({} urgent optimization bugs, {} time bombs)",
+            row.system, row.reports, row.urgent, row.time_bombs
+        );
+    }
+}

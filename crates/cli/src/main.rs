@@ -1,0 +1,107 @@
+//! `stack` — command-line front end for the STACK unstable-code checker.
+//!
+//! Usage:
+//!
+//! ```text
+//! stack check <file.mc> [--json] [--include-macros]   # analyze a mini-C file
+//! stack demo  <pattern-id>                            # analyze a built-in paper example
+//! stack list                                          # list built-in examples
+//! stack survey                                        # print the Figure 4 compiler matrix rows
+//! ```
+
+use stack_core::{Checker, CheckerConfig};
+use stack_opt::{lowest_discarding_level, survey_compilers};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => {
+            let Some(path) = args.get(1) else {
+                eprintln!("usage: stack check <file.mc> [--json] [--include-macros]");
+                return ExitCode::from(2);
+            };
+            let json = args.iter().any(|a| a == "--json");
+            let include_macros = args.iter().any(|a| a == "--include-macros");
+            let source = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("stack: cannot read {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let checker = Checker::with_config(CheckerConfig {
+                report_compiler_generated: include_macros,
+                ..CheckerConfig::default()
+            });
+            match checker.check_source(&source, path) {
+                Ok(result) => {
+                    if json {
+                        println!("{}", serde_json::to_string_pretty(&result.reports).unwrap());
+                    } else {
+                        for report in &result.reports {
+                            print!("{report}");
+                        }
+                        eprintln!(
+                            "stack: {} report(s), {} queries, {} timeouts",
+                            result.reports.len(),
+                            result.stats.queries,
+                            result.stats.timeouts
+                        );
+                    }
+                    if result.reports.is_empty() {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::from(1)
+                    }
+                }
+                Err(e) => {
+                    eprintln!("stack: {path}: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        Some("demo") => {
+            let Some(id) = args.get(1) else {
+                eprintln!("usage: stack demo <pattern-id>   (see `stack list`)");
+                return ExitCode::from(2);
+            };
+            let Some(pattern) = stack_corpus::all_patterns().into_iter().find(|p| p.id == *id)
+            else {
+                eprintln!("stack: unknown pattern `{id}` (see `stack list`)");
+                return ExitCode::from(2);
+            };
+            println!("// {} ({})\n{}\n", pattern.id, pattern.paper_ref, pattern.source);
+            let result = Checker::new()
+                .check_source(pattern.source, &format!("{id}.c"))
+                .unwrap();
+            for report in &result.reports {
+                print!("{report}");
+            }
+            ExitCode::SUCCESS
+        }
+        Some("list") => {
+            for p in stack_corpus::all_patterns() {
+                println!("{:<36} {}", p.id, p.paper_ref);
+            }
+            ExitCode::SUCCESS
+        }
+        Some("survey") => {
+            let src = "int f(int x) { if (x + 100 < x) return 1; return 0; }";
+            println!("check: if (x + 100 < x)");
+            for profile in survey_compilers() {
+                let level = lowest_discarding_level(src, "f", &profile);
+                println!(
+                    "  {:<18} {}",
+                    profile.name,
+                    level.map(|l| format!("O{l}")).unwrap_or_else(|| "–".into())
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("usage: stack <check|demo|list|survey> ...");
+            ExitCode::from(2)
+        }
+    }
+}

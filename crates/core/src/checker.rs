@@ -1,0 +1,649 @@
+//! The STACK checker: solver-based identification of unstable code.
+//!
+//! This implements the paper's two algorithms (§3.2) with the per-function
+//! approximations of §4.4:
+//!
+//! * **Elimination** (Figure 5): a fragment whose reachability condition is
+//!   satisfiable on its own but unsatisfiable in conjunction with the
+//!   well-defined program assumption Δ over its dominators is unstable — a
+//!   compiler may delete it.
+//! * **Simplification** (Figure 6): an expression that is not trivially
+//!   constant but becomes equal to an oracle-proposed simpler form under Δ is
+//!   unstable — a compiler may rewrite it. The boolean oracle proposes
+//!   `true`/`false`; the algebra oracle cancels common terms
+//!   (`p + x < p  ⇒  x < 0`).
+//!
+//! Each report carries the minimal set of UB conditions that makes the query
+//! unsatisfiable, computed with the greedy algorithm of Figure 8.
+
+use crate::encoder::FunctionEncoder;
+use crate::report::{origin_info, Algorithm, BugReport, UbSource};
+use crate::ubcond::{collect_ub_conditions, UbCondition};
+use stack_ir::{CmpPred, Function, InstKind, Module, Operand, Origin};
+use stack_solver::{Budget, BvSolver, QueryResult, TermId};
+use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
+
+/// Checker configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct CheckerConfig {
+    /// Per-query solver budget in propagations (the deterministic analogue of
+    /// the paper's 5-second query timeout, §6.4).
+    pub query_budget: u64,
+    /// Whether to keep reports whose unstable fragment was produced by a
+    /// macro expansion or inlining (the paper suppresses them, §4.2).
+    pub report_compiler_generated: bool,
+}
+
+impl Default for CheckerConfig {
+    fn default() -> CheckerConfig {
+        CheckerConfig {
+            query_budget: 2_000_000,
+            report_compiler_generated: false,
+        }
+    }
+}
+
+/// Aggregate statistics of a checker run (drives the Figure 16 columns).
+#[derive(Clone, Debug, Default)]
+pub struct CheckStats {
+    /// Number of functions analyzed.
+    pub functions: usize,
+    /// Total solver queries issued.
+    pub queries: u64,
+    /// Queries that exhausted their budget.
+    pub timeouts: u64,
+    /// Wall-clock analysis time.
+    pub elapsed: Duration,
+    /// Reports per algorithm.
+    pub by_algorithm: HashMap<Algorithm, usize>,
+}
+
+/// Result of checking a module.
+#[derive(Clone, Debug, Default)]
+pub struct CheckResult {
+    pub reports: Vec<BugReport>,
+    pub stats: CheckStats,
+}
+
+impl CheckResult {
+    /// Reports grouped by the UB kinds they involve (Figure 18's breakdown).
+    pub fn reports_by_ub_kind(&self) -> HashMap<crate::ubcond::UbKind, usize> {
+        let mut map = HashMap::new();
+        for r in &self.reports {
+            let kinds: HashSet<_> = r.ub_sources.iter().map(|s| s.kind).collect();
+            for k in kinds {
+                *map.entry(k).or_insert(0) += 1;
+            }
+        }
+        map
+    }
+}
+
+/// The checker.
+#[derive(Debug, Default)]
+pub struct Checker {
+    config: CheckerConfig,
+}
+
+impl Checker {
+    /// A checker with the default configuration.
+    pub fn new() -> Checker {
+        Checker::default()
+    }
+
+    /// A checker with an explicit configuration.
+    pub fn with_config(config: CheckerConfig) -> Checker {
+        Checker { config }
+    }
+
+    /// Compile a mini-C source string, run the analysis pre-pass, and check it.
+    pub fn check_source(&self, src: &str, file: &str) -> Result<CheckResult, stack_minic::Diag> {
+        let mut module = stack_minic::compile(src, file)?;
+        stack_opt::optimize_for_analysis(&mut module);
+        Ok(self.check_module(&module))
+    }
+
+    /// Check every function of an (already optimized-for-analysis) module.
+    pub fn check_module(&self, module: &Module) -> CheckResult {
+        let start = Instant::now();
+        let mut solver = BvSolver::with_budget(Budget::propagations(self.config.query_budget));
+        let mut reports = Vec::new();
+        for func in module.functions() {
+            reports.extend(self.check_function(func, &mut solver));
+        }
+        // Deduplicate identical (location, algorithm) reports.
+        let mut seen = HashSet::new();
+        reports.retain(|r: &BugReport| seen.insert((r.location(), r.function.clone(), r.algorithm)));
+        if !self.config.report_compiler_generated {
+            reports.retain(|r| !r.compiler_generated);
+        }
+        let mut by_algorithm: HashMap<Algorithm, usize> = HashMap::new();
+        for r in &reports {
+            *by_algorithm.entry(r.algorithm).or_insert(0) += 1;
+        }
+        let stats = CheckStats {
+            functions: module.len(),
+            queries: solver.stats().queries,
+            timeouts: solver.stats().timeouts,
+            elapsed: start.elapsed(),
+            by_algorithm,
+        };
+        CheckResult { reports, stats }
+    }
+
+    /// Check a single function.
+    pub fn check_function(&self, func: &Function, solver: &mut BvSolver) -> Vec<BugReport> {
+        let mut enc = FunctionEncoder::new(func);
+        let ub_conds = collect_ub_conditions(func, &mut enc);
+        let mut reports = Vec::new();
+
+        // Index UB conditions by the instruction they attach to.
+        let mut by_inst: HashMap<stack_ir::InstId, Vec<usize>> = HashMap::new();
+        for (i, c) in ub_conds.iter().enumerate() {
+            by_inst.entry(c.inst).or_default().push(i);
+        }
+
+        // --- Elimination over basic blocks (Figure 5) -------------------------
+        for block in func.block_ids() {
+            if block == func.entry() || !enc.cfg.is_reachable(block) {
+                continue;
+            }
+            let reach = enc.reach_term(block);
+            match solver.check(&enc.pool, &[reach]) {
+                QueryResult::Unsat | QueryResult::Unknown => continue, // trivially dead / timeout
+                QueryResult::Sat(_) => {}
+            }
+            // Δ over the dominators of the block (strictly dominating blocks).
+            let dom_conds = dominating_conditions(func, &enc, &ub_conds, &by_inst, block, None);
+            if dom_conds.is_empty() {
+                continue;
+            }
+            let mut assertions = vec![reach];
+            let negations: Vec<TermId> = dom_conds
+                .iter()
+                .map(|&ci| enc.pool.not(ub_conds[ci].term))
+                .collect();
+            assertions.extend(&negations);
+            if solver.check(&enc.pool, &assertions).is_unsat() {
+                let minimal = minimal_ub_set(&mut enc, solver, &[reach], &dom_conds, &ub_conds);
+                let origin = block_report_origin(func, block);
+                reports.push(build_report(
+                    func,
+                    &origin,
+                    Algorithm::Elimination,
+                    format!(
+                        "code in block {} is reachable only by inputs that trigger undefined behavior; \
+                         an optimizing compiler may delete it",
+                        func.block(block)
+                            .name
+                            .clone()
+                            .unwrap_or_else(|| format!("{block}"))
+                    ),
+                    &minimal,
+                    &ub_conds,
+                ));
+            }
+        }
+
+        // --- Simplification over comparisons (Figure 6) -----------------------
+        for (block, inst_id) in func.all_insts() {
+            if !enc.cfg.is_reachable(block) {
+                continue;
+            }
+            let InstKind::Cmp { pred, lhs, rhs } = func.inst(inst_id).kind.clone() else {
+                continue;
+            };
+            let index = func
+                .position_in_block(inst_id)
+                .map(|(_, i)| i)
+                .unwrap_or(0);
+            let e_term = enc.bool_term(Operand::Inst(inst_id));
+            let reach = enc.reach_term(block);
+            let dom_conds =
+                dominating_conditions(func, &enc, &ub_conds, &by_inst, block, Some(index));
+            if dom_conds.is_empty() {
+                continue;
+            }
+            let negations: Vec<TermId> = dom_conds
+                .iter()
+                .map(|&ci| enc.pool.not(ub_conds[ci].term))
+                .collect();
+
+            // Boolean oracle: propose `true`, then `false`.
+            let mut reported = false;
+            for proposed in [true, false] {
+                let prop = enc.pool.bool_const(proposed);
+                let diff = enc.pool.xor(e_term, prop);
+                match solver.check(&enc.pool, &[diff, reach]) {
+                    QueryResult::Unsat => break, // trivially constant: not unstable
+                    QueryResult::Unknown => break,
+                    QueryResult::Sat(_) => {}
+                }
+                let mut assertions = vec![diff, reach];
+                assertions.extend(&negations);
+                if solver.check(&enc.pool, &assertions).is_unsat() {
+                    let minimal =
+                        minimal_ub_set(&mut enc, solver, &[diff, reach], &dom_conds, &ub_conds);
+                    let origin = func.inst(inst_id).origin.clone();
+                    reports.push(build_report(
+                        func,
+                        &origin,
+                        Algorithm::SimplifyBoolean,
+                        format!(
+                            "check always evaluates to {proposed} under the well-defined program \
+                             assumption; an optimizing compiler may discard it"
+                        ),
+                        &minimal,
+                        &ub_conds,
+                    ));
+                    reported = true;
+                    break;
+                }
+            }
+            if reported {
+                continue;
+            }
+
+            // Algebra oracle: cancel a common term on both sides.
+            if let Some((proposed_term, description)) =
+                algebra_proposal(&mut enc, func, pred, lhs, rhs)
+            {
+                let diff = enc.pool.xor(e_term, proposed_term);
+                if let QueryResult::Sat(_) = solver.check(&enc.pool, &[diff, reach]) {
+                    let mut assertions = vec![diff, reach];
+                    assertions.extend(&negations);
+                    if solver.check(&enc.pool, &assertions).is_unsat() {
+                        let minimal =
+                            minimal_ub_set(&mut enc, solver, &[diff, reach], &dom_conds, &ub_conds);
+                        let origin = func.inst(inst_id).origin.clone();
+                        reports.push(build_report(
+                            func,
+                            &origin,
+                            Algorithm::SimplifyAlgebra,
+                            description,
+                            &minimal,
+                            &ub_conds,
+                        ));
+                    }
+                }
+            }
+        }
+
+        reports
+    }
+}
+
+/// UB-condition indices attached to the dominators of a program point.
+/// `index = None` means "the start of the block" (used for block
+/// elimination); `Some(i)` means the instruction at position `i`.
+fn dominating_conditions(
+    func: &Function,
+    enc: &FunctionEncoder<'_>,
+    ub_conds: &[UbCondition],
+    by_inst: &HashMap<stack_ir::InstId, Vec<usize>>,
+    block: stack_ir::BlockId,
+    index: Option<usize>,
+) -> Vec<usize> {
+    let mut out = Vec::new();
+    let dom_insts = match index {
+        Some(i) => enc.dom.dominating_insts(func, block, i),
+        None => {
+            let mut v = Vec::new();
+            for d in enc.dom.dominators(block) {
+                if d == block {
+                    continue;
+                }
+                v.extend(func.block(d).insts.iter().copied());
+            }
+            v
+        }
+    };
+    for inst in dom_insts {
+        if let Some(indices) = by_inst.get(&inst) {
+            out.extend(indices.iter().copied());
+        }
+    }
+    let _ = ub_conds;
+    out
+}
+
+/// The greedy minimal-UB-set computation of Figure 8: drop each condition in
+/// turn; if the query becomes satisfiable, that condition is essential.
+fn minimal_ub_set(
+    enc: &mut FunctionEncoder<'_>,
+    solver: &mut BvSolver,
+    base: &[TermId],
+    dom_conds: &[usize],
+    ub_conds: &[UbCondition],
+) -> Vec<usize> {
+    let mut essential = Vec::new();
+    for &skip in dom_conds {
+        let mut assertions = base.to_vec();
+        for &ci in dom_conds {
+            if ci == skip {
+                continue;
+            }
+            let neg = enc.pool.not(ub_conds[ci].term);
+            assertions.push(neg);
+        }
+        match solver.check(&enc.pool, &assertions) {
+            QueryResult::Sat(_) | QueryResult::Unknown => essential.push(skip),
+            QueryResult::Unsat => {}
+        }
+    }
+    if essential.is_empty() {
+        // Degenerate case (e.g. a single condition): keep everything.
+        essential = dom_conds.to_vec();
+    }
+    essential
+}
+
+/// Propose a simpler expression by cancelling a common term on both sides of
+/// a comparison (the algebra oracle).
+fn algebra_proposal(
+    enc: &mut FunctionEncoder<'_>,
+    func: &Function,
+    pred: CmpPred,
+    lhs: Operand,
+    rhs: Operand,
+) -> Option<(TermId, String)> {
+    // Pointer form: (p + x) pred p  ==>  x pred' 0 with signed ordering.
+    if let Operand::Inst(id) = lhs {
+        if let InstKind::PtrAdd { ptr, offset, elem_size, .. } = func.inst(id).kind {
+            if ptr == rhs {
+                let off = enc.scaled_offset(offset, elem_size);
+                let zero = enc.pool.bv_const(64, 0);
+                let term = match pred {
+                    CmpPred::Ult | CmpPred::Slt => enc.pool.bv_slt(off, zero),
+                    CmpPred::Ule | CmpPred::Sle => enc.pool.bv_sle(off, zero),
+                    CmpPred::Ugt | CmpPred::Sgt => enc.pool.bv_sgt(off, zero),
+                    CmpPred::Uge | CmpPred::Sge => enc.pool.bv_sge(off, zero),
+                    CmpPred::Eq => enc.pool.eq(off, zero),
+                    CmpPred::Ne => enc.pool.ne(off, zero),
+                };
+                return Some((
+                    term,
+                    "pointer check `p + x < p` can be simplified to a sign test on `x`; \
+                     compilers perform the same rewrite"
+                        .to_string(),
+                ));
+            }
+        }
+        // Integer form: (x + y) pred x  ==>  y pred 0.
+        if let InstKind::Bin {
+            op: stack_ir::BinOp::Add,
+            lhs: a,
+            rhs: b,
+        } = func.inst(id).kind
+        {
+            let other = if a == rhs {
+                Some(b)
+            } else if b == rhs {
+                Some(a)
+            } else {
+                None
+            };
+            if let Some(y) = other {
+                let yt = enc.bv_term(y);
+                let width = enc.pool.width(yt);
+                let zero = enc.pool.bv_const(width, 0);
+                let term = match pred {
+                    CmpPred::Slt | CmpPred::Ult => enc.pool.bv_slt(yt, zero),
+                    CmpPred::Sle | CmpPred::Ule => enc.pool.bv_sle(yt, zero),
+                    CmpPred::Sgt | CmpPred::Ugt => enc.pool.bv_sgt(yt, zero),
+                    CmpPred::Sge | CmpPred::Uge => enc.pool.bv_sge(yt, zero),
+                    CmpPred::Eq => enc.pool.eq(yt, zero),
+                    CmpPred::Ne => enc.pool.ne(yt, zero),
+                };
+                return Some((
+                    term,
+                    "comparison `x + y < x` can be simplified to a sign test on `y`".to_string(),
+                ));
+            }
+        }
+    }
+    None
+}
+
+/// Pick a representative origin for a block that may be eliminated: its first
+/// instruction, or the condition of the branch that leads to it.
+fn block_report_origin(func: &Function, block: stack_ir::BlockId) -> Origin {
+    if let Some(&first) = func.block(block).insts.first() {
+        return func.inst(first).origin.clone();
+    }
+    // Empty block (e.g. a lone `return`): walk predecessors until we find the
+    // branch condition (or the last instruction) that decides whether this
+    // block runs, so the report points at the check being bypassed.
+    let mut visited = std::collections::HashSet::new();
+    let mut work = vec![block];
+    while let Some(cur) = work.pop() {
+        if !visited.insert(cur) {
+            continue;
+        }
+        for b in func.block_ids() {
+            let term = &func.block(b).terminator;
+            if !term.successors().contains(&cur) {
+                continue;
+            }
+            if let stack_ir::Terminator::CondBr { cond, .. } = term {
+                if let Operand::Inst(id) = cond {
+                    return func.inst(*id).origin.clone();
+                }
+            }
+            if let Some(&last) = func.block(b).insts.last() {
+                return func.inst(last).origin.clone();
+            }
+            work.push(b);
+        }
+    }
+    Origin::unknown()
+}
+
+fn build_report(
+    func: &Function,
+    origin: &Origin,
+    algorithm: Algorithm,
+    description: String,
+    minimal: &[usize],
+    ub_conds: &[UbCondition],
+) -> BugReport {
+    let (file, line, compiler_generated) = origin_info(origin);
+    let mut ub_sources: Vec<UbSource> = minimal
+        .iter()
+        .map(|&i| UbSource {
+            kind: ub_conds[i].kind,
+            location: format!("{}:{}", ub_conds[i].origin.loc.file, ub_conds[i].origin.loc.line),
+        })
+        .collect();
+    ub_sources.sort_by(|a, b| (a.kind, &a.location).cmp(&(b.kind, &b.location)));
+    ub_sources.dedup();
+    BugReport {
+        function: func.name.clone(),
+        file,
+        line,
+        algorithm,
+        description,
+        ub_sources,
+        compiler_generated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ubcond::UbKind;
+
+    fn check(src: &str) -> CheckResult {
+        Checker::new().check_source(src, "test.c").unwrap()
+    }
+
+    #[test]
+    fn figure2_null_check_is_unstable() {
+        let result = check(
+            "int tun_chr_poll(struct tun_struct *tun) {\n\
+               long sk = tun->sk;\n\
+               if (!tun) return 1;\n\
+               return 0;\n\
+             }",
+        );
+        assert!(!result.reports.is_empty(), "expected a report");
+        assert!(result
+            .reports
+            .iter()
+            .any(|r| r.involves(UbKind::NullPointerDereference)));
+        // The elimination algorithm flags the return under the check.
+        assert!(result
+            .reports
+            .iter()
+            .any(|r| r.algorithm == Algorithm::Elimination));
+    }
+
+    #[test]
+    fn figure1_pointer_overflow_check_is_unstable() {
+        let result = check(
+            "int check(char *buf, char *buf_end, unsigned int len) {\n\
+               if (buf + len >= buf_end) return -1;\n\
+               if (buf + len < buf) return -1;\n\
+               return 0;\n\
+             }",
+        );
+        assert!(result
+            .reports
+            .iter()
+            .any(|r| r.involves(UbKind::PointerOverflow)), "{:?}", result.reports);
+    }
+
+    #[test]
+    fn signed_overflow_check_is_unstable_but_unsigned_is_not() {
+        let signed_result = check("int f(int x) { if (x + 100 < x) return 1; return 0; }");
+        assert!(
+            signed_result
+                .reports
+                .iter()
+                .any(|r| r.involves(UbKind::SignedIntegerOverflow)),
+            "{:?}",
+            signed_result.reports
+        );
+        let unsigned_result =
+            check("int f(unsigned int x) { if (x + 100 < x) return 1; return 0; }");
+        assert!(
+            unsigned_result.reports.is_empty(),
+            "unsigned wraparound is well defined: {:?}",
+            unsigned_result.reports
+        );
+    }
+
+    #[test]
+    fn stable_code_produces_no_reports() {
+        let result = check(
+            "int f(int x, int y) {\n\
+               if (y == 0) return -1;\n\
+               if (x > 1000) return -2;\n\
+               return x / y;\n\
+             }",
+        );
+        assert!(result.reports.is_empty(), "{:?}", result.reports);
+        assert!(result.stats.queries > 0);
+    }
+
+    #[test]
+    fn macro_generated_checks_are_suppressed() {
+        let src = "#define IS_VALID(p) (p != NULL)\n\
+                   int f(char *p) {\n\
+                     long v = *p;\n\
+                     if (IS_VALID(p)) return 1;\n\
+                     return 0;\n\
+                   }";
+        let default_result = check(src);
+        assert!(
+            default_result.reports.is_empty(),
+            "macro-origin reports must be suppressed: {:?}",
+            default_result.reports
+        );
+        let permissive = Checker::with_config(CheckerConfig {
+            report_compiler_generated: true,
+            ..CheckerConfig::default()
+        });
+        let all = permissive.check_source(src, "test.c").unwrap();
+        assert!(!all.reports.is_empty());
+    }
+
+    #[test]
+    fn abs_check_is_unstable() {
+        let result = check("int f(int x) { if (abs(x) < 0) return 1; return 0; }");
+        assert!(result
+            .reports
+            .iter()
+            .any(|r| r.involves(UbKind::AbsoluteValueOverflow)), "{:?}", result.reports);
+    }
+
+    #[test]
+    fn shift_check_is_unstable() {
+        let result = check("int f(int x) { if (!(1 << x)) return 1; return 0; }");
+        assert!(result
+            .reports
+            .iter()
+            .any(|r| r.involves(UbKind::OversizedShift)), "{:?}", result.reports);
+    }
+
+    #[test]
+    fn ffmpeg_algebra_simplification_is_reported() {
+        let result = check(
+            "int parse(char *data, char *data_end, int size) {\n\
+               if (data + size >= data_end || data + size < data) return -1;\n\
+               return 0;\n\
+             }",
+        );
+        assert!(
+            result
+                .reports
+                .iter()
+                .any(|r| r.algorithm == Algorithm::SimplifyAlgebra),
+            "{:?}",
+            result.reports
+        );
+    }
+
+    #[test]
+    fn postgres_division_check_is_unstable() {
+        let result = check(
+            "int64_t int8div(int64_t arg1, int64_t arg2) {\n\
+               if (arg2 == 0) return -1;\n\
+               int64_t result = arg1 / arg2;\n\
+               if (arg2 == -1 && arg1 < 0 && result <= 0) return -2;\n\
+               return result;\n\
+             }",
+        );
+        assert!(
+            result
+                .reports
+                .iter()
+                .any(|r| r.involves(UbKind::SignedIntegerOverflow)),
+            "{:?}",
+            result.reports
+        );
+    }
+
+    #[test]
+    fn minimal_ub_set_is_reported() {
+        let result = check(
+            "int f(int *p) { int v = *p; if (!p) return 1; return v; }",
+        );
+        let report = result
+            .reports
+            .iter()
+            .find(|r| r.involves(UbKind::NullPointerDereference))
+            .expect("expected a null-deref-based report");
+        assert_eq!(report.ub_sources.len(), 1);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let result = check("int f(int x) { if (x + 1 < x) return 1; return 0; }");
+        assert_eq!(result.stats.functions, 1);
+        assert!(result.stats.queries >= 2);
+        assert_eq!(result.stats.timeouts, 0);
+        assert!(result.stats.by_algorithm.values().sum::<usize>() >= 1);
+    }
+}

@@ -1,0 +1,101 @@
+//! Classification of unstable-code reports (§6.2 of the paper).
+//!
+//! The paper sorts reports into four categories: non-optimization bugs,
+//! urgent optimization bugs (some surveyed compiler already discards the
+//! check), time bombs (only a more aggressive optimizer — such as STACK's own
+//! model — would), and redundant code (false warnings). The first and last
+//! categories require semantic judgement; what can be decided mechanically is
+//! the urgent-vs-time-bomb split, by re-running the surveyed compiler
+//! profiles on the same source and watching whether any of them discards the
+//! flagged check.
+
+use serde::Serialize;
+use stack_opt::{run_profile, survey_compilers};
+
+/// Mechanical classification of a report.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub enum BugClass {
+    /// At least one surveyed compiler discards the flagged check: the report
+    /// is an urgent optimization bug (§6.2.2).
+    UrgentOptimization {
+        /// The first surveyed compiler that discards it.
+        compiler: String,
+        /// The lowest optimization level at which it does.
+        level: u8,
+    },
+    /// No surveyed compiler currently discards it, but STACK's model shows a
+    /// sufficiently aggressive optimizer could: a time bomb (§6.2.3).
+    TimeBomb,
+}
+
+impl BugClass {
+    /// Short label used in the precision experiment (§6.3).
+    pub fn label(&self) -> &'static str {
+        match self {
+            BugClass::UrgentOptimization { .. } => "urgent optimization bug",
+            BugClass::TimeBomb => "time bomb",
+        }
+    }
+}
+
+/// Classify a report by source line: re-run every surveyed compiler profile
+/// over the source and check whether any of them folds a check at that line.
+pub fn classify_source(src: &str, file: &str, report_line: u32) -> BugClass {
+    for profile in survey_compilers() {
+        for level in 0..=stack_opt::CompilerProfile::MAX_LEVEL {
+            let Ok(mut module) = stack_minic::compile(src, file) else {
+                continue;
+            };
+            let events = run_profile(&mut module, &profile, level);
+            if events.iter().any(|e| e.origin.loc.line == report_line) {
+                return BugClass::UrgentOptimization {
+                    compiler: profile.name.to_string(),
+                    level,
+                };
+            }
+        }
+    }
+    BugClass::TimeBomb
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signed_overflow_check_is_urgent() {
+        // Even gcc 2.95.3 folds `x + 100 < x` (Figure 4).
+        let src = "int f(int x) { if (x + 100 < x) return 1; return 0; }";
+        let class = classify_source(src, "t.c", 1);
+        match class {
+            BugClass::UrgentOptimization { compiler, .. } => {
+                assert_eq!(compiler, "gcc-2.95.3");
+            }
+            other => panic!("expected urgent classification, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn postgres_negation_time_bomb() {
+        // The Figure 14 idiom: no surveyed compiler folds it, so it is a
+        // time bomb even though STACK flags it.
+        let src = "int f(int64_t arg1) {\n\
+                     if (arg1 != 0 && ((-arg1 < 0) == (arg1 < 0))) return 1;\n\
+                     return 0;\n\
+                   }";
+        assert_eq!(classify_source(src, "t.c", 2), BugClass::TimeBomb);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(BugClass::TimeBomb.label(), "time bomb");
+        assert_eq!(
+            BugClass::UrgentOptimization {
+                compiler: "gcc-4.8.1".to_string(),
+                level: 2
+            }
+            .label(),
+            "urgent optimization bug"
+        );
+    }
+}

@@ -1,0 +1,28 @@
+//! `stack-corpus` — unstable-code corpora for the STACK reproduction.
+//!
+//! The paper evaluates STACK on real systems (Figure 9), on six hand-picked
+//! compiler-survey idioms (Figure 4 / §2.2), on a ten-test completeness
+//! benchmark (§6.6), and on the whole Debian Wheezy archive (§6.5, Figures
+//! 17–18). None of those code bases ship with this reproduction, so this
+//! crate provides their stand-ins:
+//!
+//! * [`patterns`] — the paper's own examples, transcribed as mini-C programs
+//!   (Figures 1, 2, 10–15; the §2.2 idioms; stable control programs; and the
+//!   completeness benchmark);
+//! * [`systems`] — one generated program per bug of Figure 9, with row and
+//!   column totals matching the paper;
+//! * [`synth`] — a seeded synthetic "Debian archive" whose population-level
+//!   statistics are calibrated to §6.5.
+
+pub mod patterns;
+pub mod synth;
+pub mod systems;
+
+pub use patterns::{
+    all_patterns, completeness_benchmark, CompletenessTest, Pattern, FIG10_POSTGRES_DIVISION,
+    FIG11_STRCHR_NULL_CHECK, FIG12_FFMPEG_BOUNDS, FIG13_PLAN9_PDEC, FIG14_POSTGRES_TIMEBOMB,
+    FIG15_REDUNDANT_NULL, FIG1_POINTER_OVERFLOW, FIG2_TUN_NULL_CHECK, SEC22_EXAMPLES,
+    STABLE_CONTROLS,
+};
+pub use synth::{generate, SynthConfig, SynthFile, SynthPackage};
+pub use systems::{bug_template, figure9_corpus, figure9_rows, BugInstance, SystemRow, UB_COLUMNS};

@@ -1,0 +1,385 @@
+//! The unstable-code pattern library.
+//!
+//! Each pattern is a mini-C program reproducing one of the paper's examples
+//! (Figures 1, 2, 10–15 and the six §2.2 idioms), annotated with the
+//! undefined behavior involved and whether the checker is expected to report
+//! it. The §6.6 completeness benchmark — ten tests of which STACK finds
+//! seven — is also defined here.
+
+/// The undefined-behavior class a pattern exercises, as a short label
+/// matching the Figure 9 / Figure 18 column names.
+pub type UbLabel = &'static str;
+
+/// One corpus program.
+#[derive(Clone, Debug)]
+pub struct Pattern {
+    /// Stable identifier (used by tests and the experiment index).
+    pub id: &'static str,
+    /// Where in the paper the pattern comes from.
+    pub paper_ref: &'static str,
+    /// Mini-C source code.
+    pub source: &'static str,
+    /// Name of the function under analysis.
+    pub function: &'static str,
+    /// UB classes involved (short labels: "pointer", "null", ...).
+    pub ub: &'static [UbLabel],
+    /// Whether STACK is expected to produce a report for it.
+    pub expect_report: bool,
+}
+
+/// Figure 1: the pointer overflow check `buf + len < buf` with unsigned len.
+pub const FIG1_POINTER_OVERFLOW: Pattern = Pattern {
+    id: "fig1_pointer_overflow",
+    paper_ref: "Figure 1",
+    source: "int check_access(char *buf, char *buf_end, unsigned int len) {\n\
+               if (buf + len >= buf_end) return -1;\n\
+               if (buf + len < buf) return -1;\n\
+               return 0;\n\
+             }",
+    function: "check_access",
+    ub: &["pointer"],
+    expect_report: true,
+};
+
+/// Figure 2: the Linux TUN driver null-check-after-dereference (CVE-2009-1897).
+pub const FIG2_TUN_NULL_CHECK: Pattern = Pattern {
+    id: "fig2_tun_null_check",
+    paper_ref: "Figure 2",
+    source: "int tun_chr_poll(struct tun_struct *tun) {\n\
+               long sk = tun->sk;\n\
+               if (!tun) return 1;\n\
+               return 0;\n\
+             }",
+    function: "tun_chr_poll",
+    ub: &["null"],
+    expect_report: true,
+};
+
+/// Figure 10: the Postgres 64-bit signed division overflow check placed after
+/// the division itself.
+pub const FIG10_POSTGRES_DIVISION: Pattern = Pattern {
+    id: "fig10_postgres_division",
+    paper_ref: "Figure 10",
+    source: "int64_t int8div(int64_t arg1, int64_t arg2) {\n\
+               if (arg2 == 0) return -1;\n\
+               int64_t result = arg1 / arg2;\n\
+               if (arg2 == -1 && arg1 < 0 && result <= 0) return -2;\n\
+               return result;\n\
+             }",
+    function: "int8div",
+    ub: &["integer", "div"],
+    expect_report: true,
+};
+
+/// Figure 11: the Linux sysctl `strchr(...) + 1` null check.
+pub const FIG11_STRCHR_NULL_CHECK: Pattern = Pattern {
+    id: "fig11_strchr_null_check",
+    paper_ref: "Figure 11",
+    source: "int parse_node_address(char *buf) {\n\
+               char *nodep = strchr(buf, '.') + 1;\n\
+               if (!nodep) return -5;\n\
+               return (int)simple_strtoul(nodep, NULL, 10);\n\
+             }",
+    function: "parse_node_address",
+    ub: &["pointer"],
+    expect_report: true,
+};
+
+/// Figure 12: the FFmpeg/Libav AMF parser bounds checks `data + x < data`.
+pub const FIG12_FFMPEG_BOUNDS: Pattern = Pattern {
+    id: "fig12_ffmpeg_bounds",
+    paper_ref: "Figure 12",
+    source: "int amf_parse(char *data, char *data_end) {\n\
+               int size = bytestream_get_be16(data);\n\
+               if (data + size >= data_end || data + size < data) return -1;\n\
+               data = data + size;\n\
+               int len = ff_amf_tag_size(data, data_end);\n\
+               if (len < 0 || data + len >= data_end || data + len < data) return -1;\n\
+               return 0;\n\
+             }",
+    function: "amf_parse",
+    ub: &["pointer"],
+    expect_report: true,
+};
+
+/// Figure 13: the plan9port `pdec` negation check `-k >= 0` under `k < 0`.
+pub const FIG13_PLAN9_PDEC: Pattern = Pattern {
+    id: "fig13_plan9_pdec",
+    paper_ref: "Figure 13",
+    source: "int pdec_sign(int k) {\n\
+               if (k < 0) {\n\
+                 if (-k >= 0) return 1;\n\
+                 return 2;\n\
+               }\n\
+               return 0;\n\
+             }",
+    function: "pdec_sign",
+    ub: &["integer"],
+    expect_report: true,
+};
+
+/// Figure 14: the Postgres time bomb `arg1 != 0 && (-arg1 < 0) == (arg1 < 0)`.
+pub const FIG14_POSTGRES_TIMEBOMB: Pattern = Pattern {
+    id: "fig14_postgres_timebomb",
+    paper_ref: "Figure 14",
+    source: "int check_int_min(int64_t arg1) {\n\
+               if (arg1 != 0 && ((-arg1 < 0) == (arg1 < 0))) return 1;\n\
+               return 0;\n\
+             }",
+    function: "check_int_min",
+    ub: &["integer"],
+    expect_report: true,
+};
+
+/// Figure 15: redundant null check (caller guarantees non-null) — a false
+/// warning the paper counts as redundant code.
+pub const FIG15_REDUNDANT_NULL: Pattern = Pattern {
+    id: "fig15_redundant_null",
+    paper_ref: "Figure 15",
+    source: "int disconnect(struct p9_client *c) {\n\
+               long rdma = c->trans;\n\
+               if (c) { return 1; }\n\
+               return 0;\n\
+             }",
+    function: "disconnect",
+    ub: &["null"],
+    expect_report: true,
+};
+
+/// The six unstable sanity checks of §2.2 / Figure 4.
+pub const SEC22_EXAMPLES: &[Pattern] = &[
+    Pattern {
+        id: "sec22_ptr_overflow_const",
+        paper_ref: "§2.2 example 1",
+        source: "int f(char *p) { if (p + 100 < p) return 1; return 0; }",
+        function: "f",
+        ub: &["pointer"],
+        expect_report: true,
+    },
+    Pattern {
+        id: "sec22_null_after_deref",
+        paper_ref: "§2.2 example 2",
+        source: "int f(int *p) { int v = *p; if (!p) return 1; return v; }",
+        function: "f",
+        ub: &["null"],
+        expect_report: true,
+    },
+    Pattern {
+        id: "sec22_signed_overflow",
+        paper_ref: "§2.2 example 3",
+        source: "int f(int x) { if (x + 100 < x) return 1; return 0; }",
+        function: "f",
+        ub: &["integer"],
+        expect_report: true,
+    },
+    Pattern {
+        id: "sec22_signed_overflow_positive",
+        paper_ref: "§2.2 example 4",
+        source: "int f(int x) { if (x > 0) { if (x + 100 < 0) return 1; } return 0; }",
+        function: "f",
+        ub: &["integer"],
+        expect_report: true,
+    },
+    Pattern {
+        id: "sec22_shift",
+        paper_ref: "§2.2 example 5",
+        source: "int f(int x) { if (!(1 << x)) return 1; return 0; }",
+        function: "f",
+        ub: &["shift"],
+        expect_report: true,
+    },
+    Pattern {
+        id: "sec22_abs",
+        paper_ref: "§2.2 example 6",
+        source: "int f(int x) { if (abs(x) < 0) return 1; return 0; }",
+        function: "f",
+        ub: &["abs"],
+        expect_report: true,
+    },
+];
+
+/// Stable control programs: well-defined checks the checker must NOT flag.
+pub const STABLE_CONTROLS: &[Pattern] = &[
+    Pattern {
+        id: "stable_unsigned_wrap",
+        paper_ref: "§2.2 (unsigned variant)",
+        source: "int f(unsigned int x) { if (x + 100 < x) return 1; return 0; }",
+        function: "f",
+        ub: &[],
+        expect_report: false,
+    },
+    Pattern {
+        id: "stable_guarded_division",
+        paper_ref: "§6.2.1 (correct fix)",
+        source: "int f(int x, int y) { if (y == 0) return -1; return x / y; }",
+        function: "f",
+        ub: &[],
+        expect_report: false,
+    },
+    Pattern {
+        id: "stable_checked_pointer",
+        paper_ref: "§6.2.2 (correct fix)",
+        source: "int f(char *data, char *data_end, int x) {\n\
+                   if (x < 0) return -1;\n\
+                   if (x >= data_end - data) return -1;\n\
+                   return 0;\n\
+                 }",
+        function: "f",
+        ub: &[],
+        expect_report: false,
+    },
+    Pattern {
+        id: "stable_null_check_before_deref",
+        paper_ref: "Figure 2 (corrected order)",
+        source: "int f(struct tun_struct *tun) {\n\
+                   if (!tun) return 1;\n\
+                   long sk = tun->sk;\n\
+                   return (int)sk;\n\
+                 }",
+        function: "f",
+        ub: &[],
+        expect_report: false,
+    },
+];
+
+/// One entry of the §6.6 completeness benchmark.
+#[derive(Clone, Debug)]
+pub struct CompletenessTest {
+    pub pattern: Pattern,
+    /// Whether STACK is expected to identify it (7 of the 10 tests).
+    pub expected_found: bool,
+    /// Why STACK misses it, when it does.
+    pub miss_reason: Option<&'static str>,
+}
+
+/// The ten-test completeness benchmark of §6.6: seven detectable cases plus
+/// three that STACK misses by design (strict aliasing, uninitialized use, and
+/// a case lost to approximate reachability conditions).
+pub fn completeness_benchmark() -> Vec<CompletenessTest> {
+    let found = |p: Pattern| CompletenessTest {
+        pattern: p,
+        expected_found: true,
+        miss_reason: None,
+    };
+    vec![
+        found(FIG1_POINTER_OVERFLOW),
+        found(FIG2_TUN_NULL_CHECK),
+        found(SEC22_EXAMPLES[2].clone()),
+        found(SEC22_EXAMPLES[4].clone()),
+        found(SEC22_EXAMPLES[5].clone()),
+        found(FIG10_POSTGRES_DIVISION),
+        found(FIG13_PLAN9_PDEC),
+        CompletenessTest {
+            pattern: Pattern {
+                id: "miss_strict_aliasing",
+                paper_ref: "§4.6 / §6.6 (strict aliasing violation)",
+                source: "int f(int *ip, long l) {\n\
+                           long *lp = (long *)ip;\n\
+                           *lp = l;\n\
+                           return *ip;\n\
+                         }",
+                function: "f",
+                ub: &[],
+                expect_report: false,
+            },
+            expected_found: false,
+            miss_reason: Some("strict aliasing violations are not modeled (gcc already warns)"),
+        },
+        CompletenessTest {
+            pattern: Pattern {
+                id: "miss_uninitialized_use",
+                paper_ref: "§4.6 / §6.6 (uninitialized variable)",
+                source: "int f(int flag) {\n\
+                           int x;\n\
+                           if (flag) x = 1;\n\
+                           return x;\n\
+                         }",
+                function: "f",
+                ub: &[],
+                expect_report: false,
+            },
+            expected_found: false,
+            miss_reason: Some("uses of uninitialized variables are not modeled (gcc already warns)"),
+        },
+        CompletenessTest {
+            pattern: Pattern {
+                id: "miss_interprocedural_reachability",
+                paper_ref: "§4.6 / §6.6 (approximate reachability)",
+                source: "int helper(int *p);\n\
+                         int f(int *p, int use_helper) {\n\
+                           int v = 0;\n\
+                           if (use_helper) v = helper(p);\n\
+                           if (!p) return v;\n\
+                           return *p + v;\n\
+                         }",
+                function: "f",
+                ub: &[],
+                expect_report: false,
+            },
+            expected_found: false,
+            miss_reason: Some(
+                "the dereference follows the check here; the cross-function evidence that would \
+                 make it unstable is lost to the per-function approximation",
+            ),
+        },
+    ]
+}
+
+/// Every named pattern (paper figures, §2.2 idioms, and stable controls).
+pub fn all_patterns() -> Vec<Pattern> {
+    let mut v = vec![
+        FIG1_POINTER_OVERFLOW,
+        FIG2_TUN_NULL_CHECK,
+        FIG10_POSTGRES_DIVISION,
+        FIG11_STRCHR_NULL_CHECK,
+        FIG12_FFMPEG_BOUNDS,
+        FIG13_PLAN9_PDEC,
+        FIG14_POSTGRES_TIMEBOMB,
+        FIG15_REDUNDANT_NULL,
+    ];
+    v.extend(SEC22_EXAMPLES.iter().cloned());
+    v.extend(STABLE_CONTROLS.iter().cloned());
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn patterns_compile_to_ir() {
+        for p in all_patterns() {
+            let module = stack_minic::compile(p.source, &format!("{}.c", p.id))
+                .unwrap_or_else(|e| panic!("{}: {e}", p.id));
+            assert!(
+                module.function(p.function).is_some(),
+                "{}: function {} missing",
+                p.id,
+                p.function
+            );
+            stack_ir::verify_module(&module).unwrap_or_else(|e| panic!("{}: {e:?}", p.id));
+        }
+    }
+
+    #[test]
+    fn completeness_benchmark_has_ten_tests_seven_found() {
+        let tests = completeness_benchmark();
+        assert_eq!(tests.len(), 10);
+        assert_eq!(tests.iter().filter(|t| t.expected_found).count(), 7);
+        for t in &tests {
+            assert!(stack_minic::compile(t.pattern.source, "c.c").is_ok(), "{}", t.pattern.id);
+            if !t.expected_found {
+                assert!(t.miss_reason.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn pattern_ids_are_unique() {
+        let mut ids: Vec<&str> = all_patterns().iter().map(|p| p.id).collect();
+        let before = ids.len();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), before);
+    }
+}

@@ -1,0 +1,229 @@
+//! Synthetic package generator for the Debian-scale prevalence experiment.
+//!
+//! Figures 16–18 and §6.5 of the paper measure STACK over the Debian Wheezy
+//! archive (8,575 C/C++ packages, ~40% of which contain unstable code). The
+//! archive is not available here, so this module generates a seeded synthetic
+//! population: each "package" is a set of mini-C files mixing stable code
+//! with unstable fragments drawn from the bug templates, calibrated so the
+//! population-level proportions (fraction of packages with at least one
+//! report, mix of UB classes, mix of algorithms) resemble the paper's. The
+//! checker still has to find every instance — nothing in the generated code
+//! is labeled.
+
+use crate::systems::{bug_template, UB_COLUMNS};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A generated source file.
+#[derive(Clone, Debug)]
+pub struct SynthFile {
+    pub name: String,
+    pub source: String,
+    /// Number of unstable fragments injected (ground truth for calibration
+    /// tests; the checker never sees this).
+    pub injected: usize,
+}
+
+/// A generated package.
+#[derive(Clone, Debug)]
+pub struct SynthPackage {
+    pub name: String,
+    pub files: Vec<SynthFile>,
+}
+
+/// Generator configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SynthConfig {
+    /// Number of packages to generate.
+    pub packages: usize,
+    /// Files per package (upper bound; at least 1).
+    pub max_files_per_package: usize,
+    /// Functions per file (upper bound; at least 1).
+    pub max_functions_per_file: usize,
+    /// Probability that a package contains any unstable code at all
+    /// (the paper found 3,471 / 8,575 ≈ 40%).
+    pub unstable_package_fraction: f64,
+    /// Probability that a function in an "unstable" package is itself
+    /// unstable.
+    pub unstable_function_fraction: f64,
+    /// RNG seed (the whole population is deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for SynthConfig {
+    fn default() -> SynthConfig {
+        SynthConfig {
+            packages: 50,
+            max_files_per_package: 4,
+            max_functions_per_file: 6,
+            unstable_package_fraction: 0.405,
+            unstable_function_fraction: 0.25,
+            seed: 0x57ac4,
+        }
+    }
+}
+
+/// Weights over UB classes used when injecting unstable fragments, shaped
+/// after the Figure 18 report distribution (null dereference dominates,
+/// followed by buffer/integer/pointer, with a long tail).
+const UB_WEIGHTS: &[(usize, u32)] = &[
+    (1, 47),  // null
+    (5, 8),   // buffer
+    (2, 7),   // integer
+    (0, 6),   // pointer
+    (4, 2),   // shift
+    (7, 1),   // memcpy
+    (3, 1),   // div
+    (8, 1),   // free
+    (6, 1),   // abs
+    (9, 1),   // realloc
+];
+
+/// Stable (well-defined) function templates used as filler code.
+fn stable_template(function: &str, n: usize) -> String {
+    match n % 5 {
+        0 => format!(
+            "int {function}(int x, int y) {{\n\
+               if (y == 0) return -1;\n\
+               return x / y;\n\
+             }}"
+        ),
+        1 => format!(
+            "int {function}(unsigned int x) {{\n\
+               unsigned int acc = 0;\n\
+               for (unsigned int i = 0; i < x; i = i + 1) acc += i;\n\
+               return (int)acc;\n\
+             }}"
+        ),
+        2 => format!(
+            "int {function}(char *p, int n) {{\n\
+               if (!p) return -1;\n\
+               if (n < 0) return -2;\n\
+               return *p + n;\n\
+             }}"
+        ),
+        3 => format!(
+            "int {function}(int a, int b) {{\n\
+               int m = a < b ? a : b;\n\
+               return m * 2 + 1;\n\
+             }}"
+        ),
+        _ => format!(
+            "unsigned int {function}(unsigned int v, int s) {{\n\
+               if (s < 0 || s >= 32) return 0;\n\
+               return v << s;\n\
+             }}"
+        ),
+    }
+}
+
+/// Pick a UB class index according to the Figure 18-shaped weights.
+fn pick_ub(rng: &mut StdRng) -> usize {
+    let total: u32 = UB_WEIGHTS.iter().map(|(_, w)| w).sum();
+    let mut roll = rng.gen_range(0..total);
+    for &(idx, w) in UB_WEIGHTS {
+        if roll < w {
+            return idx;
+        }
+        roll -= w;
+    }
+    1
+}
+
+/// Generate a package population.
+pub fn generate(config: &SynthConfig) -> Vec<SynthPackage> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut packages = Vec::with_capacity(config.packages);
+    let mut uid = 0usize;
+    for p in 0..config.packages {
+        let unstable_pkg = rng.gen_bool(config.unstable_package_fraction);
+        let nfiles = rng.gen_range(1..=config.max_files_per_package);
+        let mut files = Vec::new();
+        for f in 0..nfiles {
+            let nfuncs = rng.gen_range(1..=config.max_functions_per_file);
+            let mut source = String::new();
+            let mut injected = 0usize;
+            for _ in 0..nfuncs {
+                uid += 1;
+                let fname = format!("fn_{uid}");
+                let unstable = unstable_pkg && rng.gen_bool(config.unstable_function_fraction);
+                let snippet = if unstable {
+                    injected += 1;
+                    let ub = UB_COLUMNS[pick_ub(&mut rng)];
+                    bug_template(ub, &fname, uid)
+                } else {
+                    stable_template(&fname, uid)
+                };
+                source.push_str(&snippet);
+                source.push('\n');
+            }
+            files.push(SynthFile {
+                name: format!("pkg{p}_file{f}.c"),
+                source,
+                injected,
+            });
+        }
+        packages.push(SynthPackage {
+            name: format!("package-{p:04}"),
+            files,
+        });
+    }
+    packages
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = SynthConfig {
+            packages: 10,
+            ..SynthConfig::default()
+        };
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.len(), 10);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.files.len(), y.files.len());
+            for (fx, fy) in x.files.iter().zip(y.files.iter()) {
+                assert_eq!(fx.source, fy.source);
+            }
+        }
+    }
+
+    #[test]
+    fn generated_files_compile() {
+        let cfg = SynthConfig {
+            packages: 8,
+            seed: 7,
+            ..SynthConfig::default()
+        };
+        for pkg in generate(&cfg) {
+            for file in &pkg.files {
+                stack_minic::compile(&file.source, &file.name)
+                    .unwrap_or_else(|e| panic!("{}: {e}\n{}", file.name, file.source));
+            }
+        }
+    }
+
+    #[test]
+    fn roughly_forty_percent_of_packages_have_injections() {
+        let cfg = SynthConfig {
+            packages: 200,
+            seed: 99,
+            ..SynthConfig::default()
+        };
+        let pkgs = generate(&cfg);
+        let with_injection = pkgs
+            .iter()
+            .filter(|p| p.files.iter().any(|f| f.injected > 0))
+            .count();
+        let fraction = with_injection as f64 / pkgs.len() as f64;
+        assert!(
+            (0.25..0.55).contains(&fraction),
+            "expected roughly 40% of packages to contain unstable code, got {fraction}"
+        );
+    }
+}

@@ -1,0 +1,169 @@
+//! Control-flow graph utilities: successors, predecessors, reachability, and
+//! reverse post-order.
+
+use crate::function::Function;
+use crate::value::BlockId;
+use std::collections::{HashMap, HashSet};
+
+/// Predecessor and successor maps for a function's CFG.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    preds: HashMap<BlockId, Vec<BlockId>>,
+    succs: HashMap<BlockId, Vec<BlockId>>,
+    rpo: Vec<BlockId>,
+}
+
+impl Cfg {
+    /// Compute the CFG of a function.
+    pub fn compute(func: &Function) -> Cfg {
+        let mut preds: HashMap<BlockId, Vec<BlockId>> = HashMap::new();
+        let mut succs: HashMap<BlockId, Vec<BlockId>> = HashMap::new();
+        let num_blocks = func.num_blocks() as u32;
+        for b in func.block_ids() {
+            // Successors pointing outside the function (malformed IR caught by
+            // the verifier) are ignored so CFG construction never panics.
+            let ss: Vec<BlockId> = func
+                .block(b)
+                .terminator
+                .successors()
+                .into_iter()
+                .filter(|s| s.0 < num_blocks)
+                .collect();
+            for s in &ss {
+                preds.entry(*s).or_default().push(b);
+            }
+            succs.insert(b, ss);
+        }
+        let rpo = reverse_post_order(func);
+        Cfg { preds, succs, rpo }
+    }
+
+    /// Predecessors of a block (empty for the entry and unreachable blocks).
+    pub fn preds(&self, block: BlockId) -> &[BlockId] {
+        self.preds.get(&block).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Successors of a block.
+    pub fn succs(&self, block: BlockId) -> &[BlockId] {
+        self.succs.get(&block).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Blocks reachable from the entry, in reverse post-order.
+    pub fn reverse_post_order(&self) -> &[BlockId] {
+        &self.rpo
+    }
+
+    /// Whether a block is reachable from the entry.
+    pub fn is_reachable(&self, block: BlockId) -> bool {
+        self.rpo.contains(&block)
+    }
+}
+
+/// Reverse post-order of the blocks reachable from the entry.
+pub fn reverse_post_order(func: &Function) -> Vec<BlockId> {
+    let mut visited: HashSet<BlockId> = HashSet::new();
+    let mut post: Vec<BlockId> = Vec::new();
+    // Iterative DFS with an explicit stack of (block, next successor index).
+    let mut stack: Vec<(BlockId, usize)> = vec![(func.entry(), 0)];
+    let num_blocks = func.num_blocks() as u32;
+    visited.insert(func.entry());
+    while let Some((block, idx)) = stack.pop() {
+        let succs: Vec<BlockId> = func
+            .block(block)
+            .terminator
+            .successors()
+            .into_iter()
+            .filter(|s| s.0 < num_blocks)
+            .collect();
+        if idx < succs.len() {
+            stack.push((block, idx + 1));
+            let next = succs[idx];
+            if visited.insert(next) {
+                stack.push((next, 0));
+            }
+        } else {
+            post.push(block);
+        }
+    }
+    post.reverse();
+    post
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::types::Type;
+    use crate::value::Operand;
+
+    /// Build a diamond CFG: entry -> (then, else) -> merge.
+    fn diamond() -> Function {
+        let mut b = FunctionBuilder::with_params("d", &[("c", Type::Bool)], Type::I32);
+        let then_bb = b.add_block("then");
+        let else_bb = b.add_block("else");
+        let merge = b.add_block("merge");
+        b.cond_br(b.param(0), then_bb, else_bb);
+        b.switch_to(then_bb);
+        b.br(merge);
+        b.switch_to(else_bb);
+        b.br(merge);
+        b.switch_to(merge);
+        b.ret(Operand::int(Type::I32, 0));
+        b.finish()
+    }
+
+    #[test]
+    fn diamond_cfg_structure() {
+        let f = diamond();
+        let cfg = Cfg::compute(&f);
+        let entry = f.entry();
+        assert_eq!(cfg.succs(entry).len(), 2);
+        assert!(cfg.preds(entry).is_empty());
+        let merge = BlockId(3);
+        assert_eq!(cfg.preds(merge).len(), 2);
+        assert!(cfg.is_reachable(merge));
+        let rpo = cfg.reverse_post_order();
+        assert_eq!(rpo.len(), 4);
+        assert_eq!(rpo[0], entry);
+        // Merge comes after both branches in RPO.
+        let pos = |b: BlockId| rpo.iter().position(|&x| x == b).unwrap();
+        assert!(pos(merge) > pos(BlockId(1)));
+        assert!(pos(merge) > pos(BlockId(2)));
+    }
+
+    #[test]
+    fn unreachable_blocks_are_excluded() {
+        let mut b = FunctionBuilder::with_params("u", &[], Type::Void);
+        let dead = b.add_block("dead");
+        b.ret_void();
+        b.switch_to(dead);
+        b.ret_void();
+        let f = b.finish();
+        let cfg = Cfg::compute(&f);
+        assert!(cfg.is_reachable(f.entry()));
+        assert!(!cfg.is_reachable(dead));
+        assert_eq!(cfg.reverse_post_order().len(), 1);
+    }
+
+    #[test]
+    fn loop_cfg() {
+        // entry -> header; header -> (body, exit); body -> header.
+        let mut b = FunctionBuilder::with_params("l", &[("c", Type::Bool)], Type::Void);
+        let header = b.add_block("header");
+        let body = b.add_block("body");
+        let exit = b.add_block("exit");
+        b.br(header);
+        b.switch_to(header);
+        b.cond_br(b.param(0), body, exit);
+        b.switch_to(body);
+        b.br(header);
+        b.switch_to(exit);
+        b.ret_void();
+        let f = b.finish();
+        let cfg = Cfg::compute(&f);
+        assert_eq!(cfg.preds(header).len(), 2); // entry and body
+        assert_eq!(cfg.succs(header).len(), 2);
+        assert_eq!(cfg.reverse_post_order().len(), 4);
+        assert_eq!(cfg.reverse_post_order()[0], f.entry());
+    }
+}

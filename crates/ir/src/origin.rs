@@ -1,0 +1,189 @@
+//! Source locations and code origins.
+//!
+//! STACK must distinguish code the programmer wrote from code the compiler
+//! generated (macro expansions and inlined function bodies); reports are only
+//! emitted for programmer-written fragments (paper §4.2, §4.5). Every IR
+//! instruction therefore carries an [`Origin`]: its source position plus a
+//! record of the macro or inlining step that produced it, if any.
+
+use std::fmt;
+
+/// A position in a source file.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct SourceLoc {
+    /// File name (as given to the frontend).
+    pub file: String,
+    /// 1-based line number; 0 means unknown.
+    pub line: u32,
+    /// 1-based column number; 0 means unknown.
+    pub column: u32,
+}
+
+impl SourceLoc {
+    /// Create a location.
+    pub fn new(file: &str, line: u32, column: u32) -> SourceLoc {
+        SourceLoc {
+            file: file.to_string(),
+            line,
+            column,
+        }
+    }
+
+    /// An unknown location.
+    pub fn unknown() -> SourceLoc {
+        SourceLoc::default()
+    }
+
+    /// Whether the location carries real position information.
+    pub fn is_known(&self) -> bool {
+        !self.file.is_empty() || self.line != 0
+    }
+}
+
+impl fmt::Display for SourceLoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.is_known() {
+            write!(f, "<unknown>")
+        } else {
+            write!(f, "{}:{}:{}", self.file, self.line, self.column)
+        }
+    }
+}
+
+/// How a piece of IR came to exist.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub enum OriginKind {
+    /// Written directly by the programmer at the recorded location.
+    #[default]
+    Programmer,
+    /// Produced by expanding the named macro. STACK suppresses reports whose
+    /// unstable fragment originates from a macro body the programmer merely
+    /// invoked (e.g. the `IS_A(p)` null check of §4.2).
+    MacroExpansion {
+        /// Name of the macro whose body produced the code.
+        macro_name: String,
+    },
+    /// Produced by inlining the named callee into the analyzed function.
+    Inlined {
+        /// Name of the function whose body was inlined.
+        callee: String,
+    },
+}
+
+/// Origin of an instruction: source position plus provenance.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Origin {
+    pub loc: SourceLoc,
+    pub kind: OriginKind,
+}
+
+impl Origin {
+    /// Programmer-written code at a location.
+    pub fn programmer(loc: SourceLoc) -> Origin {
+        Origin {
+            loc,
+            kind: OriginKind::Programmer,
+        }
+    }
+
+    /// Code produced by a macro expansion.
+    pub fn macro_expansion(loc: SourceLoc, macro_name: &str) -> Origin {
+        Origin {
+            loc,
+            kind: OriginKind::MacroExpansion {
+                macro_name: macro_name.to_string(),
+            },
+        }
+    }
+
+    /// Code produced by inlining `callee`.
+    pub fn inlined(loc: SourceLoc, callee: &str) -> Origin {
+        Origin {
+            loc,
+            kind: OriginKind::Inlined {
+                callee: callee.to_string(),
+            },
+        }
+    }
+
+    /// An origin with no information.
+    pub fn unknown() -> Origin {
+        Origin::default()
+    }
+
+    /// Whether the code was written directly by the programmer (and is thus
+    /// eligible for a bug report).
+    pub fn is_programmer_written(&self) -> bool {
+        matches!(self.kind, OriginKind::Programmer)
+    }
+
+    /// Mark this origin as coming from a macro expansion, keeping the
+    /// location. Used by the frontend when a token originates in a macro body.
+    pub fn into_macro(self, macro_name: &str) -> Origin {
+        Origin {
+            loc: self.loc,
+            kind: OriginKind::MacroExpansion {
+                macro_name: macro_name.to_string(),
+            },
+        }
+    }
+
+    /// Mark this origin as inlined from `callee`, keeping the location.
+    pub fn into_inlined(self, callee: &str) -> Origin {
+        Origin {
+            loc: self.loc,
+            kind: OriginKind::Inlined {
+                callee: callee.to_string(),
+            },
+        }
+    }
+}
+
+impl fmt::Display for Origin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            OriginKind::Programmer => write!(f, "{}", self.loc),
+            OriginKind::MacroExpansion { macro_name } => {
+                write!(f, "{} (from macro {macro_name})", self.loc)
+            }
+            OriginKind::Inlined { callee } => write!(f, "{} (inlined from {callee})", self.loc),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn origin_classification() {
+        let loc = SourceLoc::new("tun.c", 42, 7);
+        let prog = Origin::programmer(loc.clone());
+        assert!(prog.is_programmer_written());
+        let mac = Origin::macro_expansion(loc.clone(), "IS_A");
+        assert!(!mac.is_programmer_written());
+        let inl = Origin::inlined(loc, "helper");
+        assert!(!inl.is_programmer_written());
+    }
+
+    #[test]
+    fn conversions_preserve_location() {
+        let loc = SourceLoc::new("x.c", 10, 1);
+        let o = Origin::programmer(loc.clone()).into_macro("M");
+        assert_eq!(o.loc, loc);
+        assert!(!o.is_programmer_written());
+        let o2 = Origin::programmer(loc.clone()).into_inlined("f");
+        assert_eq!(o2.loc, loc);
+        assert!(matches!(o2.kind, OriginKind::Inlined { .. }));
+    }
+
+    #[test]
+    fn display_formats() {
+        let loc = SourceLoc::new("a.c", 3, 4);
+        assert_eq!(loc.to_string(), "a.c:3:4");
+        assert_eq!(SourceLoc::unknown().to_string(), "<unknown>");
+        assert!(!SourceLoc::unknown().is_known());
+        let mac = Origin::macro_expansion(loc, "CHECK");
+        assert!(mac.to_string().contains("from macro CHECK"));
+    }
+}

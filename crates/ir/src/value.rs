@@ -1,0 +1,215 @@
+//! Values and operands.
+
+use crate::types::Type;
+use std::fmt;
+
+/// Identifier of an instruction inside a function's instruction arena.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct InstId(pub u32);
+
+/// Identifier of a basic block inside a function.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct BlockId(pub u32);
+
+impl InstId {
+    /// Index into the instruction arena.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl BlockId {
+    /// Index into the block list.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for InstId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// A compile-time constant value. Integers are stored as raw bits masked to
+/// the width of their type; the null pointer is a `Ptr`-typed zero.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Constant {
+    pub ty: Type,
+    pub bits: u64,
+}
+
+impl Constant {
+    /// An integer constant of the given type.
+    pub fn int(ty: Type, value: i64) -> Constant {
+        let width = ty.bit_width();
+        let bits = if width >= 64 {
+            value as u64
+        } else {
+            (value as u64) & ((1u64 << width) - 1)
+        };
+        Constant { ty, bits }
+    }
+
+    /// A boolean constant.
+    pub fn bool(value: bool) -> Constant {
+        Constant {
+            ty: Type::Bool,
+            bits: u64::from(value),
+        }
+    }
+
+    /// The null pointer.
+    pub fn null() -> Constant {
+        Constant {
+            ty: Type::Ptr,
+            bits: 0,
+        }
+    }
+
+    /// Signed interpretation of the constant.
+    pub fn as_signed(&self) -> i64 {
+        let width = self.ty.bit_width();
+        if width == 0 {
+            return 0;
+        }
+        let shift = 64 - width;
+        ((self.bits << shift) as i64) >> shift
+    }
+
+    /// Unsigned interpretation of the constant.
+    pub fn as_unsigned(&self) -> u64 {
+        self.bits
+    }
+
+    /// Whether the constant is zero (of any type).
+    pub fn is_zero(&self) -> bool {
+        self.bits == 0
+    }
+}
+
+impl fmt::Display for Constant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.ty {
+            Type::Ptr if self.bits == 0 => write!(f, "null"),
+            Type::Ptr => write!(f, "ptr:{:#x}", self.bits),
+            Type::Bool => write!(f, "{}", self.bits != 0),
+            _ => write!(f, "{}", self.as_signed()),
+        }
+    }
+}
+
+/// An operand of an instruction: a constant, a function parameter, or the
+/// result of another instruction.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Operand {
+    Const(Constant),
+    /// The `n`-th parameter of the enclosing function.
+    Param(u32),
+    /// The result of an instruction.
+    Inst(InstId),
+}
+
+impl Operand {
+    /// Integer constant operand.
+    pub fn int(ty: Type, value: i64) -> Operand {
+        Operand::Const(Constant::int(ty, value))
+    }
+
+    /// Boolean constant operand.
+    pub fn bool(value: bool) -> Operand {
+        Operand::Const(Constant::bool(value))
+    }
+
+    /// Null pointer operand.
+    pub fn null() -> Operand {
+        Operand::Const(Constant::null())
+    }
+
+    /// The constant behind this operand, if it is one.
+    pub fn as_const(&self) -> Option<Constant> {
+        match self {
+            Operand::Const(c) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// The instruction behind this operand, if it is one.
+    pub fn as_inst(&self) -> Option<InstId> {
+        match self {
+            Operand::Inst(id) => Some(*id),
+            _ => None,
+        }
+    }
+
+    /// Whether this operand is a constant equal to `value` (bit pattern).
+    pub fn is_const_value(&self, value: u64) -> bool {
+        matches!(self, Operand::Const(c) if c.bits == value)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Const(c) => write!(f, "{c}"),
+            Operand::Param(i) => write!(f, "%arg{i}"),
+            Operand::Inst(id) => write!(f, "{id}"),
+        }
+    }
+}
+
+impl From<Constant> for Operand {
+    fn from(c: Constant) -> Operand {
+        Operand::Const(c)
+    }
+}
+
+impl From<InstId> for Operand {
+    fn from(id: InstId) -> Operand {
+        Operand::Inst(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_masking_and_sign() {
+        let c = Constant::int(Type::I8, -1);
+        assert_eq!(c.bits, 0xFF);
+        assert_eq!(c.as_signed(), -1);
+        assert_eq!(c.as_unsigned(), 0xFF);
+        let big = Constant::int(Type::I32, i64::from(i32::MIN));
+        assert_eq!(big.as_signed(), i64::from(i32::MIN));
+        let c64 = Constant::int(Type::I64, -5);
+        assert_eq!(c64.as_signed(), -5);
+    }
+
+    #[test]
+    fn null_and_bool() {
+        assert!(Constant::null().is_zero());
+        assert_eq!(Constant::null().to_string(), "null");
+        assert_eq!(Constant::bool(true).to_string(), "true");
+        assert_eq!(Constant::int(Type::I32, -7).to_string(), "-7");
+    }
+
+    #[test]
+    fn operand_helpers() {
+        let op = Operand::int(Type::I32, 42);
+        assert!(op.as_const().is_some());
+        assert!(op.as_inst().is_none());
+        assert!(op.is_const_value(42));
+        assert!(!op.is_const_value(43));
+        let i: Operand = InstId(3).into();
+        assert_eq!(i.as_inst(), Some(InstId(3)));
+        assert_eq!(i.to_string(), "%3");
+        assert_eq!(Operand::Param(1).to_string(), "%arg1");
+    }
+}

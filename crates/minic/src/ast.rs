@@ -1,0 +1,332 @@
+//! Abstract syntax tree of the mini-C language.
+
+/// Source-level types. `Pointer` is typed so that pointer arithmetic can be
+/// scaled by the element size and array declarations can record bounds.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CType {
+    Void,
+    Bool,
+    /// Integer with a width in bits and a signedness flag.
+    Int { width: u32, signed: bool },
+    /// Pointer to an element type.
+    Pointer(Box<CType>),
+}
+
+impl CType {
+    /// `int`
+    pub fn int() -> CType {
+        CType::Int {
+            width: 32,
+            signed: true,
+        }
+    }
+
+    /// `unsigned int`
+    pub fn uint() -> CType {
+        CType::Int {
+            width: 32,
+            signed: false,
+        }
+    }
+
+    /// `long` / `int64_t`
+    pub fn long() -> CType {
+        CType::Int {
+            width: 64,
+            signed: true,
+        }
+    }
+
+    /// `unsigned long` / `uint64_t` / `size_t`
+    pub fn ulong() -> CType {
+        CType::Int {
+            width: 64,
+            signed: false,
+        }
+    }
+
+    /// `char`
+    pub fn char_ty() -> CType {
+        CType::Int {
+            width: 8,
+            signed: true,
+        }
+    }
+
+    /// `T*`
+    pub fn ptr_to(elem: CType) -> CType {
+        CType::Pointer(Box::new(elem))
+    }
+
+    /// Whether the type is any pointer type.
+    pub fn is_pointer(&self) -> bool {
+        matches!(self, CType::Pointer(_))
+    }
+
+    /// Whether the type is a signed integer.
+    pub fn is_signed_int(&self) -> bool {
+        matches!(self, CType::Int { signed: true, .. })
+    }
+
+    /// Integer width, if an integer type.
+    pub fn int_width(&self) -> Option<u32> {
+        match self {
+            CType::Int { width, .. } => Some(*width),
+            CType::Bool => Some(1),
+            _ => None,
+        }
+    }
+
+    /// Size in bytes when stored in memory.
+    pub fn byte_size(&self) -> u64 {
+        match self {
+            CType::Void => 0,
+            CType::Bool => 1,
+            CType::Int { width, .. } => u64::from(width / 8).max(1),
+            CType::Pointer(_) => 8,
+        }
+    }
+
+    /// The element type a pointer points to (or `Void` if not a pointer).
+    pub fn pointee(&self) -> CType {
+        match self {
+            CType::Pointer(inner) => (**inner).clone(),
+            _ => CType::Void,
+        }
+    }
+}
+
+/// Binary operators at the source level.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BinOpKind {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Shl,
+    Shr,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    LogicalAnd,
+    LogicalOr,
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum UnOpKind {
+    /// Arithmetic negation `-x`.
+    Neg,
+    /// Logical not `!x`.
+    Not,
+    /// Bitwise complement `~x`.
+    BitNot,
+    /// Pointer dereference `*p`.
+    Deref,
+    /// Address-of `&x`.
+    AddrOf,
+}
+
+/// Source position of an AST node plus macro provenance.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Span {
+    pub line: u32,
+    pub column: u32,
+    pub from_macro: Option<String>,
+}
+
+/// Expressions.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    IntLit {
+        value: i64,
+        span: Span,
+    },
+    /// The null pointer constant.
+    Null {
+        span: Span,
+    },
+    /// Variable reference.
+    Var {
+        name: String,
+        span: Span,
+    },
+    Unary {
+        op: UnOpKind,
+        operand: Box<Expr>,
+        span: Span,
+    },
+    Binary {
+        op: BinOpKind,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+        span: Span,
+    },
+    /// `cond ? then : els`
+    Conditional {
+        cond: Box<Expr>,
+        then: Box<Expr>,
+        els: Box<Expr>,
+        span: Span,
+    },
+    /// `base[index]`
+    Index {
+        base: Box<Expr>,
+        index: Box<Expr>,
+        span: Span,
+    },
+    /// `p->field` (field-insensitive: modeled as a load through `p`).
+    Member {
+        base: Box<Expr>,
+        field: String,
+        span: Span,
+    },
+    Call {
+        callee: String,
+        args: Vec<Expr>,
+        span: Span,
+    },
+    /// `(type)expr`
+    Cast {
+        ty: CType,
+        operand: Box<Expr>,
+        span: Span,
+    },
+    /// Assignment (also used for `+=` and `-=` after desugaring).
+    Assign {
+        target: Box<Expr>,
+        value: Box<Expr>,
+        span: Span,
+    },
+    /// Post-increment `x++` (desugared during lowering).
+    PostIncrement {
+        target: Box<Expr>,
+        span: Span,
+    },
+    /// `sizeof(type)` — folded to a constant during lowering.
+    SizeOf {
+        ty: CType,
+        span: Span,
+    },
+}
+
+impl Expr {
+    /// The span of an expression.
+    pub fn span(&self) -> &Span {
+        match self {
+            Expr::IntLit { span, .. }
+            | Expr::Null { span }
+            | Expr::Var { span, .. }
+            | Expr::Unary { span, .. }
+            | Expr::Binary { span, .. }
+            | Expr::Conditional { span, .. }
+            | Expr::Index { span, .. }
+            | Expr::Member { span, .. }
+            | Expr::Call { span, .. }
+            | Expr::Cast { span, .. }
+            | Expr::Assign { span, .. }
+            | Expr::PostIncrement { span, .. }
+            | Expr::SizeOf { span, .. } => span,
+        }
+    }
+}
+
+/// Statements.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// Local declaration, possibly an array, possibly initialized.
+    Decl {
+        name: String,
+        ty: CType,
+        /// Array element count if declared as `T name[N]`.
+        array: Option<u64>,
+        init: Option<Expr>,
+        span: Span,
+    },
+    Expr(Expr),
+    If {
+        cond: Expr,
+        then_body: Vec<Stmt>,
+        else_body: Vec<Stmt>,
+        span: Span,
+    },
+    While {
+        cond: Expr,
+        body: Vec<Stmt>,
+        span: Span,
+    },
+    For {
+        init: Option<Box<Stmt>>,
+        cond: Option<Expr>,
+        step: Option<Expr>,
+        body: Vec<Stmt>,
+        span: Span,
+    },
+    Return {
+        value: Option<Expr>,
+        span: Span,
+    },
+    Block(Vec<Stmt>),
+}
+
+/// A function parameter.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FuncParam {
+    pub name: String,
+    pub ty: CType,
+}
+
+/// A function definition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FuncDef {
+    pub name: String,
+    pub params: Vec<FuncParam>,
+    pub ret_ty: CType,
+    pub body: Vec<Stmt>,
+    pub span: Span,
+}
+
+/// A translation unit: the functions defined in one source file.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TranslationUnit {
+    pub functions: Vec<FuncDef>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctype_helpers() {
+        assert_eq!(CType::int().int_width(), Some(32));
+        assert_eq!(CType::long().byte_size(), 8);
+        assert_eq!(CType::char_ty().byte_size(), 1);
+        assert!(CType::int().is_signed_int());
+        assert!(!CType::uint().is_signed_int());
+        let p = CType::ptr_to(CType::int());
+        assert!(p.is_pointer());
+        assert_eq!(p.pointee(), CType::int());
+        assert_eq!(p.byte_size(), 8);
+        assert_eq!(CType::Bool.int_width(), Some(1));
+    }
+
+    #[test]
+    fn expr_span_access() {
+        let e = Expr::IntLit {
+            value: 3,
+            span: Span {
+                line: 2,
+                column: 5,
+                from_macro: None,
+            },
+        };
+        assert_eq!(e.span().line, 2);
+    }
+}

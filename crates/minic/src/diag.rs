@@ -1,0 +1,41 @@
+//! Diagnostics for the frontend.
+
+use std::fmt;
+
+/// A frontend error with a source position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diag {
+    pub message: String,
+    pub line: u32,
+    pub column: u32,
+}
+
+impl Diag {
+    /// Create a diagnostic.
+    pub fn new(message: String, line: u32, column: u32) -> Diag {
+        Diag {
+            message,
+            line,
+            column,
+        }
+    }
+}
+
+impl fmt::Display for Diag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for Diag {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let d = Diag::new("unexpected token".to_string(), 3, 9);
+        assert_eq!(d.to_string(), "3:9: unexpected token");
+    }
+}

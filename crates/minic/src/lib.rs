@@ -1,0 +1,26 @@
+//! `stack-minic` — a mini-C frontend.
+//!
+//! This crate stands in for the clang frontend in the STACK pipeline
+//! (paper §4.2): it lexes, preprocesses, parses, and lowers a C-like language
+//! into the `stack-ir` intermediate representation. The language covers the
+//! constructs that appear in the paper's unstable-code examples — pointers
+//! and pointer arithmetic, signed/unsigned integers of all widths, arrays
+//! with declared bounds, short-circuit control flow, the library calls of
+//! Figure 3 — plus `#define` macros with origin tracking so the checker can
+//! tell programmer-written code from macro-expanded code.
+//!
+//! The one-call entry point is [`compile`], which returns an IR module.
+
+pub mod ast;
+pub mod diag;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+pub mod token;
+
+pub use ast::{BinOpKind, CType, Expr, FuncDef, FuncParam, Span, Stmt, TranslationUnit, UnOpKind};
+pub use diag::Diag;
+pub use lexer::lex;
+pub use lower::{compile, ctype_to_ir, lower};
+pub use parser::parse;
+pub use token::{Tok, Token};

@@ -1,0 +1,351 @@
+//! Promotion of stack slots to SSA values (the classic `mem2reg` pass).
+//!
+//! The frontend gives every local variable an `alloca` with explicit loads
+//! and stores. This pass promotes the allocas whose address never escapes
+//! (no pointer arithmetic, no calls taking the address, no stores *of* the
+//! address) into SSA form by placing phi nodes at iterated dominance
+//! frontiers and renaming along the dominator tree. The checker depends on
+//! this: the solver reasons about SSA values, not memory.
+
+use stack_ir::{
+    BlockId, Cfg, DomTree, Function, Inst, InstId, InstKind, Operand, Origin, Type,
+};
+use std::collections::{HashMap, HashSet};
+
+/// Run mem2reg on a function. Returns the number of promoted allocas.
+pub fn run(func: &mut Function) -> usize {
+    let promotable = find_promotable(func);
+    if promotable.is_empty() {
+        return 0;
+    }
+    let cfg = Cfg::compute(func);
+    let dt = DomTree::compute(func, &cfg);
+    let frontiers = dominance_frontiers(func, &cfg, &dt);
+
+    let mut count = 0;
+    for (alloca, ty) in &promotable {
+        promote_one(func, &cfg, &dt, &frontiers, *alloca, *ty);
+        count += 1;
+    }
+    count
+}
+
+/// Find allocas that can be promoted: single-element slots whose only uses
+/// are direct loads and stores of the slot pointer.
+fn find_promotable(func: &Function) -> Vec<(InstId, Type)> {
+    let mut candidates: HashMap<InstId, Type> = HashMap::new();
+    for (_, i) in func.all_insts() {
+        if let InstKind::Alloca { elem_ty, count } = &func.inst(i).kind {
+            if *count == 1 && elem_ty.is_value() {
+                candidates.insert(i, *elem_ty);
+            }
+        }
+    }
+    // Disqualify allocas whose pointer escapes.
+    for (_, i) in func.all_insts() {
+        let inst = func.inst(i);
+        match &inst.kind {
+            InstKind::Load { .. } => {}
+            InstKind::Store { ptr, value } => {
+                // Storing the address itself disqualifies it.
+                if let Operand::Inst(v) = value {
+                    candidates.remove(v);
+                }
+                let _ = ptr;
+            }
+            other => {
+                for op in other.operands() {
+                    if let Operand::Inst(id) = op {
+                        candidates.remove(&id);
+                    }
+                }
+            }
+        }
+    }
+    // Terminator uses (should not happen for pointers, but be safe).
+    for b in func.block_ids() {
+        for op in func.block(b).terminator.operands() {
+            if let Operand::Inst(id) = op {
+                candidates.remove(&id);
+            }
+        }
+    }
+    let mut out: Vec<(InstId, Type)> = candidates.into_iter().collect();
+    out.sort_by_key(|(id, _)| *id);
+    out
+}
+
+/// Compute dominance frontiers for all reachable blocks.
+fn dominance_frontiers(
+    func: &Function,
+    cfg: &Cfg,
+    dt: &DomTree,
+) -> HashMap<BlockId, Vec<BlockId>> {
+    let mut df: HashMap<BlockId, Vec<BlockId>> = HashMap::new();
+    for b in cfg.reverse_post_order() {
+        let preds = cfg.preds(*b);
+        if preds.len() < 2 {
+            continue;
+        }
+        let idom_b = match dt.idom(*b) {
+            Some(d) => d,
+            None => continue,
+        };
+        for &p in preds {
+            if !cfg.is_reachable(p) {
+                continue;
+            }
+            let mut runner = p;
+            while runner != idom_b {
+                df.entry(runner).or_default().push(*b);
+                runner = match dt.idom(runner) {
+                    Some(d) => d,
+                    None => break,
+                };
+            }
+        }
+    }
+    let _ = func;
+    df
+}
+
+/// Promote a single alloca to SSA.
+fn promote_one(
+    func: &mut Function,
+    cfg: &Cfg,
+    dt: &DomTree,
+    frontiers: &HashMap<BlockId, Vec<BlockId>>,
+    alloca: InstId,
+    ty: Type,
+) {
+    let slot = Operand::Inst(alloca);
+
+    // Blocks containing a store to the slot.
+    let mut def_blocks: Vec<BlockId> = Vec::new();
+    for (b, i) in func.all_insts() {
+        if let InstKind::Store { ptr, .. } = &func.inst(i).kind {
+            if *ptr == slot && !def_blocks.contains(&b) {
+                def_blocks.push(b);
+            }
+        }
+    }
+
+    // Iterated dominance frontier: where phis are needed.
+    let mut phi_blocks: HashSet<BlockId> = HashSet::new();
+    let mut work: Vec<BlockId> = def_blocks.clone();
+    while let Some(b) = work.pop() {
+        for &d in frontiers.get(&b).map(|v| v.as_slice()).unwrap_or(&[]) {
+            if phi_blocks.insert(d) {
+                work.push(d);
+            }
+        }
+    }
+
+    // Insert empty phis (operands filled during renaming).
+    let mut phi_of_block: HashMap<BlockId, InstId> = HashMap::new();
+    for &b in &phi_blocks {
+        if !cfg.is_reachable(b) {
+            continue;
+        }
+        let phi = func.insert_inst(
+            b,
+            0,
+            Inst::new(InstKind::Phi { incomings: vec![] }, ty, Origin::unknown()),
+        );
+        phi_of_block.insert(b, phi);
+    }
+
+    // Rename: walk the dominator tree, tracking the reaching definition.
+    let children = dom_children(func, dt);
+    let undef = Operand::int(ty, 0);
+    let mut replacements: Vec<(InstId, Operand)> = Vec::new(); // load -> value
+    let mut phi_incomings: HashMap<InstId, Vec<(BlockId, Operand)>> = HashMap::new();
+    let mut removals: Vec<InstId> = Vec::new();
+
+    // Stack of (block, reaching value at block entry).
+    let mut stack: Vec<(BlockId, Operand)> = vec![(func.entry(), undef)];
+    let mut visited: HashSet<BlockId> = HashSet::new();
+    while let Some((b, mut current)) = stack.pop() {
+        if !visited.insert(b) {
+            continue;
+        }
+        if let Some(&phi) = phi_of_block.get(&b) {
+            current = Operand::Inst(phi);
+        }
+        for &i in &func.block(b).insts.clone() {
+            match &func.inst(i).kind {
+                InstKind::Load { ptr, .. } if *ptr == slot => {
+                    replacements.push((i, current));
+                    removals.push(i);
+                }
+                InstKind::Store { ptr, value } if *ptr == slot => {
+                    current = *value;
+                    removals.push(i);
+                }
+                _ => {}
+            }
+        }
+        // Record the value flowing along each CFG edge into successor phis.
+        for &s in cfg.succs(b) {
+            if let Some(&phi) = phi_of_block.get(&s) {
+                phi_incomings.entry(phi).or_default().push((b, current));
+            }
+        }
+        for &c in children.get(&b).map(|v| v.as_slice()).unwrap_or(&[]) {
+            stack.push((c, current));
+        }
+    }
+
+    // Loads and stores of the slot in unreachable blocks were not visited by
+    // the renaming walk; drop them too so the alloca has no remaining uses.
+    for (b, i) in func.all_insts() {
+        if visited.contains(&b) {
+            continue;
+        }
+        match &func.inst(i).kind {
+            InstKind::Load { ptr, .. } if *ptr == slot => {
+                replacements.push((i, undef));
+                removals.push(i);
+            }
+            InstKind::Store { ptr, .. } if *ptr == slot => removals.push(i),
+            _ => {}
+        }
+    }
+
+    // Apply: fill phis, rewrite loads, drop stores/loads/alloca.
+    for (phi, mut incomings) in phi_incomings {
+        incomings.sort_by_key(|(b, _)| *b);
+        if let InstKind::Phi { incomings: slots } = &mut func.inst_mut(phi).kind {
+            *slots = incomings;
+        }
+    }
+    // Resolve chains: a load replaced by another load's value.
+    let mut resolved: HashMap<InstId, Operand> = HashMap::new();
+    for (load, value) in &replacements {
+        let mut v = *value;
+        let mut guard = 0;
+        while let Operand::Inst(id) = v {
+            if let Some(&next) = resolved.get(&id) {
+                v = next;
+                guard += 1;
+                if guard > 1000 {
+                    break;
+                }
+            } else {
+                break;
+            }
+        }
+        resolved.insert(*load, v);
+    }
+    for (load, value) in resolved {
+        func.replace_all_uses(Operand::Inst(load), value);
+    }
+    for i in removals {
+        func.remove_inst(i);
+    }
+    func.remove_inst(alloca);
+}
+
+/// Children lists of the dominator tree.
+fn dom_children(func: &Function, dt: &DomTree) -> HashMap<BlockId, Vec<BlockId>> {
+    let mut children: HashMap<BlockId, Vec<BlockId>> = HashMap::new();
+    for b in func.block_ids() {
+        if let Some(d) = dt.idom(b) {
+            children.entry(d).or_default().push(b);
+        }
+    }
+    children
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stack_minic::compile;
+    use stack_ir::{print_function, verify_function};
+
+    fn promoted(src: &str, fname: &str) -> Function {
+        let mut m = compile(src, "t.c").unwrap();
+        let f = m.function_mut(fname).unwrap();
+        run(f);
+        verify_function(f).unwrap_or_else(|e| panic!("{e:?}\n{}", print_function(f)));
+        f.clone()
+    }
+
+    #[test]
+    fn straight_line_promotion_removes_allocas() {
+        let f = promoted(
+            "int f(int x) { int y = x + 1; int z = y * 2; return z; }",
+            "f",
+        );
+        let text = print_function(&f);
+        assert!(!text.contains("alloca"), "{text}");
+        assert!(!text.contains("load"), "{text}");
+        assert!(!text.contains("store"), "{text}");
+        assert!(text.contains("add i32"));
+        assert!(text.contains("mul i32"));
+    }
+
+    #[test]
+    fn branches_insert_phi() {
+        let f = promoted(
+            "int f(int x) { int y = 0; if (x > 0) y = 1; else y = 2; return y; }",
+            "f",
+        );
+        let text = print_function(&f);
+        assert!(!text.contains("alloca"), "{text}");
+        assert!(text.contains("phi"), "{text}");
+    }
+
+    #[test]
+    fn loops_insert_phi_at_header() {
+        let f = promoted(
+            "int f(int n) { int i = 0; int s = 0; while (i < n) { s = s + i; i = i + 1; } return s; }",
+            "f",
+        );
+        let text = print_function(&f);
+        assert!(!text.contains("alloca"), "{text}");
+        assert!(text.matches("phi").count() >= 2, "{text}");
+    }
+
+    #[test]
+    fn arrays_are_not_promoted() {
+        let f = promoted("int f(int i) { char buf[8]; buf[i] = 1; return buf[0]; }", "f");
+        let text = print_function(&f);
+        assert!(text.contains("alloca i8 x 8"), "{text}");
+        assert!(text.contains("ptradd"), "{text}");
+    }
+
+    #[test]
+    fn address_taken_slots_are_not_promoted() {
+        let f = promoted(
+            "int g(int *p);\nint f(int x) { int y = x; return g(&y); }",
+            "f",
+        );
+        let text = print_function(&f);
+        assert!(text.contains("alloca"), "{text}");
+    }
+
+    #[test]
+    fn figure2_pattern_promotes_to_clean_ssa() {
+        let f = promoted(
+            "int poll(struct tun_struct *tun) {\n\
+               long sk = tun->sk;\n\
+               if (!tun) return 1;\n\
+               return 0;\n\
+             }",
+            "poll",
+        );
+        let text = print_function(&f);
+        // The load through tun (member access) stays; the local slots vanish.
+        assert!(!text.contains("alloca"), "{text}");
+        assert!(text.contains("load i64"), "{text}");
+        assert!(text.contains("icmp eq"), "{text}");
+    }
+
+    #[test]
+    fn parameters_reaching_uses_directly() {
+        let f = promoted("int f(int x) { return x + 100; }", "f");
+        let text = print_function(&f);
+        assert!(text.contains("add i32 %arg0, 100"), "{text}");
+    }
+}

@@ -1,0 +1,216 @@
+//! Compiler profiles: which UB-exploiting rewrite each surveyed compiler
+//! performs, and at which optimization level it first kicks in.
+//!
+//! The paper's Figure 4 surveys 12 compilers (16 compiler/version rows) on
+//! six unstable-code examples and records the lowest `-On` at which each
+//! compiler discards the check. A [`CompilerProfile`] encodes exactly that
+//! capability table; the optimizer pipeline then *performs* the enabled
+//! rewrites on the IR, so regenerating Figure 4 exercises the real
+//! optimization code rather than reading the table back.
+
+use crate::ub_rewrites::UbRewrite;
+
+/// A compiler (or compiler version) and the optimization levels at which it
+/// starts applying each UB-exploiting rewrite.
+#[derive(Clone, Debug)]
+pub struct CompilerProfile {
+    /// Display name, e.g. `gcc-4.8.1`.
+    pub name: &'static str,
+    /// Minimum `-O` level at which each rewrite is enabled (`None`: never).
+    thresholds: Vec<(UbRewrite, Option<u8>)>,
+}
+
+impl CompilerProfile {
+    /// Construct a profile from per-rewrite thresholds.
+    pub fn new(name: &'static str, thresholds: Vec<(UbRewrite, Option<u8>)>) -> CompilerProfile {
+        CompilerProfile { name, thresholds }
+    }
+
+    /// The rewrites this compiler performs at the given optimization level.
+    pub fn enabled_rewrites(&self, level: u8) -> Vec<UbRewrite> {
+        self.thresholds
+            .iter()
+            .filter_map(|(r, t)| match t {
+                Some(min) if *min <= level => Some(*r),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The lowest level at which a given rewrite is enabled.
+    pub fn min_level(&self, rewrite: UbRewrite) -> Option<u8> {
+        self.thresholds
+            .iter()
+            .find(|(r, _)| *r == rewrite)
+            .and_then(|(_, t)| *t)
+    }
+
+    /// Highest optimization level modeled.
+    pub const MAX_LEVEL: u8 = 3;
+}
+
+/// Shorthand constructor for the survey table.
+fn profile(
+    name: &'static str,
+    ptr_const: Option<u8>,
+    null: Option<u8>,
+    signed_const: Option<u8>,
+    signed_range: Option<u8>,
+    shift: Option<u8>,
+    abs: Option<u8>,
+    ptr_algebra: Option<u8>,
+) -> CompilerProfile {
+    CompilerProfile::new(
+        name,
+        vec![
+            (UbRewrite::PointerOverflowConst, ptr_const),
+            (UbRewrite::NullCheckElim, null),
+            (UbRewrite::SignedOverflowConst, signed_const),
+            (UbRewrite::SignedOverflowRange, signed_range),
+            (UbRewrite::ShiftFold, shift),
+            (UbRewrite::AbsFold, abs),
+            (UbRewrite::PointerOverflowAlgebra, ptr_algebra),
+        ],
+    )
+}
+
+/// The sixteen compiler rows of Figure 4, in the paper's order. The last
+/// column (`PointerOverflowAlgebra`) reflects §6.2.2: both gcc and clang
+/// rewrite `data + x < data` into `x < 0`.
+pub fn survey_compilers() -> Vec<CompilerProfile> {
+    vec![
+        //        name               p+100<p   *p;!p    x+100<x  x⁺+100<0  !(1<<x)  abs<0    data+x<data
+        profile("gcc-2.95.3", None, None, Some(1), None, None, None, None),
+        profile("gcc-3.4.6", None, Some(2), Some(1), None, None, None, None),
+        profile("gcc-4.2.1", Some(0), None, Some(2), None, None, Some(2), None),
+        profile("gcc-4.8.1", Some(2), Some(2), Some(2), Some(2), None, Some(2), Some(2)),
+        profile("clang-1.0", Some(1), None, None, None, None, None, None),
+        profile("clang-3.3", Some(1), None, Some(1), None, Some(1), None, Some(1)),
+        profile("aCC-6.25", None, None, None, None, None, Some(3), None),
+        profile("armcc-5.02", None, None, Some(2), None, None, None, None),
+        profile("icc-14.0.0", None, Some(2), Some(1), Some(2), None, None, None),
+        profile("msvc-11.0", None, Some(1), None, None, None, None, None),
+        profile("open64-4.5.2", Some(1), None, Some(2), None, None, Some(2), None),
+        profile("pathcc-1.0.0", Some(1), None, Some(2), None, None, Some(2), None),
+        profile("suncc-5.12", None, Some(3), None, None, None, None, None),
+        profile("ti-7.4.2", Some(0), None, Some(0), Some(2), None, None, None),
+        profile("windriver-5.9.2", None, None, Some(0), None, None, None, None),
+        profile("xlc-12.1", Some(3), None, None, None, None, None, None),
+    ]
+}
+
+/// A profile with every rewrite enabled at `-O0`: the "most aggressive
+/// imaginable compiler" STACK itself mimics (§3.2).
+pub fn most_aggressive() -> CompilerProfile {
+    CompilerProfile::new(
+        "stack-aggressive",
+        UbRewrite::all().iter().map(|r| (*r, Some(0))).collect(),
+    )
+}
+
+/// Flags modeling gcc's opt-out options (§7): each returns a copy of the
+/// profile with the corresponding rewrites disabled.
+pub fn with_fwrapv(profile: &CompilerProfile) -> CompilerProfile {
+    disable(
+        profile,
+        &[UbRewrite::SignedOverflowConst, UbRewrite::SignedOverflowRange],
+        "-fwrapv",
+    )
+}
+
+/// `-fno-strict-overflow`: signed *and* pointer arithmetic wrap.
+pub fn with_fno_strict_overflow(profile: &CompilerProfile) -> CompilerProfile {
+    disable(
+        profile,
+        &[
+            UbRewrite::SignedOverflowConst,
+            UbRewrite::SignedOverflowRange,
+            UbRewrite::PointerOverflowConst,
+            UbRewrite::PointerOverflowAlgebra,
+        ],
+        "-fno-strict-overflow",
+    )
+}
+
+/// `-fno-delete-null-pointer-checks`.
+pub fn with_fno_delete_null_pointer_checks(profile: &CompilerProfile) -> CompilerProfile {
+    disable(profile, &[UbRewrite::NullCheckElim], "-fno-delete-null-pointer-checks")
+}
+
+fn disable(
+    profile: &CompilerProfile,
+    rewrites: &[UbRewrite],
+    _flag: &'static str,
+) -> CompilerProfile {
+    CompilerProfile {
+        name: profile.name,
+        thresholds: profile
+            .thresholds
+            .iter()
+            .map(|(r, t)| {
+                if rewrites.contains(r) {
+                    (*r, None)
+                } else {
+                    (*r, *t)
+                }
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn survey_has_sixteen_rows() {
+        let profiles = survey_compilers();
+        assert_eq!(profiles.len(), 16);
+        let names: Vec<&str> = profiles.iter().map(|p| p.name).collect();
+        assert!(names.contains(&"gcc-2.95.3"));
+        assert!(names.contains(&"gcc-4.8.1"));
+        assert!(names.contains(&"clang-3.3"));
+        assert!(names.contains(&"xlc-12.1"));
+    }
+
+    #[test]
+    fn thresholds_respect_levels() {
+        let profiles = survey_compilers();
+        let gcc48 = profiles.iter().find(|p| p.name == "gcc-4.8.1").unwrap();
+        assert!(gcc48.enabled_rewrites(0).is_empty());
+        assert!(gcc48
+            .enabled_rewrites(2)
+            .contains(&UbRewrite::PointerOverflowConst));
+        assert_eq!(gcc48.min_level(UbRewrite::ShiftFold), None);
+
+        let gcc295 = profiles.iter().find(|p| p.name == "gcc-2.95.3").unwrap();
+        assert_eq!(
+            gcc295.enabled_rewrites(3),
+            vec![UbRewrite::SignedOverflowConst]
+        );
+
+        let ti = profiles.iter().find(|p| p.name == "ti-7.4.2").unwrap();
+        assert!(ti.enabled_rewrites(0).contains(&UbRewrite::PointerOverflowConst));
+        assert!(ti.enabled_rewrites(0).contains(&UbRewrite::SignedOverflowConst));
+    }
+
+    #[test]
+    fn aggressive_profile_enables_everything() {
+        let p = most_aggressive();
+        assert_eq!(p.enabled_rewrites(0).len(), UbRewrite::all().len());
+    }
+
+    #[test]
+    fn opt_out_flags_disable_rewrites() {
+        let profiles = survey_compilers();
+        let gcc48 = profiles.iter().find(|p| p.name == "gcc-4.8.1").unwrap();
+        let wrapv = with_fwrapv(gcc48);
+        assert_eq!(wrapv.min_level(UbRewrite::SignedOverflowConst), None);
+        assert!(wrapv.min_level(UbRewrite::PointerOverflowConst).is_some());
+        let nso = with_fno_strict_overflow(gcc48);
+        assert_eq!(nso.min_level(UbRewrite::PointerOverflowConst), None);
+        let nonull = with_fno_delete_null_pointer_checks(gcc48);
+        assert_eq!(nonull.min_level(UbRewrite::NullCheckElim), None);
+        assert!(nonull.min_level(UbRewrite::SignedOverflowConst).is_some());
+    }
+}

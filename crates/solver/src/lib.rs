@@ -1,0 +1,35 @@
+//! `stack-solver` — a self-contained QF_BV (bit-vector) decision procedure.
+//!
+//! This crate is the reproduction's stand-in for the Boolector SMT solver
+//! used by the STACK checker (Wang et al., SOSP 2013). It provides:
+//!
+//! * a CDCL SAT core ([`sat::SatSolver`]) with two-watched-literal
+//!   propagation, first-UIP clause learning, VSIDS, restarts, and solving
+//!   under assumptions;
+//! * a hash-consed bit-vector term language ([`term::TermPool`]) covering the
+//!   operators needed to express the paper's undefined-behavior conditions
+//!   (Figure 3): wrap-around arithmetic, comparisons (signed and unsigned),
+//!   shifts, division, width conversion;
+//! * a bit-blaster ([`blast::BitBlaster`]) translating terms to CNF;
+//! * a query-level API ([`solver::BvSolver`]) with deterministic per-query
+//!   resource budgets standing in for the paper's 5-second query timeout.
+//!
+//! The checker builds elimination and simplification queries (paper §3.2) as
+//! boolean terms and asks [`solver::BvSolver::check`] for SAT/UNSAT; UNSAT
+//! means the corresponding fragment is unstable code.
+
+pub mod blast;
+pub mod cnf;
+pub mod lit;
+pub mod model;
+pub mod sat;
+pub mod solver;
+pub mod term;
+
+pub use blast::BitBlaster;
+pub use cnf::{Clause, ClauseDb, ClauseRef, CnfFormula};
+pub use lit::{LBool, Lit, Var};
+pub use model::Model;
+pub use sat::{Budget, SatResult, SatSolver, SatStats};
+pub use solver::{free_variables, BvSolver, QueryResult, SolverStats};
+pub use term::{mask, to_signed, Sort, Term, TermId, TermKind, TermPool, MAX_WIDTH};

@@ -1,0 +1,181 @@
+//! Boolean variables and literals for the CDCL SAT core.
+//!
+//! A [`Var`] is a small integer index; a [`Lit`] packs a variable together with
+//! its polarity in a single `u32` (`var << 1 | sign`), the classic MiniSat
+//! encoding. Using the packed form keeps watch lists and clause storage
+//! compact and lets us index per-literal tables directly.
+
+use std::fmt;
+
+/// A propositional variable, identified by a dense index starting at 0.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// Index of this variable, usable for direct table addressing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The positive literal of this variable.
+    #[inline]
+    pub fn positive(self) -> Lit {
+        Lit::new(self, true)
+    }
+
+    /// The negative literal of this variable.
+    #[inline]
+    pub fn negative(self) -> Lit {
+        Lit::new(self, false)
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A literal: a variable together with a polarity.
+///
+/// Encoded as `var << 1 | (positive ? 0 : 1)` so that negation is a single
+/// XOR and the encoding is a dense index over `2 * num_vars` slots.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Build a literal from a variable and a polarity (`true` = positive).
+    #[inline]
+    pub fn new(var: Var, positive: bool) -> Lit {
+        Lit(var.0 << 1 | u32::from(!positive))
+    }
+
+    /// The variable underlying this literal.
+    #[inline]
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Whether the literal is the positive occurrence of its variable.
+    #[inline]
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// Dense index over all literals (`2 * num_vars` slots), used for watch
+    /// lists and phase tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstruct a literal from its dense index.
+    #[inline]
+    pub fn from_index(idx: usize) -> Lit {
+        Lit(idx as u32)
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_positive() {
+            write!(f, "{}", self.var().0)
+        } else {
+            write!(f, "-{}", self.var().0)
+        }
+    }
+}
+
+/// Ternary truth value used for partial assignments.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LBool {
+    True,
+    False,
+    Undef,
+}
+
+impl LBool {
+    /// Convert a Rust boolean to a definite truth value.
+    #[inline]
+    pub fn from_bool(b: bool) -> LBool {
+        if b {
+            LBool::True
+        } else {
+            LBool::False
+        }
+    }
+
+    /// Whether the value is still unassigned.
+    #[inline]
+    pub fn is_undef(self) -> bool {
+        matches!(self, LBool::Undef)
+    }
+
+    /// Negate a definite value; `Undef` stays `Undef`.
+    #[inline]
+    pub fn negate(self) -> LBool {
+        match self {
+            LBool::True => LBool::False,
+            LBool::False => LBool::True,
+            LBool::Undef => LBool::Undef,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_encoding_roundtrip() {
+        let v = Var(7);
+        let p = v.positive();
+        let n = v.negative();
+        assert_eq!(p.var(), v);
+        assert_eq!(n.var(), v);
+        assert!(p.is_positive());
+        assert!(!n.is_positive());
+        assert_eq!(!p, n);
+        assert_eq!(!n, p);
+        assert_eq!(Lit::from_index(p.index()), p);
+    }
+
+    #[test]
+    fn negation_is_involutive() {
+        for i in 0..100u32 {
+            let lit = Lit::new(Var(i), i % 2 == 0);
+            assert_eq!(!!lit, lit);
+        }
+    }
+
+    #[test]
+    fn lbool_negate() {
+        assert_eq!(LBool::True.negate(), LBool::False);
+        assert_eq!(LBool::False.negate(), LBool::True);
+        assert_eq!(LBool::Undef.negate(), LBool::Undef);
+        assert!(LBool::Undef.is_undef());
+        assert_eq!(LBool::from_bool(true), LBool::True);
+        assert_eq!(LBool::from_bool(false), LBool::False);
+    }
+
+    #[test]
+    fn dense_indexing_is_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for v in 0..64u32 {
+            for pos in [true, false] {
+                assert!(seen.insert(Lit::new(Var(v), pos).index()));
+            }
+        }
+        assert_eq!(seen.len(), 128);
+    }
+}

@@ -1,0 +1,117 @@
+//! Satisfying assignments (models) for bit-vector queries.
+
+use std::collections::HashMap;
+
+use crate::term::{Sort, TermId, TermPool};
+
+/// A model: an assignment of concrete values to the free variables of a
+/// query. Boolean variables are encoded as 0/1; bit-vector values are masked
+/// to their width.
+#[derive(Clone, Default, Debug, PartialEq, Eq)]
+pub struct Model {
+    values: HashMap<String, u64>,
+}
+
+impl Model {
+    /// Create an empty model.
+    pub fn new() -> Model {
+        Model::default()
+    }
+
+    /// Assign a value to a variable.
+    pub fn set(&mut self, name: &str, value: u64) {
+        self.values.insert(name.to_string(), value);
+    }
+
+    /// Value of a variable; unconstrained variables default to zero, matching
+    /// the convention that any value satisfies the formula for them.
+    pub fn get(&self, name: &str) -> u64 {
+        self.values.get(name).copied().unwrap_or(0)
+    }
+
+    /// Whether the model constrains the given variable.
+    pub fn contains(&self, name: &str) -> bool {
+        self.values.contains_key(name)
+    }
+
+    /// Iterate over all assignments.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &u64)> {
+        self.values.iter()
+    }
+
+    /// Number of assigned variables.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the model is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Evaluate a term under this model.
+    pub fn eval(&self, pool: &TermPool, term: TermId) -> u64 {
+        pool.eval(term, &|name: &str, _sort: Sort| self.get(name))
+    }
+
+    /// Evaluate a boolean term under this model.
+    pub fn eval_bool(&self, pool: &TermPool, term: TermId) -> bool {
+        self.eval(pool, term) != 0
+    }
+}
+
+impl std::fmt::Display for Model {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut entries: Vec<_> = self.values.iter().collect();
+        entries.sort();
+        write!(f, "{{")?;
+        for (i, (name, value)) in entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{name} = {value}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_eval() {
+        let mut pool = TermPool::new();
+        let x = pool.bv_var("x", 32);
+        let c = pool.bv_const(32, 10);
+        let sum = pool.bv_add(x, c);
+        let cmp = pool.bv_ult(sum, x);
+
+        let mut m = Model::new();
+        m.set("x", u32::MAX as u64 - 3);
+        assert_eq!(m.eval(&pool, sum), 6); // wraps
+        assert!(m.eval_bool(&pool, cmp));
+
+        let mut m2 = Model::new();
+        m2.set("x", 5);
+        assert_eq!(m2.eval(&pool, sum), 15);
+        assert!(!m2.eval_bool(&pool, cmp));
+    }
+
+    #[test]
+    fn unconstrained_variables_default_to_zero() {
+        let m = Model::new();
+        assert_eq!(m.get("whatever"), 0);
+        assert!(!m.contains("whatever"));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn display_is_sorted() {
+        let mut m = Model::new();
+        m.set("b", 2);
+        m.set("a", 1);
+        assert_eq!(m.to_string(), "{a = 1, b = 2}");
+        assert_eq!(m.len(), 2);
+    }
+}

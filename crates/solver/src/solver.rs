@@ -1,0 +1,373 @@
+//! The public bit-vector solver interface used by the checker.
+//!
+//! Each query is independent (the checker issues one elimination or
+//! simplification query per candidate fragment), so [`BvSolver::check`]
+//! builds a fresh SAT instance per call: assert the conjunction of the given
+//! boolean terms, bit-blast, and run CDCL under a deterministic resource
+//! budget. The budget plays the role of the per-query wall-clock timeout the
+//! paper uses (5 seconds per Boolector query, §6.4) while keeping results
+//! reproducible across machines.
+
+use crate::blast::BitBlaster;
+use crate::model::Model;
+use crate::sat::{Budget, SatResult, SatSolver};
+use crate::term::{Sort, TermId, TermKind, TermPool};
+
+/// Outcome of a single query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryResult {
+    /// Satisfiable, with a witness model over the free variables.
+    Sat(Model),
+    /// Unsatisfiable.
+    Unsat,
+    /// The resource budget was exhausted; treated as a solver timeout.
+    Unknown,
+}
+
+impl QueryResult {
+    /// Whether the result is `Unsat`.
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, QueryResult::Unsat)
+    }
+
+    /// Whether the result is `Sat`.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, QueryResult::Sat(_))
+    }
+
+    /// Whether the query timed out.
+    pub fn is_unknown(&self) -> bool {
+        matches!(self, QueryResult::Unknown)
+    }
+}
+
+/// Aggregate statistics across all queries issued through one [`BvSolver`].
+/// These feed the Figure 16 performance table (number of queries, timeouts).
+#[derive(Clone, Copy, Default, Debug)]
+pub struct SolverStats {
+    /// Total queries issued.
+    pub queries: u64,
+    /// Queries answered SAT.
+    pub sat: u64,
+    /// Queries answered UNSAT.
+    pub unsat: u64,
+    /// Queries that exhausted their budget ("timeouts").
+    pub timeouts: u64,
+    /// Total SAT-level propagations across all queries.
+    pub propagations: u64,
+    /// Total conflicts across all queries.
+    pub conflicts: u64,
+}
+
+/// The bit-vector solver.
+#[derive(Debug)]
+pub struct BvSolver {
+    budget: Budget,
+    stats: SolverStats,
+}
+
+impl Default for BvSolver {
+    fn default() -> BvSolver {
+        BvSolver::new()
+    }
+}
+
+impl BvSolver {
+    /// Create a solver with an unlimited per-query budget.
+    pub fn new() -> BvSolver {
+        BvSolver {
+            budget: Budget::unlimited(),
+            stats: SolverStats::default(),
+        }
+    }
+
+    /// Create a solver with a per-query propagation budget (the deterministic
+    /// analogue of a per-query timeout).
+    pub fn with_budget(budget: Budget) -> BvSolver {
+        BvSolver {
+            budget,
+            stats: SolverStats::default(),
+        }
+    }
+
+    /// Change the per-query budget.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Reset the statistics counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = SolverStats::default();
+    }
+
+    /// Check satisfiability of the conjunction of `assertions`.
+    pub fn check(&mut self, pool: &TermPool, assertions: &[TermId]) -> QueryResult {
+        self.stats.queries += 1;
+
+        // Fast path: constant-folded assertions.
+        let mut all_true = true;
+        for &a in assertions {
+            debug_assert!(pool.sort(a).is_bool());
+            match pool.as_bool_const(a) {
+                Some(false) => {
+                    self.stats.unsat += 1;
+                    return QueryResult::Unsat;
+                }
+                Some(true) => {}
+                None => all_true = false,
+            }
+        }
+        if all_true {
+            self.stats.sat += 1;
+            return QueryResult::Sat(Model::new());
+        }
+
+        let mut sat = SatSolver::new();
+        let mut blaster = BitBlaster::new();
+        for &a in assertions {
+            if pool.as_bool_const(a) == Some(true) {
+                continue;
+            }
+            let lit = blaster.blast_bool(pool, &mut sat, a);
+            sat.add_clause(&[lit]);
+        }
+        let result = sat.solve_with(&[], self.budget);
+        self.stats.propagations += sat.stats().propagations;
+        self.stats.conflicts += sat.stats().conflicts;
+        match result {
+            SatResult::Unsat => {
+                self.stats.unsat += 1;
+                QueryResult::Unsat
+            }
+            SatResult::Unknown => {
+                self.stats.timeouts += 1;
+                QueryResult::Unknown
+            }
+            SatResult::Sat => {
+                self.stats.sat += 1;
+                let mut model = Model::new();
+                for (name, bits) in blaster.variables() {
+                    let mut value = 0u64;
+                    for (i, &lit) in bits.iter().enumerate() {
+                        let bit = sat.model_value(lit.var()) == lit.is_positive();
+                        if bit {
+                            value |= 1u64 << i;
+                        }
+                    }
+                    model.set(name, value);
+                }
+                // Sanity-check the extracted model against term semantics in
+                // debug builds: every assertion must evaluate to true.
+                debug_assert!(
+                    assertions.iter().all(|&a| model.eval_bool(pool, a)),
+                    "extracted model does not satisfy the assertions"
+                );
+                QueryResult::Sat(model)
+            }
+        }
+    }
+
+    /// Check whether a single boolean term is satisfiable.
+    pub fn check_one(&mut self, pool: &TermPool, assertion: TermId) -> QueryResult {
+        self.check(pool, &[assertion])
+    }
+
+    /// Check whether `a` and `b` are equivalent (i.e. `a != b` is UNSAT).
+    /// Both terms must be boolean.
+    pub fn equivalent(&mut self, pool: &mut TermPool, a: TermId, b: TermId) -> bool {
+        let distinct = pool.xor(a, b);
+        self.check_one(pool, distinct).is_unsat()
+    }
+
+    /// Check whether `assumption -> conclusion` is valid.
+    pub fn implies(&mut self, pool: &mut TermPool, assumption: TermId, conclusion: TermId) -> bool {
+        let not_conclusion = pool.not(conclusion);
+        let counterexample = pool.and(assumption, not_conclusion);
+        self.check_one(pool, counterexample).is_unsat()
+    }
+}
+
+/// Collect the free variables of a term (name and sort), in first-occurrence
+/// order. Useful for diagnostics and for the property-test harness.
+pub fn free_variables(pool: &TermPool, term: TermId) -> Vec<(String, Sort)> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    let mut stack = vec![term];
+    let mut visited = std::collections::HashSet::new();
+    while let Some(t) = stack.pop() {
+        if !visited.insert(t) {
+            continue;
+        }
+        match &pool.term(t).kind {
+            TermKind::Var { name, sort } => {
+                if seen.insert(name.clone()) {
+                    out.push((name.clone(), *sort));
+                }
+            }
+            TermKind::BoolConst(_) | TermKind::BvConst { .. } => {}
+            TermKind::Not(a)
+            | TermKind::BvNot(a)
+            | TermKind::BvNeg(a)
+            | TermKind::ZExt { value: a, .. }
+            | TermKind::SExt { value: a, .. }
+            | TermKind::Extract { value: a, .. } => stack.push(*a),
+            TermKind::And(a, b)
+            | TermKind::Or(a, b)
+            | TermKind::Xor(a, b)
+            | TermKind::Implies(a, b)
+            | TermKind::Eq(a, b)
+            | TermKind::BvAdd(a, b)
+            | TermKind::BvSub(a, b)
+            | TermKind::BvMul(a, b)
+            | TermKind::BvUdiv(a, b)
+            | TermKind::BvSdiv(a, b)
+            | TermKind::BvUrem(a, b)
+            | TermKind::BvSrem(a, b)
+            | TermKind::BvAnd(a, b)
+            | TermKind::BvOr(a, b)
+            | TermKind::BvXor(a, b)
+            | TermKind::BvShl(a, b)
+            | TermKind::BvLshr(a, b)
+            | TermKind::BvAshr(a, b)
+            | TermKind::BvUlt(a, b)
+            | TermKind::BvUle(a, b)
+            | TermKind::BvSlt(a, b)
+            | TermKind::BvSle(a, b)
+            | TermKind::Concat(a, b) => {
+                stack.push(*a);
+                stack.push(*b);
+            }
+            TermKind::Ite(c, a, b) => {
+                stack.push(*c);
+                stack.push(*a);
+                stack.push(*b);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_queries() {
+        let mut pool = TermPool::new();
+        let mut solver = BvSolver::new();
+        let t = pool.bool_const(true);
+        let f = pool.bool_const(false);
+        assert!(solver.check(&pool, &[t]).is_sat());
+        assert!(solver.check(&pool, &[t, f]).is_unsat());
+        assert!(solver.check(&pool, &[]).is_sat());
+        assert_eq!(solver.stats().queries, 3);
+    }
+
+    #[test]
+    fn model_satisfies_assertions() {
+        let mut pool = TermPool::new();
+        let mut solver = BvSolver::new();
+        let x = pool.bv_var("x", 16);
+        let y = pool.bv_var("y", 16);
+        let c1000 = pool.bv_const(16, 1000);
+        let sum = pool.bv_add(x, y);
+        let a1 = pool.eq(sum, c1000);
+        let c10 = pool.bv_const(16, 10);
+        let a2 = pool.bv_ugt(x, c10);
+        let a3 = pool.bv_ugt(y, c10);
+        match solver.check(&pool, &[a1, a2, a3]) {
+            QueryResult::Sat(model) => {
+                assert!(model.eval_bool(&pool, a1));
+                assert!(model.eval_bool(&pool, a2));
+                assert!(model.eval_bool(&pool, a3));
+                let xv = model.get("x");
+                let yv = model.get("y");
+                assert_eq!((xv + yv) & 0xFFFF, 1000);
+            }
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn signed_overflow_check_contradiction() {
+        // The classic x + 100 < x (signed) is UNSAT once signed overflow is
+        // excluded: encode the no-overflow side condition explicitly.
+        let mut pool = TermPool::new();
+        let mut solver = BvSolver::new();
+        let x = pool.bv_var("x", 32);
+        let c100 = pool.bv_const(32, 100);
+        let sum = pool.bv_add(x, c100);
+        let check = pool.bv_slt(sum, x);
+        // No-overflow condition for x + 100 with positive 100: the 33-bit sum
+        // equals the sign-extended 32-bit sum.
+        let x64 = pool.sext(x, 33);
+        let c64 = pool.sext(c100, 33);
+        let wide = pool.bv_add(x64, c64);
+        let narrow = pool.sext(sum, 33);
+        let no_ovf = pool.eq(wide, narrow);
+        assert!(solver.check(&pool, &[check, no_ovf]).is_unsat());
+        // Without the assumption it is satisfiable (wrap-around exists).
+        assert!(solver.check(&pool, &[check]).is_sat());
+    }
+
+    #[test]
+    fn budget_produces_unknown() {
+        let mut pool = TermPool::new();
+        let mut solver = BvSolver::with_budget(Budget::propagations(10));
+        // A multiplication equality needs real work; with a 10-propagation
+        // budget the solver must give up.
+        let x = pool.bv_var("x", 24);
+        let y = pool.bv_var("y", 24);
+        let prod = pool.bv_mul(x, y);
+        let c = pool.bv_const(24, 0x123457);
+        let eq = pool.eq(prod, c);
+        let one = pool.bv_const(24, 1);
+        let xg = pool.bv_ugt(x, one);
+        let yg = pool.bv_ugt(y, one);
+        let result = solver.check(&pool, &[eq, xg, yg]);
+        assert!(result.is_unknown());
+        assert_eq!(solver.stats().timeouts, 1);
+    }
+
+    #[test]
+    fn equivalence_and_implication_helpers() {
+        let mut pool = TermPool::new();
+        let mut solver = BvSolver::new();
+        let x = pool.bv_var("x", 8);
+        let zero = pool.bv_const(8, 0);
+        let a = pool.bv_slt(x, zero);
+        // x < 0 (signed) is equivalent to the sign bit being set.
+        let sign = pool.extract(x, 7, 7);
+        let one1 = pool.bv_const(1, 1);
+        let b = pool.eq(sign, one1);
+        assert!(solver.equivalent(&mut pool, a, b));
+        // x == 0 implies x <= 5 unsigned.
+        let is_zero = pool.eq(x, zero);
+        let five = pool.bv_const(8, 5);
+        let le5 = pool.bv_ule(x, five);
+        assert!(solver.implies(&mut pool, is_zero, le5));
+        assert!(!solver.implies(&mut pool, le5, is_zero));
+    }
+
+    #[test]
+    fn free_variable_collection() {
+        let mut pool = TermPool::new();
+        let x = pool.bv_var("x", 8);
+        let y = pool.bv_var("y", 8);
+        let b = pool.bool_var("flag");
+        let sum = pool.bv_add(x, y);
+        let cmp = pool.bv_ult(sum, x);
+        let both = pool.and(cmp, b);
+        let vars = free_variables(&pool, both);
+        let names: Vec<&str> = vars.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(vars.len(), 3);
+        assert!(names.contains(&"x"));
+        assert!(names.contains(&"y"));
+        assert!(names.contains(&"flag"));
+    }
+}

@@ -1,0 +1,109 @@
+//! Randomized cross-check of the CDCL solver against brute-force enumeration.
+
+use stack_solver::lit::{Lit, Var};
+use stack_solver::sat::{SatResult, SatSolver};
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+fn brute_force(num_vars: usize, clauses: &[Vec<Lit>]) -> bool {
+    for bits in 0..(1u64 << num_vars) {
+        let ok = clauses.iter().all(|c| {
+            c.iter().any(|l| {
+                let v = (bits >> l.var().index()) & 1 == 1;
+                if l.is_positive() {
+                    v
+                } else {
+                    !v
+                }
+            })
+        });
+        if ok {
+            return true;
+        }
+    }
+    false
+}
+
+#[test]
+fn random_cnf_agrees_with_brute_force() {
+    let mut state = 0xDEADBEEFu64;
+    for round in 0..300 {
+        let num_vars = 4 + (lcg(&mut state) % 8) as usize; // 4..11
+        let num_clauses = 5 + (lcg(&mut state) % 40) as usize;
+        let mut clauses = Vec::new();
+        for _ in 0..num_clauses {
+            let len = 1 + (lcg(&mut state) % 4) as usize;
+            let mut clause = Vec::new();
+            for _ in 0..len {
+                let v = Var((lcg(&mut state) % num_vars as u64) as u32);
+                clause.push(Lit::new(v, lcg(&mut state) % 2 == 0));
+            }
+            clauses.push(clause);
+        }
+        let expected = brute_force(num_vars, &clauses);
+        let mut solver = SatSolver::new();
+        for _ in 0..num_vars {
+            solver.new_var();
+        }
+        for c in &clauses {
+            solver.add_clause(c);
+        }
+        let got = solver.solve();
+        let got_bool = match got {
+            SatResult::Sat => true,
+            SatResult::Unsat => false,
+            SatResult::Unknown => panic!("unexpected Unknown without budget"),
+        };
+        assert_eq!(
+            got_bool, expected,
+            "round {round}: mismatch on {num_vars} vars, clauses={clauses:?}"
+        );
+        if got_bool {
+            // model must satisfy all clauses
+            for c in &clauses {
+                assert!(c.iter().any(|l| {
+                    let v = solver.model_value(l.var());
+                    if l.is_positive() {
+                        v
+                    } else {
+                        !v
+                    }
+                }));
+            }
+        }
+    }
+}
+
+#[test]
+fn harder_random_cnf_agrees_with_brute_force() {
+    let mut state = 0xABCDEF12345u64;
+    for round in 0..120 {
+        let num_vars = 10 + (lcg(&mut state) % 6) as usize; // 10..15
+        let num_clauses = 4 * num_vars + (lcg(&mut state) % 20) as usize;
+        let mut clauses = Vec::new();
+        for _ in 0..num_clauses {
+            let len = 2 + (lcg(&mut state) % 3) as usize;
+            let mut clause = Vec::new();
+            for _ in 0..len {
+                let v = Var((lcg(&mut state) % num_vars as u64) as u32);
+                clause.push(Lit::new(v, lcg(&mut state) % 2 == 0));
+            }
+            clauses.push(clause);
+        }
+        let expected = brute_force(num_vars, &clauses);
+        let mut solver = SatSolver::new();
+        for _ in 0..num_vars {
+            solver.new_var();
+        }
+        for c in &clauses {
+            solver.add_clause(c);
+        }
+        let got = solver.solve() == SatResult::Sat;
+        assert_eq!(got, expected, "round {round}: clauses={clauses:?}");
+    }
+}
