@@ -30,8 +30,7 @@ fn checker_on_paper_examples(c: &mut Criterion) {
 fn profile_pipeline(c: &mut Criterion) {
     c.bench_function("opt/aggressive_profile_on_fig12", |b| {
         b.iter(|| {
-            let mut module =
-                stack_minic::compile(FIG12_FFMPEG_BOUNDS.source, "fig12.c").unwrap();
+            let mut module = stack_minic::compile(FIG12_FFMPEG_BOUNDS.source, "fig12.c").unwrap();
             criterion::black_box(run_profile(&mut module, &most_aggressive(), 2))
         })
     });

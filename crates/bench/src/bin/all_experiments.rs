@@ -2,7 +2,10 @@
 fn main() {
     println!("{}", stack_bench::figure4().render());
     println!("{}", stack_bench::figure9().render());
-    println!("{}", stack_bench::render_figure16(&stack_bench::figure16(1)));
+    println!(
+        "{}",
+        stack_bench::render_figure16(&stack_bench::figure16(1))
+    );
     let prev = stack_bench::prevalence(60, 0x57ac4);
     println!("{}", prev.render_figure17());
     println!("{}", prev.render_figure18());
@@ -14,5 +17,8 @@ fn main() {
         );
     }
     let c = stack_bench::sec66_completeness();
-    println!("-- §6.6 completeness: {}/{} (paper: 7/10) --", c.found, c.total);
+    println!(
+        "-- §6.6 completeness: {}/{} (paper: 7/10) --",
+        c.found, c.total
+    );
 }

@@ -4,5 +4,8 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(1);
-    println!("{}", stack_bench::render_figure16(&stack_bench::figure16(scale)));
+    println!(
+        "{}",
+        stack_bench::render_figure16(&stack_bench::figure16(scale))
+    );
 }

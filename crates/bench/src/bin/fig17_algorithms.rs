@@ -4,5 +4,8 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(60);
-    println!("{}", stack_bench::prevalence(packages, 0x57ac4).render_figure17());
+    println!(
+        "{}",
+        stack_bench::prevalence(packages, 0x57ac4).render_figure17()
+    );
 }

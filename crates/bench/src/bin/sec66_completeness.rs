@@ -1,7 +1,10 @@
 //! Regenerates the §6.6 completeness experiment (7 of 10 tests found).
 fn main() {
     let r = stack_bench::sec66_completeness();
-    println!("completeness: {}/{} tests identified (paper: 7/10)", r.found, r.total);
+    println!(
+        "completeness: {}/{} tests identified (paper: 7/10)",
+        r.found, r.total
+    );
     for (id, expected, got) in r.details {
         println!("  {:<36} expected={} found={}", id, expected, got);
     }

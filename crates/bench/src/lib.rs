@@ -50,7 +50,10 @@ impl Figure4 {
     /// Render as an aligned text table.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "Figure 4: lowest -O level at which each compiler discards the check");
+        let _ = writeln!(
+            out,
+            "Figure 4: lowest -O level at which each compiler discards the check"
+        );
         let _ = writeln!(out, "{:<18} {}", "compiler", self.examples.join(" | "));
         for (name, cells) in &self.rows {
             let cells: Vec<String> = cells
@@ -111,8 +114,18 @@ pub fn figure9() -> Figure9 {
 impl Figure9 {
     pub fn render(&self) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "Figure 9: bugs identified per system (total {})", self.total);
-        let _ = writeln!(out, "{:<16} {:>6}  {}", "system", "#bugs", UB_COLUMNS.join(" "));
+        let _ = writeln!(
+            out,
+            "Figure 9: bugs identified per system (total {})",
+            self.total
+        );
+        let _ = writeln!(
+            out,
+            "{:<16} {:>6}  {}",
+            "system",
+            "#bugs",
+            UB_COLUMNS.join(" ")
+        );
         for (system, count, by_kind) in &self.rows {
             let cells: Vec<String> = UbKind::all()
                 .iter()
@@ -411,7 +424,10 @@ mod tests {
                 .unwrap()
         };
         // Spot-check the paper's most distinctive rows.
-        assert_eq!(row("gcc-2.95.3"), vec![None, None, Some(1), None, None, None]);
+        assert_eq!(
+            row("gcc-2.95.3"),
+            vec![None, None, Some(1), None, None, None]
+        );
         assert_eq!(
             row("gcc-4.8.1"),
             vec![Some(2), Some(2), Some(2), Some(2), None, Some(2)]

@@ -66,12 +66,17 @@ fn main() -> ExitCode {
                 eprintln!("usage: stack demo <pattern-id>   (see `stack list`)");
                 return ExitCode::from(2);
             };
-            let Some(pattern) = stack_corpus::all_patterns().into_iter().find(|p| p.id == *id)
+            let Some(pattern) = stack_corpus::all_patterns()
+                .into_iter()
+                .find(|p| p.id == *id)
             else {
                 eprintln!("stack: unknown pattern `{id}` (see `stack list`)");
                 return ExitCode::from(2);
             };
-            println!("// {} ({})\n{}\n", pattern.id, pattern.paper_ref, pattern.source);
+            println!(
+                "// {} ({})\n{}\n",
+                pattern.id, pattern.paper_ref, pattern.source
+            );
             let result = Checker::new()
                 .check_source(pattern.source, &format!("{id}.c"))
                 .unwrap();

@@ -114,7 +114,8 @@ impl Checker {
         }
         // Deduplicate identical (location, algorithm) reports.
         let mut seen = HashSet::new();
-        reports.retain(|r: &BugReport| seen.insert((r.location(), r.function.clone(), r.algorithm)));
+        reports
+            .retain(|r: &BugReport| seen.insert((r.location(), r.function.clone(), r.algorithm)));
         if !self.config.report_compiler_generated {
             reports.retain(|r| !r.compiler_generated);
         }
@@ -194,10 +195,7 @@ impl Checker {
             let InstKind::Cmp { pred, lhs, rhs } = func.inst(inst_id).kind.clone() else {
                 continue;
             };
-            let index = func
-                .position_in_block(inst_id)
-                .map(|(_, i)| i)
-                .unwrap_or(0);
+            let index = func.position_in_block(inst_id).map(|(_, i)| i).unwrap_or(0);
             let e_term = enc.bool_term(Operand::Inst(inst_id));
             let reach = enc.reach_term(block);
             let dom_conds =
@@ -350,7 +348,13 @@ fn algebra_proposal(
 ) -> Option<(TermId, String)> {
     // Pointer form: (p + x) pred p  ==>  x pred' 0 with signed ordering.
     if let Operand::Inst(id) = lhs {
-        if let InstKind::PtrAdd { ptr, offset, elem_size, .. } = func.inst(id).kind {
+        if let InstKind::PtrAdd {
+            ptr,
+            offset,
+            elem_size,
+            ..
+        } = func.inst(id).kind
+        {
             if ptr == rhs {
                 let off = enc.scaled_offset(offset, elem_size);
                 let zero = enc.pool.bv_const(64, 0);
@@ -426,10 +430,12 @@ fn block_report_origin(func: &Function, block: stack_ir::BlockId) -> Origin {
             if !term.successors().contains(&cur) {
                 continue;
             }
-            if let stack_ir::Terminator::CondBr { cond, .. } = term {
-                if let Operand::Inst(id) = cond {
-                    return func.inst(*id).origin.clone();
-                }
+            if let stack_ir::Terminator::CondBr {
+                cond: Operand::Inst(id),
+                ..
+            } = term
+            {
+                return func.inst(*id).origin.clone();
             }
             if let Some(&last) = func.block(b).insts.last() {
                 return func.inst(last).origin.clone();
@@ -453,7 +459,10 @@ fn build_report(
         .iter()
         .map(|&i| UbSource {
             kind: ub_conds[i].kind,
-            location: format!("{}:{}", ub_conds[i].origin.loc.file, ub_conds[i].origin.loc.line),
+            location: format!(
+                "{}:{}",
+                ub_conds[i].origin.loc.file, ub_conds[i].origin.loc.line
+            ),
         })
         .collect();
     ub_sources.sort_by(|a, b| (a.kind, &a.location).cmp(&(b.kind, &b.location)));
@@ -508,10 +517,14 @@ mod tests {
                return 0;\n\
              }",
         );
-        assert!(result
-            .reports
-            .iter()
-            .any(|r| r.involves(UbKind::PointerOverflow)), "{:?}", result.reports);
+        assert!(
+            result
+                .reports
+                .iter()
+                .any(|r| r.involves(UbKind::PointerOverflow)),
+            "{:?}",
+            result.reports
+        );
     }
 
     #[test]
@@ -572,19 +585,27 @@ mod tests {
     #[test]
     fn abs_check_is_unstable() {
         let result = check("int f(int x) { if (abs(x) < 0) return 1; return 0; }");
-        assert!(result
-            .reports
-            .iter()
-            .any(|r| r.involves(UbKind::AbsoluteValueOverflow)), "{:?}", result.reports);
+        assert!(
+            result
+                .reports
+                .iter()
+                .any(|r| r.involves(UbKind::AbsoluteValueOverflow)),
+            "{:?}",
+            result.reports
+        );
     }
 
     #[test]
     fn shift_check_is_unstable() {
         let result = check("int f(int x) { if (!(1 << x)) return 1; return 0; }");
-        assert!(result
-            .reports
-            .iter()
-            .any(|r| r.involves(UbKind::OversizedShift)), "{:?}", result.reports);
+        assert!(
+            result
+                .reports
+                .iter()
+                .any(|r| r.involves(UbKind::OversizedShift)),
+            "{:?}",
+            result.reports
+        );
     }
 
     #[test]
@@ -627,9 +648,7 @@ mod tests {
 
     #[test]
     fn minimal_ub_set_is_reported() {
-        let result = check(
-            "int f(int *p) { int v = *p; if (!p) return 1; return v; }",
-        );
+        let result = check("int f(int *p) { int v = *p; if (!p) return 1; return v; }");
         let report = result
             .reports
             .iter()

@@ -197,9 +197,7 @@ impl<'f> FunctionEncoder<'f> {
             InstKind::Call { callee, args, .. } => {
                 // `abs` is modeled precisely so that the `abs(x) < 0` check of
                 // §2.2 can be reasoned about; other calls are unknown values.
-                if (callee == "abs" || callee == "labs" || callee == "llabs")
-                    && args.len() == 1
-                {
+                if (callee == "abs" || callee == "labs" || callee == "llabs") && args.len() == 1 {
                     let x = self.bv_term(args[0]);
                     let width = self.pool.width(x);
                     let zero = self.pool.bv_const(width, 0);
@@ -257,10 +255,7 @@ impl<'f> FunctionEncoder<'f> {
                 }
             }
             InstKind::Phi { ref incomings } => {
-                let block = self
-                    .func
-                    .block_of(id)
-                    .expect("phi must belong to a block");
+                let block = self.func.block_of(id).expect("phi must belong to a block");
                 let my_rpo = self.rpo_index.get(&block).copied().unwrap_or(usize::MAX);
                 // Start from an unconstrained value (covers back edges and
                 // unreachable predecessors), then layer forward-edge values
@@ -303,11 +298,7 @@ impl<'f> FunctionEncoder<'f> {
     pub fn scaled_offset(&mut self, offset: Operand, elem_size: u64) -> TermId {
         let off = self.bv_term(offset);
         let w = self.pool.width(off);
-        let off64 = if w < 64 {
-            self.pool.sext(off, 64)
-        } else {
-            off
-        };
+        let off64 = if w < 64 { self.pool.sext(off, 64) } else { off };
         let size = self.pool.bv_const(64, elem_size);
         self.pool.bv_mul(off64, size)
     }
@@ -404,10 +395,7 @@ mod tests {
 
     #[test]
     fn reachability_of_branch_targets() {
-        let (m, f) = encode(
-            "int f(int x) { if (x > 10) return 1; return 0; }",
-            "f",
-        );
+        let (m, f) = encode("int f(int x) { if (x > 10) return 1; return 0; }", "f");
         let func = m.function(&f).unwrap();
         let mut enc = FunctionEncoder::new(func);
         let mut solver = BvSolver::new();

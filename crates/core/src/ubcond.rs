@@ -8,9 +8,9 @@
 //! over the dominators of the fragment under analysis.
 
 use crate::encoder::FunctionEncoder;
+use serde::Serialize;
 use stack_ir::{BinOp, BlockId, Function, InstId, InstKind, Operand, Origin};
 use stack_solver::TermId;
-use serde::Serialize;
 
 /// The kinds of undefined behavior modeled by the checker, matching the rows
 /// of Figure 3 (plus the breakdown used in Figures 9 and 18).
@@ -91,10 +91,7 @@ pub struct UbCondition {
 
 /// Collect the UB conditions of every instruction in a function, in the
 /// spirit of the paper's `bug_on` insertion stage (§4.3).
-pub fn collect_ub_conditions(
-    func: &Function,
-    enc: &mut FunctionEncoder<'_>,
-) -> Vec<UbCondition> {
+pub fn collect_ub_conditions(func: &Function, enc: &mut FunctionEncoder<'_>) -> Vec<UbCondition> {
     let mut out = Vec::new();
     // Pointers already passed to free()/realloc(), with the instruction that
     // released them, for the use-after-free/realloc conditions.
@@ -290,12 +287,7 @@ fn signed_overflow_term(
 }
 
 /// Whether instruction `a` dominates instruction `b`.
-fn dominates_inst(
-    func: &Function,
-    enc: &FunctionEncoder<'_>,
-    a: InstId,
-    b: InstId,
-) -> bool {
+fn dominates_inst(func: &Function, enc: &FunctionEncoder<'_>, a: InstId, b: InstId) -> bool {
     let (ba, pa) = match func.position_in_block(a) {
         Some(p) => p,
         None => return false,
@@ -349,7 +341,10 @@ mod tests {
     fn shift_pointer_and_memory_conditions() {
         let kinds = conditions("int f(int x, int s) { return x << s; }", "f");
         assert!(kinds.contains(&UbKind::OversizedShift));
-        let kinds = conditions("int f(char *p, int n) { if (p + n < p) return 1; return 0; }", "f");
+        let kinds = conditions(
+            "int f(char *p, int n) { if (p + n < p) return 1; return 0; }",
+            "f",
+        );
         assert!(kinds.contains(&UbKind::PointerOverflow));
         let kinds = conditions("int f(int *p) { return *p; }", "f");
         assert!(kinds.contains(&UbKind::NullPointerDereference));
@@ -370,10 +365,7 @@ mod tests {
 
     #[test]
     fn use_after_free_and_realloc() {
-        let kinds = conditions(
-            "int f(int *p) { free(p); return *p; }",
-            "f",
-        );
+        let kinds = conditions("int f(int *p) { free(p); return *p; }", "f");
         assert!(kinds.contains(&UbKind::UseAfterFree));
         let kinds = conditions(
             "int f(char *p, unsigned long n) { char *q = realloc(p, n); if (!q) return -1; return *p; }",

@@ -299,7 +299,9 @@ pub fn completeness_benchmark() -> Vec<CompletenessTest> {
                 expect_report: false,
             },
             expected_found: false,
-            miss_reason: Some("uses of uninitialized variables are not modeled (gcc already warns)"),
+            miss_reason: Some(
+                "uses of uninitialized variables are not modeled (gcc already warns)",
+            ),
         },
         CompletenessTest {
             pattern: Pattern {
@@ -367,7 +369,11 @@ mod tests {
         assert_eq!(tests.len(), 10);
         assert_eq!(tests.iter().filter(|t| t.expected_found).count(), 7);
         for t in &tests {
-            assert!(stack_minic::compile(t.pattern.source, "c.c").is_ok(), "{}", t.pattern.id);
+            assert!(
+                stack_minic::compile(t.pattern.source, "c.c").is_ok(),
+                "{}",
+                t.pattern.id
+            );
             if !t.expected_found {
                 assert!(t.miss_reason.is_some());
             }

@@ -67,16 +67,16 @@ impl Default for SynthConfig {
 /// after the Figure 18 report distribution (null dereference dominates,
 /// followed by buffer/integer/pointer, with a long tail).
 const UB_WEIGHTS: &[(usize, u32)] = &[
-    (1, 47),  // null
-    (5, 8),   // buffer
-    (2, 7),   // integer
-    (0, 6),   // pointer
-    (4, 2),   // shift
-    (7, 1),   // memcpy
-    (3, 1),   // div
-    (8, 1),   // free
-    (6, 1),   // abs
-    (9, 1),   // realloc
+    (1, 47), // null
+    (5, 8),  // buffer
+    (2, 7),  // integer
+    (0, 6),  // pointer
+    (4, 2),  // shift
+    (7, 1),  // memcpy
+    (3, 1),  // div
+    (8, 1),  // free
+    (6, 1),  // abs
+    (9, 1),  // realloc
 ];
 
 /// Stable (well-defined) function templates used as filler code.

@@ -77,7 +77,7 @@ pub fn bug_template(ub: UbLabel, function: &str, n: usize) -> String {
         // Alternate between the Figure 1 form (unsigned length, folded by the
         // boolean oracle) and the Figure 12 form (signed offset, rewritten by
         // the algebra oracle) so both algorithms are exercised at scale.
-        "pointer" if n % 2 == 0 => format!(
+        "pointer" if n.is_multiple_of(2) => format!(
             "int {function}(char *data, char *data_end, int size) {{\n\
                if (data + size >= data_end || data + size < data) return -{n};\n\
                return 0;\n\
@@ -168,9 +168,7 @@ pub fn figure9_corpus() -> Vec<BugInstance> {
                 counter += 1;
                 let function = format!(
                     "{}_{}_{k}",
-                    row.system
-                        .to_lowercase()
-                        .replace(['+', ' ', '-'], "_"),
+                    row.system.to_lowercase().replace(['+', ' ', '-'], "_"),
                     col
                 );
                 out.push(BugInstance {
@@ -221,8 +219,7 @@ mod tests {
     fn templates_cover_every_ub_class() {
         for (i, &ub) in UB_COLUMNS.iter().enumerate() {
             let src = bug_template(ub, "probe", i + 1);
-            stack_minic::compile(&src, "probe.c")
-                .unwrap_or_else(|e| panic!("{ub}: {e}\n{src}"));
+            stack_minic::compile(&src, "probe.c").unwrap_or_else(|e| panic!("{ub}: {e}\n{src}"));
         }
     }
 }

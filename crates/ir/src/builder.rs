@@ -335,10 +335,7 @@ mod tests {
         let f = b.finish();
         assert_eq!(f.num_blocks(), 3);
         assert_eq!(f.num_live_insts(), 3);
-        assert_eq!(
-            f.block(f.entry()).terminator.successors().len(),
-            2
-        );
+        assert_eq!(f.block(f.entry()).terminator.successors().len(), 2);
         // Every instruction carries the programmer origin we set.
         for (_, i) in f.all_insts() {
             assert!(f.inst(i).origin.is_programmer_written());

@@ -25,8 +25,7 @@ impl DomTree {
     pub fn compute(func: &Function, cfg: &Cfg) -> DomTree {
         let rpo = cfg.reverse_post_order().to_vec();
         let entry = func.entry();
-        let order: HashMap<BlockId, usize> =
-            rpo.iter().enumerate().map(|(i, &b)| (b, i)).collect();
+        let order: HashMap<BlockId, usize> = rpo.iter().enumerate().map(|(i, &b)| (b, i)).collect();
         let mut idom: HashMap<BlockId, BlockId> = HashMap::new();
         idom.insert(entry, entry);
 
@@ -115,12 +114,7 @@ impl DomTree {
     /// all instructions in strictly dominating blocks plus the earlier
     /// instructions of the same block, and the instruction itself. This is
     /// the `dom(e)` set of the paper's approximate queries.
-    pub fn dominating_insts(
-        &self,
-        func: &Function,
-        block: BlockId,
-        index: usize,
-    ) -> Vec<InstId> {
+    pub fn dominating_insts(&self, func: &Function, block: BlockId, index: usize) -> Vec<InstId> {
         let mut out = Vec::new();
         for d in self.dominators(block) {
             if d == block {

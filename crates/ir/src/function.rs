@@ -139,12 +139,8 @@ impl Function {
 
     /// The block that contains an instruction, if it is still attached.
     pub fn block_of(&self, inst: InstId) -> Option<BlockId> {
-        for id in self.block_ids() {
-            if self.block(id).insts.contains(&inst) {
-                return Some(id);
-            }
-        }
-        None
+        self.block_ids()
+            .find(|&id| self.block(id).insts.contains(&inst))
     }
 
     /// Position of an instruction within its block.
@@ -173,7 +169,8 @@ impl Function {
     /// terminators.
     pub fn replace_all_uses(&mut self, from: Operand, to: Operand) {
         for inst in self.insts.iter_mut() {
-            inst.kind.map_operands(|op| if op == from { to } else { op });
+            inst.kind
+                .map_operands(|op| if op == from { to } else { op });
         }
         for block in self.blocks.iter_mut() {
             block
@@ -273,10 +270,7 @@ mod tests {
         let (_, add) = f.all_insts()[0];
         // Replace the parameter with a constant everywhere.
         f.replace_all_uses(Operand::Param(0), Operand::int(Type::I32, 1));
-        assert_eq!(
-            f.inst(add).kind.operands()[0],
-            Operand::int(Type::I32, 1)
-        );
+        assert_eq!(f.inst(add).kind.operands()[0], Operand::int(Type::I32, 1));
         f.remove_inst(add);
         assert_eq!(f.num_live_insts(), 0);
         assert_eq!(f.block_of(add), None);
@@ -311,9 +305,6 @@ mod tests {
         assert_eq!(f.num_blocks(), 2);
         f.block_mut(f.entry()).terminator = Terminator::Br { target: second };
         f.block_mut(second).terminator = Terminator::Ret { value: None };
-        assert_eq!(
-            f.block(f.entry()).terminator.successors(),
-            vec![second]
-        );
+        assert_eq!(f.block(f.entry()).terminator.successors(), vec![second]);
     }
 }

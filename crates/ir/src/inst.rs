@@ -114,7 +114,10 @@ impl CmpPred {
 
     /// Whether the predicate compares with signed ordering.
     pub fn is_signed(self) -> bool {
-        matches!(self, CmpPred::Slt | CmpPred::Sle | CmpPred::Sgt | CmpPred::Sge)
+        matches!(
+            self,
+            CmpPred::Slt | CmpPred::Sle | CmpPred::Sgt | CmpPred::Sge
+        )
     }
 
     /// Mnemonic used by the printer.

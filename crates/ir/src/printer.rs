@@ -67,9 +67,7 @@ pub fn print_inst(func: &Function, id: InstId) -> String {
             elem_size,
             bound,
         } => {
-            let bound_str = bound
-                .map(|b| format!(", bound {b}"))
-                .unwrap_or_default();
+            let bound_str = bound.map(|b| format!(", bound {b}")).unwrap_or_default();
             format!("{id} = ptradd {ptr}, {offset}, size {elem_size}{bound_str}")
         }
         InstKind::Load { ptr, ty } => format!("{id} = load {ty}, {ptr}"),
@@ -162,9 +160,7 @@ mod tests {
     fn terminator_rendering() {
         use crate::value::BlockId;
         assert_eq!(
-            print_terminator(&Terminator::Br {
-                target: BlockId(2)
-            }),
+            print_terminator(&Terminator::Br { target: BlockId(2) }),
             "br bb2"
         );
         assert_eq!(print_terminator(&Terminator::Unreachable), "unreachable");

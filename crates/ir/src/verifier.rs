@@ -179,10 +179,10 @@ pub fn verify_function(func: &Function) -> Result<(), Vec<VerifyError>> {
                         err!("{i}: comparison must produce i1");
                     }
                 }
-                InstKind::Load { ptr, .. } | InstKind::Store { ptr, .. } => {
-                    if func.operand_type(*ptr) != Type::Ptr {
-                        err!("{i}: memory access through non-pointer");
-                    }
+                InstKind::Load { ptr, .. } | InstKind::Store { ptr, .. }
+                    if func.operand_type(*ptr) != Type::Ptr =>
+                {
+                    err!("{i}: memory access through non-pointer");
                 }
                 InstKind::PtrAdd { ptr, offset, .. } => {
                     if func.operand_type(*ptr) != Type::Ptr {
@@ -192,8 +192,7 @@ pub fn verify_function(func: &Function) -> Result<(), Vec<VerifyError>> {
                         err!("{i}: ptradd offset is not an integer");
                     }
                 }
-                InstKind::ZExt { value, to }
-                | InstKind::SExt { value, to } => {
+                InstKind::ZExt { value, to } | InstKind::SExt { value, to } => {
                     let from = func.operand_type(*value);
                     if from.bit_width() > to.bit_width() {
                         err!("{i}: extension narrows {from} to {to}");
@@ -220,10 +219,8 @@ pub fn verify_function(func: &Function) -> Result<(), Vec<VerifyError>> {
                         }
                     }
                 }
-                InstKind::BugOn { cond, .. } => {
-                    if func.operand_type(*cond) != Type::Bool {
-                        err!("{i}: bug_on condition must be i1");
-                    }
+                InstKind::BugOn { cond, .. } if func.operand_type(*cond) != Type::Bool => {
+                    err!("{i}: bug_on condition must be i1");
                 }
                 _ => {}
             }
@@ -301,7 +298,9 @@ mod tests {
         b.br(BlockId(99));
         let f = b.finish();
         let errs = verify_function(&f).unwrap_err();
-        assert!(errs.iter().any(|e| e.message.contains("non-existent block")));
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("non-existent block")));
     }
 
     #[test]
@@ -345,7 +344,9 @@ mod tests {
         b.ret(Operand::Inst(first));
         let f = b.finish();
         let errs = verify_function(&f).unwrap_err();
-        assert!(errs.iter().any(|e| e.message.contains("before its definition")));
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("before its definition")));
     }
 
     #[test]

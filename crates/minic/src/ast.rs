@@ -7,7 +7,10 @@ pub enum CType {
     Void,
     Bool,
     /// Integer with a width in bits and a signedness flag.
-    Int { width: u32, signed: bool },
+    Int {
+        width: u32,
+        signed: bool,
+    },
     /// Pointer to an element type.
     Pointer(Box<CType>),
 }

@@ -103,7 +103,11 @@ fn tokenize_raw(src: &str) -> Result<Vec<Token>, Diag> {
                     i += 1;
                     col += 1;
                 }
-                out.push(Token::new(Tok::StrLit(format!("#{tline}#{text}")), tline, tcol));
+                out.push(Token::new(
+                    Tok::StrLit(format!("#{tline}#{text}")),
+                    tline,
+                    tcol,
+                ));
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let mut s = String::new();
@@ -124,14 +128,15 @@ fn tokenize_raw(src: &str) -> Result<Vec<Token>, Diag> {
                 }
                 // Strip integer suffixes (U, L, UL, LL, ULL).
                 let trimmed = s.trim_end_matches(['u', 'U', 'l', 'L']);
-                let value = if let Some(hex) = trimmed.strip_prefix("0x").or(trimmed.strip_prefix("0X")) {
-                    i64::from_str_radix(hex, 16)
-                        .or_else(|_| u64::from_str_radix(hex, 16).map(|v| v as i64))
-                } else {
-                    trimmed
-                        .parse::<i64>()
-                        .or_else(|_| trimmed.parse::<u64>().map(|v| v as i64))
-                };
+                let value =
+                    if let Some(hex) = trimmed.strip_prefix("0x").or(trimmed.strip_prefix("0X")) {
+                        i64::from_str_radix(hex, 16)
+                            .or_else(|_| u64::from_str_radix(hex, 16).map(|v| v as i64))
+                    } else {
+                        trimmed
+                            .parse::<i64>()
+                            .or_else(|_| trimmed.parse::<u64>().map(|v| v as i64))
+                    };
                 match value {
                     Ok(v) => out.push(Token::new(Tok::IntLit(v), tline, tcol)),
                     Err(_) => {
@@ -258,7 +263,9 @@ fn preprocess(tokens: Vec<Token>) -> Result<Vec<Token>, Diag> {
                 if let Some((line_str, text)) = rest.split_once('#') {
                     let dline: u32 = line_str.parse().unwrap_or(t.line);
                     let text = text.trim();
-                    if let Some(def) = text.strip_prefix("define ").or(text.strip_prefix("define\t"))
+                    if let Some(def) = text
+                        .strip_prefix("define ")
+                        .or(text.strip_prefix("define\t"))
                     {
                         let (name, def_macro) = parse_define(def, dline)?;
                         macros.insert(name, def_macro);
@@ -274,7 +281,8 @@ fn preprocess(tokens: Vec<Token>) -> Result<Vec<Token>, Diag> {
             if let Some(def) = macros.get(name).cloned() {
                 match &def.params {
                     None => {
-                        let expanded = substitute(&def.body, &HashMap::new(), name, t.line, t.column);
+                        let expanded =
+                            substitute(&def.body, &HashMap::new(), name, t.line, t.column);
                         out.extend(expanded);
                         i += 1;
                         continue;
@@ -496,7 +504,8 @@ mod tests {
     fn function_like_macro_tags_body_not_args() {
         // The IS_A example of paper §4.2: the null check inside the macro is
         // compiler-generated from the programmer's viewpoint.
-        let src = "#define IS_A(p) (p != NULL && LOAD(p) == 1)\n#define LOAD(p) (*p)\nint r = IS_A(q);";
+        let src =
+            "#define IS_A(p) (p != NULL && LOAD(p) == 1)\n#define LOAD(p) (*p)\nint r = IS_A(q);";
         let toks = lex(src).unwrap();
         // The != token must be tagged as from IS_A; the identifier q must not.
         let ne = toks.iter().find(|t| t.tok == Tok::Ne).unwrap();

@@ -12,8 +12,7 @@
 use crate::ast::*;
 use crate::diag::Diag;
 use stack_ir::{
-    BinOp, CmpPred, FunctionBuilder, InstKind, Module, Operand, Origin, Param, SourceLoc,
-    Type,
+    BinOp, CmpPred, FunctionBuilder, InstKind, Module, Operand, Origin, Param, SourceLoc, Type,
 };
 use std::collections::HashMap;
 
@@ -210,7 +209,7 @@ impl<'a> FuncLowerer<'a> {
                 span,
             } => {
                 let (cv, cty) = self.lower_expr(cond)?;
-                let flag = self.to_cond(cv, &cty, span)?;
+                let flag = self.make_cond(cv, &cty, span)?;
                 self.set_origin(span);
                 let then_bb = self.builder.add_block("if.then");
                 let else_bb = self.builder.add_block("if.else");
@@ -244,7 +243,7 @@ impl<'a> FuncLowerer<'a> {
                 self.builder.br(header);
                 self.builder.switch_to(header);
                 let (cv, cty) = self.lower_expr(cond)?;
-                let flag = self.to_cond(cv, &cty, span)?;
+                let flag = self.make_cond(cv, &cty, span)?;
                 self.set_origin(span);
                 self.builder.cond_br(flag, body_bb, exit);
                 self.builder.switch_to(body_bb);
@@ -277,7 +276,7 @@ impl<'a> FuncLowerer<'a> {
                 let flag = match cond {
                     Some(c) => {
                         let (cv, cty) = self.lower_expr(c)?;
-                        self.to_cond(cv, &cty, span)?
+                        self.make_cond(cv, &cty, span)?
                     }
                     None => Operand::bool(true),
                 };
@@ -349,7 +348,9 @@ impl<'a> FuncLowerer<'a> {
                     // Arrays decay to a pointer to their first element.
                     Ok((slot.ptr, CType::ptr_to(slot.ty.clone())))
                 } else {
-                    let value = self.builder.load_named(slot.ptr, ctype_to_ir(&slot.ty), name);
+                    let value = self
+                        .builder
+                        .load_named(slot.ptr, ctype_to_ir(&slot.ty), name);
                     Ok((value, slot.ty))
                 }
             }
@@ -362,7 +363,7 @@ impl<'a> FuncLowerer<'a> {
                 span,
             } => {
                 let (cv, cty) = self.lower_expr(cond)?;
-                let flag = self.to_cond(cv, &cty, span)?;
+                let flag = self.make_cond(cv, &cty, span)?;
                 self.set_origin(span);
                 let then_bb = self.builder.add_block("cond.then");
                 let else_bb = self.builder.add_block("cond.else");
@@ -385,10 +386,9 @@ impl<'a> FuncLowerer<'a> {
                 let tv = self.convert(tv, &tty, &common, span)?;
                 self.builder.br(merge);
                 self.builder.switch_to(merge);
-                let phi = self.builder.phi(
-                    ctype_to_ir(&common),
-                    vec![(then_end, tv), (else_end, ev)],
-                );
+                let phi = self
+                    .builder
+                    .phi(ctype_to_ir(&common), vec![(then_end, tv), (else_end, ev)]);
                 Ok((phi, common))
             }
             Expr::Index { base, index, span } => {
@@ -424,9 +424,7 @@ impl<'a> FuncLowerer<'a> {
                 }
                 self.set_origin(span);
                 let ret_ty = self.callee_return_type(callee);
-                let result = self
-                    .builder
-                    .call(callee, &arg_ops, ctype_to_ir(&ret_ty));
+                let result = self.builder.call(callee, &arg_ops, ctype_to_ir(&ret_ty));
                 Ok((result, ret_ty))
             }
             Expr::Cast { ty, operand, span } => {
@@ -542,20 +540,30 @@ impl<'a> FuncLowerer<'a> {
                     return self.err("store through non-pointer", dspan);
                 }
                 let elem = pty.pointee();
-                let elem = if elem == CType::Void { CType::long() } else { elem };
+                let elem = if elem == CType::Void {
+                    CType::long()
+                } else {
+                    elem
+                };
                 let converted = self.convert(value, vty, &elem, span)?;
                 self.set_origin(span);
                 self.builder.store(ptr, converted);
                 Ok((converted, elem))
             }
-            Expr::Index { base, index, span: ispan } => {
+            Expr::Index {
+                base,
+                index,
+                span: ispan,
+            } => {
                 let (ptr, elem_ty, _) = self.lower_index_address(base, index, ispan)?;
                 let converted = self.convert(value, vty, &elem_ty, span)?;
                 self.set_origin(span);
                 self.builder.store(ptr, converted);
                 Ok((converted, elem_ty))
             }
-            Expr::Member { base, span: mspan, .. } => {
+            Expr::Member {
+                base, span: mspan, ..
+            } => {
                 let (bv, bty) = self.lower_expr(base)?;
                 if !bty.is_pointer() {
                     return self.err("member store through non-pointer", mspan);
@@ -599,8 +607,7 @@ impl<'a> FuncLowerer<'a> {
                 let flag = if ty.is_pointer() {
                     self.builder.is_null(v)
                 } else if ty == CType::Bool {
-                    self.builder
-                        .cmp(CmpPred::Eq, v, Operand::bool(false))
+                    self.builder.cmp(CmpPred::Eq, v, Operand::bool(false))
                 } else {
                     let zero = Operand::int(ctype_to_ir(&ty), 0);
                     self.builder.cmp(CmpPred::Eq, v, zero)
@@ -613,7 +620,11 @@ impl<'a> FuncLowerer<'a> {
                     return self.err("dereference of non-pointer", span);
                 }
                 let elem = ty.pointee();
-                let elem = if elem == CType::Void { CType::long() } else { elem };
+                let elem = if elem == CType::Void {
+                    CType::long()
+                } else {
+                    elem
+                };
                 self.set_origin(span);
                 let value = self.builder.load(v, ctype_to_ir(&elem));
                 Ok((value, elem))
@@ -632,7 +643,11 @@ impl<'a> FuncLowerer<'a> {
                     operand,
                     ..
                 } => self.lower_expr(operand),
-                Expr::Index { base, index, span: ispan } => {
+                Expr::Index {
+                    base,
+                    index,
+                    span: ispan,
+                } => {
                     let (ptr, elem, _) = self.lower_index_address(base, index, ispan)?;
                     Ok((ptr, CType::ptr_to(elem)))
                 }
@@ -725,7 +740,11 @@ impl<'a> FuncLowerer<'a> {
             BinOpKind::Add | BinOpKind::Sub if lty.is_pointer() && !rty.is_pointer() => {
                 // p + i / p - i: scale by the element size.
                 let elem = lty.pointee();
-                let size = if elem == CType::Void { 1 } else { elem.byte_size() };
+                let size = if elem == CType::Void {
+                    1
+                } else {
+                    elem.byte_size()
+                };
                 let idx = self.convert(rv, &rty, &CType::long(), span)?;
                 self.set_origin(span);
                 let idx = if op == BinOpKind::Sub {
@@ -742,14 +761,14 @@ impl<'a> FuncLowerer<'a> {
             BinOpKind::Sub if lty.is_pointer() && rty.is_pointer() => {
                 // Pointer difference in bytes (the corpus uses it only for
                 // comparisons against lengths).
-                let li = Operand::Inst(self.builder.emit(
-                    InstKind::PtrToInt { value: lv },
-                    Type::I64,
-                ));
-                let ri = Operand::Inst(self.builder.emit(
-                    InstKind::PtrToInt { value: rv },
-                    Type::I64,
-                ));
+                let li = Operand::Inst(
+                    self.builder
+                        .emit(InstKind::PtrToInt { value: lv }, Type::I64),
+                );
+                let ri = Operand::Inst(
+                    self.builder
+                        .emit(InstKind::PtrToInt { value: rv }, Type::I64),
+                );
                 let d = self.builder.sub(li, ri);
                 Ok((d, CType::long()))
             }
@@ -776,7 +795,10 @@ impl<'a> FuncLowerer<'a> {
         } else if v.is_const_value(0) {
             Operand::null()
         } else {
-            Operand::Inst(self.builder.emit(InstKind::IntToPtr { value: v }, Type::Ptr))
+            Operand::Inst(
+                self.builder
+                    .emit(InstKind::IntToPtr { value: v }, Type::Ptr),
+            )
         }
     }
 
@@ -788,7 +810,7 @@ impl<'a> FuncLowerer<'a> {
         span: &Span,
     ) -> Result<(Operand, CType), Diag> {
         let (lv, lty) = self.lower_expr(lhs)?;
-        let lflag = self.to_cond(lv, &lty, span)?;
+        let lflag = self.make_cond(lv, &lty, span)?;
         self.set_origin(span);
         let lhs_end = self.builder.current_block();
         let rhs_bb = self.builder.add_block("sc.rhs");
@@ -800,7 +822,7 @@ impl<'a> FuncLowerer<'a> {
         }
         self.builder.switch_to(rhs_bb);
         let (rv, rty) = self.lower_expr(rhs)?;
-        let rflag = self.to_cond(rv, &rty, span)?;
+        let rflag = self.make_cond(rv, &rty, span)?;
         let rhs_end = self.builder.current_block();
         self.set_origin(span);
         self.builder.br(merge);
@@ -813,7 +835,7 @@ impl<'a> FuncLowerer<'a> {
     }
 
     /// Convert a value to a boolean condition (`!= 0` / `!= NULL`).
-    fn to_cond(&mut self, v: Operand, ty: &CType, span: &Span) -> Result<Operand, Diag> {
+    fn make_cond(&mut self, v: Operand, ty: &CType, span: &Span) -> Result<Operand, Diag> {
         self.set_origin(span);
         Ok(match ty {
             CType::Bool => v,
@@ -842,12 +864,13 @@ impl<'a> FuncLowerer<'a> {
         }
         self.set_origin(span);
         let result = match (from, to) {
-            (CType::Bool, CType::Int { width, .. }) => {
-                self.builder.zext(v, Type::Int(*width))
-            }
+            (CType::Bool, CType::Int { width, .. }) => self.builder.zext(v, Type::Int(*width)),
             (CType::Bool, CType::Pointer(_)) => {
                 let wide = self.builder.zext(v, Type::I64);
-                Operand::Inst(self.builder.emit(InstKind::IntToPtr { value: wide }, Type::Ptr))
+                Operand::Inst(
+                    self.builder
+                        .emit(InstKind::IntToPtr { value: wide }, Type::Ptr),
+                )
             }
             (CType::Int { .. }, CType::Bool) => {
                 let zero = Operand::int(ctype_to_ir(from), 0);
@@ -885,11 +908,17 @@ impl<'a> FuncLowerer<'a> {
                     } else {
                         v
                     };
-                    Operand::Inst(self.builder.emit(InstKind::IntToPtr { value: wide }, Type::Ptr))
+                    Operand::Inst(
+                        self.builder
+                            .emit(InstKind::IntToPtr { value: wide }, Type::Ptr),
+                    )
                 }
             }
             (CType::Pointer(_), CType::Int { width, .. }) => {
-                let int = Operand::Inst(self.builder.emit(InstKind::PtrToInt { value: v }, Type::I64));
+                let int = Operand::Inst(
+                    self.builder
+                        .emit(InstKind::PtrToInt { value: v }, Type::I64),
+                );
                 if *width < 64 {
                     self.builder.trunc(int, Type::Int(*width))
                 } else {
@@ -902,10 +931,7 @@ impl<'a> FuncLowerer<'a> {
                 self.builder.cmp(CmpPred::Eq, n, Operand::bool(false))
             }
             (CType::Void, _) | (_, CType::Void) => {
-                return self.err(
-                    &format!("cannot convert between {from:?} and {to:?}"),
-                    span,
-                )
+                return self.err(&format!("cannot convert between {from:?} and {to:?}"), span)
             }
             (CType::Bool, CType::Bool) => v,
         };
@@ -919,9 +945,7 @@ impl<'a> FuncLowerer<'a> {
             return ty.clone();
         }
         match name {
-            "malloc" | "calloc" | "realloc" | "__string_literal" => {
-                CType::ptr_to(CType::char_ty())
-            }
+            "malloc" | "calloc" | "realloc" | "__string_literal" => CType::ptr_to(CType::char_ty()),
             "strchr" | "strrchr" | "strstr" | "memchr" => CType::ptr_to(CType::char_ty()),
             "memcpy" | "memmove" | "memset" => CType::ptr_to(CType::Void),
             "free" => CType::Void,

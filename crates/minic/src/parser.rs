@@ -960,8 +960,20 @@ mod tests {
                 // `<` binds loosest: (x + y*2) < (x << 1)
                 Expr::Binary { op, lhs, rhs, .. } => {
                     assert_eq!(*op, BinOpKind::Lt);
-                    assert!(matches!(**lhs, Expr::Binary { op: BinOpKind::Add, .. }));
-                    assert!(matches!(**rhs, Expr::Binary { op: BinOpKind::Shl, .. }));
+                    assert!(matches!(
+                        **lhs,
+                        Expr::Binary {
+                            op: BinOpKind::Add,
+                            ..
+                        }
+                    ));
+                    assert!(matches!(
+                        **rhs,
+                        Expr::Binary {
+                            op: BinOpKind::Shl,
+                            ..
+                        }
+                    ));
                 }
                 other => panic!("unexpected expr {other:?}"),
             },
@@ -1008,9 +1020,8 @@ mod tests {
 
     #[test]
     fn parse_calls_and_logical_ops() {
-        let unit = parse_src(
-            "int f(char *p, int x) { if (p != NULL && abs(x) < 0) return 1; return 0; }",
-        );
+        let unit =
+            parse_src("int f(char *p, int x) { if (p != NULL && abs(x) < 0) return 1; return 0; }");
         let f = &unit.functions[0];
         match &f.body[0] {
             Stmt::If { cond, .. } => match cond {

@@ -39,7 +39,7 @@ pub enum Tok {
     RBracket,
     Semi,
     Comma,
-    Arrow,   // ->
+    Arrow, // ->
     Dot,
     Plus,
     Minus,

@@ -7,9 +7,7 @@
 //! frontiers and renaming along the dominator tree. The checker depends on
 //! this: the solver reasons about SSA values, not memory.
 
-use stack_ir::{
-    BlockId, Cfg, DomTree, Function, Inst, InstId, InstKind, Operand, Origin, Type,
-};
+use stack_ir::{BlockId, Cfg, DomTree, Function, Inst, InstId, InstKind, Operand, Origin, Type};
 use std::collections::{HashMap, HashSet};
 
 /// Run mem2reg on a function. Returns the number of promoted allocas.
@@ -76,11 +74,7 @@ fn find_promotable(func: &Function) -> Vec<(InstId, Type)> {
 }
 
 /// Compute dominance frontiers for all reachable blocks.
-fn dominance_frontiers(
-    func: &Function,
-    cfg: &Cfg,
-    dt: &DomTree,
-) -> HashMap<BlockId, Vec<BlockId>> {
+fn dominance_frontiers(func: &Function, cfg: &Cfg, dt: &DomTree) -> HashMap<BlockId, Vec<BlockId>> {
     let mut df: HashMap<BlockId, Vec<BlockId>> = HashMap::new();
     for b in cfg.reverse_post_order() {
         let preds = cfg.preds(*b);
@@ -260,8 +254,8 @@ fn dom_children(func: &Function, dt: &DomTree) -> HashMap<BlockId, Vec<BlockId>>
 #[cfg(test)]
 mod tests {
     use super::*;
-    use stack_minic::compile;
     use stack_ir::{print_function, verify_function};
+    use stack_minic::compile;
 
     fn promoted(src: &str, fname: &str) -> Function {
         let mut m = compile(src, "t.c").unwrap();
@@ -309,7 +303,10 @@ mod tests {
 
     #[test]
     fn arrays_are_not_promoted() {
-        let f = promoted("int f(int i) { char buf[8]; buf[i] = 1; return buf[0]; }", "f");
+        let f = promoted(
+            "int f(int i) { char buf[8]; buf[i] = 1; return buf[0]; }",
+            "f",
+        );
         let text = print_function(&f);
         assert!(text.contains("alloca i8 x 8"), "{text}");
         assert!(text.contains("ptradd"), "{text}");

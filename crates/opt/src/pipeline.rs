@@ -57,11 +57,7 @@ pub fn optimize_with_rewrites(module: &mut Module, rewrites: &[UbRewrite]) -> Ve
 /// Level 0 still performs ordinary cleanup (every real compiler folds
 /// constants even at `-O0`); the profile decides which UB-based rewrites are
 /// enabled.
-pub fn run_profile(
-    module: &mut Module,
-    profile: &CompilerProfile,
-    level: u8,
-) -> Vec<OptEvent> {
+pub fn run_profile(module: &mut Module, profile: &CompilerProfile, level: u8) -> Vec<OptEvent> {
     let rewrites = profile.enabled_rewrites(level);
     optimize_with_rewrites(module, &rewrites)
 }

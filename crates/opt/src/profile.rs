@@ -49,7 +49,9 @@ impl CompilerProfile {
     pub const MAX_LEVEL: u8 = 3;
 }
 
-/// Shorthand constructor for the survey table.
+/// Shorthand constructor for the survey table: one positional argument per
+/// Figure 4 column, so the rows below read like the paper's table.
+#[allow(clippy::too_many_arguments)]
 fn profile(
     name: &'static str,
     ptr_const: Option<u8>,
@@ -82,19 +84,91 @@ pub fn survey_compilers() -> Vec<CompilerProfile> {
         //        name               p+100<p   *p;!p    x+100<x  x⁺+100<0  !(1<<x)  abs<0    data+x<data
         profile("gcc-2.95.3", None, None, Some(1), None, None, None, None),
         profile("gcc-3.4.6", None, Some(2), Some(1), None, None, None, None),
-        profile("gcc-4.2.1", Some(0), None, Some(2), None, None, Some(2), None),
-        profile("gcc-4.8.1", Some(2), Some(2), Some(2), Some(2), None, Some(2), Some(2)),
+        profile(
+            "gcc-4.2.1",
+            Some(0),
+            None,
+            Some(2),
+            None,
+            None,
+            Some(2),
+            None,
+        ),
+        profile(
+            "gcc-4.8.1",
+            Some(2),
+            Some(2),
+            Some(2),
+            Some(2),
+            None,
+            Some(2),
+            Some(2),
+        ),
         profile("clang-1.0", Some(1), None, None, None, None, None, None),
-        profile("clang-3.3", Some(1), None, Some(1), None, Some(1), None, Some(1)),
+        profile(
+            "clang-3.3",
+            Some(1),
+            None,
+            Some(1),
+            None,
+            Some(1),
+            None,
+            Some(1),
+        ),
         profile("aCC-6.25", None, None, None, None, None, Some(3), None),
         profile("armcc-5.02", None, None, Some(2), None, None, None, None),
-        profile("icc-14.0.0", None, Some(2), Some(1), Some(2), None, None, None),
+        profile(
+            "icc-14.0.0",
+            None,
+            Some(2),
+            Some(1),
+            Some(2),
+            None,
+            None,
+            None,
+        ),
         profile("msvc-11.0", None, Some(1), None, None, None, None, None),
-        profile("open64-4.5.2", Some(1), None, Some(2), None, None, Some(2), None),
-        profile("pathcc-1.0.0", Some(1), None, Some(2), None, None, Some(2), None),
+        profile(
+            "open64-4.5.2",
+            Some(1),
+            None,
+            Some(2),
+            None,
+            None,
+            Some(2),
+            None,
+        ),
+        profile(
+            "pathcc-1.0.0",
+            Some(1),
+            None,
+            Some(2),
+            None,
+            None,
+            Some(2),
+            None,
+        ),
         profile("suncc-5.12", None, Some(3), None, None, None, None, None),
-        profile("ti-7.4.2", Some(0), None, Some(0), Some(2), None, None, None),
-        profile("windriver-5.9.2", None, None, Some(0), None, None, None, None),
+        profile(
+            "ti-7.4.2",
+            Some(0),
+            None,
+            Some(0),
+            Some(2),
+            None,
+            None,
+            None,
+        ),
+        profile(
+            "windriver-5.9.2",
+            None,
+            None,
+            Some(0),
+            None,
+            None,
+            None,
+            None,
+        ),
         profile("xlc-12.1", Some(3), None, None, None, None, None, None),
     ]
 }
@@ -113,7 +187,10 @@ pub fn most_aggressive() -> CompilerProfile {
 pub fn with_fwrapv(profile: &CompilerProfile) -> CompilerProfile {
     disable(
         profile,
-        &[UbRewrite::SignedOverflowConst, UbRewrite::SignedOverflowRange],
+        &[
+            UbRewrite::SignedOverflowConst,
+            UbRewrite::SignedOverflowRange,
+        ],
         "-fwrapv",
     )
 }
@@ -134,7 +211,11 @@ pub fn with_fno_strict_overflow(profile: &CompilerProfile) -> CompilerProfile {
 
 /// `-fno-delete-null-pointer-checks`.
 pub fn with_fno_delete_null_pointer_checks(profile: &CompilerProfile) -> CompilerProfile {
-    disable(profile, &[UbRewrite::NullCheckElim], "-fno-delete-null-pointer-checks")
+    disable(
+        profile,
+        &[UbRewrite::NullCheckElim],
+        "-fno-delete-null-pointer-checks",
+    )
 }
 
 fn disable(
@@ -190,8 +271,12 @@ mod tests {
         );
 
         let ti = profiles.iter().find(|p| p.name == "ti-7.4.2").unwrap();
-        assert!(ti.enabled_rewrites(0).contains(&UbRewrite::PointerOverflowConst));
-        assert!(ti.enabled_rewrites(0).contains(&UbRewrite::SignedOverflowConst));
+        assert!(ti
+            .enabled_rewrites(0)
+            .contains(&UbRewrite::PointerOverflowConst));
+        assert!(ti
+            .enabled_rewrites(0)
+            .contains(&UbRewrite::SignedOverflowConst));
     }
 
     #[test]

@@ -58,9 +58,7 @@ fn simplify_inst(func: &Function, kind: &InstKind, ty: Type) -> Option<Operand> 
                 bits: c.bits,
             })
         }),
-        InstKind::SExt { value, to } => value
-            .as_const()
-            .map(|c| Operand::int(*to, c.as_signed())),
+        InstKind::SExt { value, to } => value.as_const().map(|c| Operand::int(*to, c.as_signed())),
         InstKind::Trunc { value, to } => value.as_const().map(|c| {
             Operand::Const(Constant {
                 ty: *to,
@@ -82,13 +80,7 @@ fn simplify_bin(op: BinOp, lhs: Operand, rhs: Operand, ty: Type) -> Option<Opera
             BinOp::Add => Some(x.wrapping_add(y)),
             BinOp::Sub => Some(x.wrapping_sub(y)),
             BinOp::Mul => Some(x.wrapping_mul(y)),
-            BinOp::UDiv => {
-                if y == 0 {
-                    None
-                } else {
-                    Some(x / y)
-                }
-            }
+            BinOp::UDiv => x.checked_div(y),
             BinOp::SDiv => {
                 if sy == 0 {
                     None
@@ -96,13 +88,7 @@ fn simplify_bin(op: BinOp, lhs: Operand, rhs: Operand, ty: Type) -> Option<Opera
                     Some(sx.wrapping_div(sy) as u64)
                 }
             }
-            BinOp::URem => {
-                if y == 0 {
-                    None
-                } else {
-                    Some(x % y)
-                }
-            }
+            BinOp::URem => x.checked_rem(y),
             BinOp::SRem => {
                 if sy == 0 {
                     None
@@ -228,7 +214,11 @@ mod tests {
     fn folds_comparisons_and_selects() {
         let mut b = FunctionBuilder::with_params("f", &[("x", Type::I32)], Type::I32);
         let x = b.param(0);
-        let c = b.cmp(CmpPred::Slt, Operand::int(Type::I32, -5), Operand::int(Type::I32, 3));
+        let c = b.cmp(
+            CmpPred::Slt,
+            Operand::int(Type::I32, -5),
+            Operand::int(Type::I32, 3),
+        );
         let s = b.select(c, x, Operand::int(Type::I32, 9));
         b.ret(s);
         let mut f = b.finish();

@@ -147,7 +147,10 @@ mod tests {
         b.switch_to(m);
         let phi = b.phi(
             Type::I32,
-            vec![(t, Operand::int(Type::I32, 1)), (e, Operand::int(Type::I32, 2))],
+            vec![
+                (t, Operand::int(Type::I32, 1)),
+                (e, Operand::int(Type::I32, 2)),
+            ],
         );
         b.ret(phi);
         let mut f = b.finish();

@@ -90,8 +90,7 @@ pub fn run(func: &mut Function, enabled: &[UbRewrite]) -> Vec<OptEvent> {
             if !cfg.is_reachable(block) {
                 continue;
             }
-            if let Some((replacement, rewrite, desc)) =
-                try_rewrite(func, &dt, block, inst, enabled)
+            if let Some((replacement, rewrite, desc)) = try_rewrite(func, &dt, block, inst, enabled)
             {
                 let origin = func.inst(inst).origin.clone();
                 events.push(OptEvent {
@@ -251,7 +250,9 @@ fn try_rewrite(
     }
 
     // --- Oversized shift: (C << x) == 0 ----------------------------------------
-    if on(UbRewrite::ShiftFold) && matches!(pred, CmpPred::Eq | CmpPred::Ne) && rhs.is_const_value(0)
+    if on(UbRewrite::ShiftFold)
+        && matches!(pred, CmpPred::Eq | CmpPred::Ne)
+        && rhs.is_const_value(0)
     {
         if let Operand::Inst(id) = lhs {
             if let InstKind::Bin {
@@ -276,7 +277,9 @@ fn try_rewrite(
     }
 
     // --- abs(x) < 0 ---------------------------------------------------------------
-    if on(UbRewrite::AbsFold) && matches!(pred, CmpPred::Slt | CmpPred::Sge) && rhs.is_const_value(0)
+    if on(UbRewrite::AbsFold)
+        && matches!(pred, CmpPred::Slt | CmpPred::Sge)
+        && rhs.is_const_value(0)
     {
         if let Operand::Inst(id) = lhs {
             if let InstKind::Call { callee, .. } = &func.inst(id).kind {
@@ -409,23 +412,27 @@ fn pointer_known_nonnull(
 /// non-negative combined with a non-zero constant offset, which is all the
 /// §2.2 example needs).
 fn known_positive(func: &Function, dt: &DomTree, block: BlockId, x: Operand) -> bool {
-    branch_implies(func, dt, block, x, |pred, c, on_true| match (pred, on_true) {
-        (CmpPred::Sgt, true) => c >= 0,  // x > c, c >= 0
-        (CmpPred::Sge, true) => c >= 1,  // x >= c, c >= 1
-        (CmpPred::Slt, false) => c <= 0, // !(x < c), c <= 0 -> x >= 0 (weak, accept c<=0)
-        (CmpPred::Sle, false) => c >= 0, // !(x <= c) -> x > c
-        _ => false,
+    branch_implies(func, dt, block, x, |pred, c, on_true| {
+        match (pred, on_true) {
+            (CmpPred::Sgt, true) => c >= 0,  // x > c, c >= 0
+            (CmpPred::Sge, true) => c >= 1,  // x >= c, c >= 1
+            (CmpPred::Slt, false) => c <= 0, // !(x < c), c <= 0 -> x >= 0 (weak, accept c<=0)
+            (CmpPred::Sle, false) => c >= 0, // !(x <= c) -> x > c
+            _ => false,
+        }
     })
 }
 
 /// Whether a dominating branch constrains `x` to be strictly negative.
 fn known_negative(func: &Function, dt: &DomTree, block: BlockId, x: Operand) -> bool {
-    branch_implies(func, dt, block, x, |pred, c, on_true| match (pred, on_true) {
-        (CmpPred::Slt, true) => c <= 0,  // x < c, c <= 0
-        (CmpPred::Sle, true) => c <= -1, // x <= c, c <= -1
-        (CmpPred::Sge, false) => c <= 0, // !(x >= c), c <= 0
-        (CmpPred::Sgt, false) => c <= -1,
-        _ => false,
+    branch_implies(func, dt, block, x, |pred, c, on_true| {
+        match (pred, on_true) {
+            (CmpPred::Slt, true) => c <= 0,  // x < c, c <= 0
+            (CmpPred::Sle, true) => c <= -1, // x <= c, c <= -1
+            (CmpPred::Sge, false) => c <= 0, // !(x >= c), c <= 0
+            (CmpPred::Sgt, false) => c <= -1,
+            _ => false,
+        }
     })
 }
 
@@ -509,8 +516,7 @@ mod tests {
     const EX1: &str = "int f(char *p) { if (p + 100 < p) return 1; return 0; }";
     const EX2: &str = "int f(int *p) { int v = *p; if (!p) return 1; return v; }";
     const EX3: &str = "int f(int x) { if (x + 100 < x) return 1; return 0; }";
-    const EX4: &str =
-        "int f(int x) { if (x > 0) { if (x + 100 < 0) return 1; } return 0; }";
+    const EX4: &str = "int f(int x) { if (x > 0) { if (x + 100 < 0) return 1; } return 0; }";
     const EX5: &str = "int f(int x) { if (!(1 << x)) return 1; return 0; }";
     const EX6: &str = "int f(int x) { if (abs(x) < 0) return 1; return 0; }";
 
@@ -556,7 +562,9 @@ mod tests {
             UbRewrite::all(),
         );
         assert!(
-            events2.iter().all(|e| e.rewrite != UbRewrite::SignedOverflowConst),
+            events2
+                .iter()
+                .all(|e| e.rewrite != UbRewrite::SignedOverflowConst),
             "unsigned wraparound check must not be folded: {events2:?}"
         );
     }
@@ -605,12 +613,16 @@ mod tests {
         assert_eq!(events[0].rewrite, UbRewrite::PointerOverflowAlgebra);
         // The rewritten check compares size against 0 instead of the pointer.
         let text = print_function(&f);
-        assert!(text.contains("icmp slt %arg2, 0") || text.contains("icmp sge %arg2, 0"), "{text}");
+        assert!(
+            text.contains("icmp slt %arg2, 0") || text.contains("icmp sge %arg2, 0"),
+            "{text}"
+        );
     }
 
     #[test]
     fn stable_code_is_untouched_by_all_rewrites() {
-        let src = "int f(int x, int y) { if (x < y) return 1; if (y != 0) return x / y; return 0; }";
+        let src =
+            "int f(int x, int y) { if (x < y) return 1; if (y != 0) return x / y; return 0; }";
         let (_, events) = optimize(src, "f", UbRewrite::all());
         assert!(events.is_empty(), "{events:?}");
     }

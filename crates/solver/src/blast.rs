@@ -285,19 +285,20 @@ impl BitBlaster {
         };
         let stages = usize::try_from(64 - (n as u64 - 1).leading_zeros()).unwrap(); // ceil(log2 n)
         let mut cur: Vec<Lit> = a.to_vec();
-        for k in 0..stages {
+        for (k, &cond) in amount.iter().enumerate().take(stages) {
             let shift_by = 1usize << k;
-            let cond = amount[k];
             let mut shifted = vec![fill; n];
             match kind {
                 ShiftKind::Left => {
-                    for i in shift_by..n {
-                        shifted[i] = cur[i - shift_by];
-                    }
+                    shifted[shift_by..n].copy_from_slice(&cur[..n - shift_by]);
                 }
                 ShiftKind::LogicalRight | ShiftKind::ArithRight => {
                     for i in 0..n {
-                        shifted[i] = if i + shift_by < n { cur[i + shift_by] } else { fill };
+                        shifted[i] = if i + shift_by < n {
+                            cur[i + shift_by]
+                        } else {
+                            fill
+                        };
                     }
                 }
             }

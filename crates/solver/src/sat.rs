@@ -233,14 +233,8 @@ impl SatSolver {
             let c = self.clauses.get(cref);
             (c.lits[0], c.lits[1])
         };
-        self.watches[(!l0).index()].push(Watcher {
-            cref,
-            blocker: l1,
-        });
-        self.watches[(!l1).index()].push(Watcher {
-            cref,
-            blocker: l0,
-        });
+        self.watches[(!l0).index()].push(Watcher { cref, blocker: l1 });
+        self.watches[(!l1).index()].push(Watcher { cref, blocker: l0 });
     }
 
     /// Assign a literal true, recording its reason clause.
@@ -423,9 +417,7 @@ impl SatSolver {
             let redundant = match self.reasons[v.index()] {
                 None => false,
                 Some(reason) => self.clauses.get(reason).lits.iter().all(|&q| {
-                    q.var() == v
-                        || self.seen[q.var().index()]
-                        || self.levels[q.var().index()] == 0
+                    q.var() == v || self.seen[q.var().index()] || self.levels[q.var().index()] == 0
                 }),
             };
             if !redundant {
@@ -834,6 +826,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // p[i][j]: j indexes the inner dim
     fn pigeonhole_3_into_2_unsat() {
         // p[i][j]: pigeon i in hole j. Each pigeon in some hole; no two
         // pigeons share a hole. Classic small UNSAT instance that requires
@@ -896,6 +889,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // p[i][j]: j indexes the inner dim
     fn budget_exhaustion_returns_unknown() {
         // A hard-ish pigeonhole instance with a tiny budget must give Unknown.
         let n = 7usize; // pigeons
@@ -943,7 +937,9 @@ mod tests {
         let v = vars(&mut s, nv);
         let mut state = 0x12345678u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as usize
         };
         let mut clauses = Vec::new();

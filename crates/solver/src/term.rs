@@ -50,9 +50,15 @@ pub enum TermKind {
     /// Boolean constant.
     BoolConst(bool),
     /// Bit-vector constant (value is masked to `width` bits).
-    BvConst { width: u32, value: u64 },
+    BvConst {
+        width: u32,
+        value: u64,
+    },
     /// Free variable (bit-vector or boolean depending on its sort).
-    Var { name: String, sort: Sort },
+    Var {
+        name: String,
+        sort: Sort,
+    },
 
     // Boolean connectives.
     Not(TermId),
@@ -89,9 +95,19 @@ pub enum TermKind {
     BvSle(TermId, TermId),
 
     // Width adjustment.
-    ZExt { value: TermId, width: u32 },
-    SExt { value: TermId, width: u32 },
-    Extract { value: TermId, hi: u32, lo: u32 },
+    ZExt {
+        value: TermId,
+        width: u32,
+    },
+    SExt {
+        value: TermId,
+        width: u32,
+    },
+    Extract {
+        value: TermId,
+        hi: u32,
+        lo: u32,
+    },
     Concat(TermId, TermId),
 }
 
@@ -195,7 +211,10 @@ impl TermPool {
 
     /// A bit-vector constant.
     pub fn bv_const(&mut self, width: u32, value: u64) -> TermId {
-        assert!(width >= 1 && width <= MAX_WIDTH, "unsupported width {width}");
+        assert!(
+            (1..=MAX_WIDTH).contains(&width),
+            "unsupported width {width}"
+        );
         self.intern(
             TermKind::BvConst {
                 width,
@@ -207,7 +226,10 @@ impl TermPool {
 
     /// A free bit-vector variable.
     pub fn bv_var(&mut self, name: &str, width: u32) -> TermId {
-        assert!(width >= 1 && width <= MAX_WIDTH, "unsupported width {width}");
+        assert!(
+            (1..=MAX_WIDTH).contains(&width),
+            "unsupported width {width}"
+        );
         self.intern(
             TermKind::Var {
                 name: name.to_string(),
@@ -443,7 +465,7 @@ impl TermPool {
         self.bv_binop(
             a,
             b,
-            |x, y, w| if y == 0 { mask(u64::MAX, w) } else { x / y },
+            |x, y, w| x.checked_div(y).unwrap_or(mask(u64::MAX, w)),
             TermKind::BvUdiv,
         )
     }
@@ -557,7 +579,11 @@ impl TermPool {
             b,
             |x, y, w| {
                 let sx = to_signed(x, w);
-                let shift = if y >= u64::from(w) { u64::from(w) - 1 } else { y };
+                let shift = if y >= u64::from(w) {
+                    u64::from(w) - 1
+                } else {
+                    y
+                };
                 mask((sx >> shift) as u64, w)
             },
             TermKind::BvAshr,
@@ -682,10 +708,7 @@ impl TermPool {
         if let Some(x) = self.as_bv_const(a) {
             return self.bv_const(width, x >> lo);
         }
-        self.intern(
-            TermKind::Extract { value: a, hi, lo },
-            Sort::BitVec(width),
-        )
+        self.intern(TermKind::Extract { value: a, hi, lo }, Sort::BitVec(width))
     }
 
     /// Truncate to a narrower width.
@@ -770,11 +793,7 @@ impl TermPool {
                 let w = t.sort.width();
                 let x = self.eval(*a, model);
                 let y = self.eval(*c, model);
-                if y == 0 {
-                    mask(u64::MAX, w)
-                } else {
-                    x / y
-                }
+                x.checked_div(y).unwrap_or(mask(u64::MAX, w))
             }
             TermKind::BvSdiv(a, c) => {
                 let w = t.sort.width();
@@ -836,7 +855,11 @@ impl TermPool {
                 let w = t.sort.width();
                 let x = to_signed(self.eval(*a, model), w);
                 let y = self.eval(*c, model);
-                let shift = if y >= u64::from(w) { u64::from(w) - 1 } else { y };
+                let shift = if y >= u64::from(w) {
+                    u64::from(w) - 1
+                } else {
+                    y
+                };
                 mask((x >> shift) as u64, w)
             }
             TermKind::BvUlt(a, c) => {

@@ -41,7 +41,7 @@ fn random_cnf_agrees_with_brute_force() {
             let mut clause = Vec::new();
             for _ in 0..len {
                 let v = Var((lcg(&mut state) % num_vars as u64) as u32);
-                clause.push(Lit::new(v, lcg(&mut state) % 2 == 0));
+                clause.push(Lit::new(v, lcg(&mut state).is_multiple_of(2)));
             }
             clauses.push(clause);
         }
@@ -91,7 +91,7 @@ fn harder_random_cnf_agrees_with_brute_force() {
             let mut clause = Vec::new();
             for _ in 0..len {
                 let v = Var((lcg(&mut state) % num_vars as u64) as u32);
-                clause.push(Lit::new(v, lcg(&mut state) % 2 == 0));
+                clause.push(Lit::new(v, lcg(&mut state).is_multiple_of(2)));
             }
             clauses.push(clause);
         }

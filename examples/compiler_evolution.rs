@@ -15,7 +15,9 @@ fn main() {
         println!(
             "  {:<18} discards at {:<4} with -fwrapv: {}",
             profile.name,
-            level.map(|l| format!("-O{l}")).unwrap_or_else(|| "–".into()),
+            level
+                .map(|l| format!("-O{l}"))
+                .unwrap_or_else(|| "–".into()),
             with_flag
                 .map(|l| format!("-O{l}"))
                 .unwrap_or_else(|| "kept".into()),

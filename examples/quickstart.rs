@@ -17,7 +17,10 @@ fn main() {
         .check_source(source, "tun.c")
         .expect("the example compiles");
 
-    println!("analyzed {} function(s), {} solver queries\n", result.stats.functions, result.stats.queries);
+    println!(
+        "analyzed {} function(s), {} solver queries\n",
+        result.stats.functions, result.stats.queries
+    );
     if result.reports.is_empty() {
         println!("no unstable code found");
     }

@@ -55,7 +55,10 @@ fn figure12_is_found_by_the_algebra_oracle() {
         .reports
         .iter()
         .any(|r| r.algorithm == Algorithm::SimplifyAlgebra));
-    assert!(result.reports.iter().any(|r| r.involves(UbKind::PointerOverflow)));
+    assert!(result
+        .reports
+        .iter()
+        .any(|r| r.involves(UbKind::PointerOverflow)));
 }
 
 #[test]

@@ -1,0 +1,147 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment for this repository has no access to a crates
+//! registry, so `vendor/` carries minimal API-compatible shims for the
+//! handful of external crates the workspace uses. This one provides the
+//! subset of serde that the STACK reproduction needs: a [`Serialize`] trait
+//! that renders directly to compact JSON, plus a derive macro
+//! (`#[derive(Serialize)]`) for structs with named fields and for enums with
+//! unit or struct variants, matching serde's externally-tagged encoding.
+//!
+//! The `serde_json` shim builds its `to_string` / `to_string_pretty` on top
+//! of this trait. Swapping in the real serde later only requires changing
+//! the `[workspace.dependencies]` path entries to registry versions — the
+//! call sites and derive attributes are already idiomatic serde.
+
+pub use serde_derive::Serialize;
+
+/// A type that can render itself as compact JSON.
+///
+/// This is the stand-in for `serde::Serialize`; instead of the full
+/// serializer abstraction it writes JSON text directly, which is the only
+/// output format the workspace uses.
+pub trait Serialize {
+    /// Append this value's compact JSON encoding to `out`.
+    fn serialize_json(&self, out: &mut String);
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl Serialize for $t {
+                fn serialize_json(&self, out: &mut String) {
+                    out.push_str(&self.to_string());
+                }
+            }
+        )*
+    };
+}
+
+impl_serialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        ser::write_json_string(out, self);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        ser::write_json_string(out, self);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, item) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            item.serialize_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.serialize_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+/// Helpers used by the derive macro's generated code.
+pub mod ser {
+    use super::Serialize;
+
+    /// Append `s` to `out` as a JSON string literal, escaping as needed.
+    pub fn write_json_string(out: &mut String, s: &str) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    /// Append one `"key":value` object member, with a leading comma unless
+    /// this is the first member.
+    pub fn write_field<T: Serialize + ?Sized>(out: &mut String, key: &str, value: &T, first: bool) {
+        if !first {
+            out.push(',');
+        }
+        write_json_string(out, key);
+        out.push(':');
+        value.serialize_json(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_and_containers() {
+        let mut out = String::new();
+        vec![1u32, 2, 3].serialize_json(&mut out);
+        assert_eq!(out, "[1,2,3]");
+
+        let mut out = String::new();
+        "a\"b\\c\nd".serialize_json(&mut out);
+        assert_eq!(out, r#""a\"b\\c\nd""#);
+
+        let mut out = String::new();
+        Option::<u8>::None.serialize_json(&mut out);
+        assert_eq!(out, "null");
+    }
+}

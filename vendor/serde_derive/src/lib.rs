@@ -1,0 +1,292 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` for the shapes this workspace actually
+//! uses — structs with named fields, and enums whose variants are units or
+//! have named fields — without depending on `syn`/`quote` (the build
+//! environment has no registry access). The input item is parsed textually:
+//! attributes are stripped with a string-literal-aware bracket matcher, then
+//! the item kind, name, and field/variant identifiers are read off.
+//!
+//! Generated code targets the `serde` shim's JSON-writing trait and matches
+//! real serde's externally-tagged encoding (unit variant -> `"Variant"`,
+//! struct variant -> `{"Variant":{...}}`), so swapping in the real serde
+//! later is source-compatible.
+
+use proc_macro::TokenStream;
+use std::fmt::Write as _;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let src = strip_attributes(&strip_comments(&input.to_string()));
+    match generate(&src) {
+        Ok(out) => out.parse().unwrap(),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+/// Remove `//`-to-end-of-line and `/* ... */` comments (rustc stringifies
+/// doc comments back to their `///` form), skipping string literals.
+fn strip_comments(src: &str) -> String {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = String::with_capacity(src.len());
+    let mut i = 0;
+    while i < chars.len() {
+        match chars[i] {
+            '"' => {
+                out.push('"');
+                i += 1;
+                while i < chars.len() {
+                    out.push(chars[i]);
+                    match chars[i] {
+                        '\\' => {
+                            if i + 1 < chars.len() {
+                                out.push(chars[i + 1]);
+                            }
+                            i += 2;
+                        }
+                        '"' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+            }
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                i += 2;
+                while i + 1 < chars.len() && !(chars[i] == '*' && chars[i + 1] == '/') {
+                    i += 1;
+                }
+                i += 2;
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Remove every `#[...]` / `#![...]` attribute (including doc comments, which
+/// reach the macro as `#[doc = "..."]`), skipping over string literals so a
+/// `]` inside a doc string does not end the attribute early.
+fn strip_attributes(src: &str) -> String {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = String::with_capacity(src.len());
+    let mut i = 0;
+    while i < chars.len() {
+        if chars[i] == '#' {
+            let mut j = i + 1;
+            while j < chars.len() && (chars[j].is_whitespace() || chars[j] == '!') {
+                j += 1;
+            }
+            if j < chars.len() && chars[j] == '[' {
+                i = skip_bracketed(&chars, j);
+                continue;
+            }
+        }
+        out.push(chars[i]);
+        i += 1;
+    }
+    out
+}
+
+/// Given `chars[open] == '['`, return the index just past the matching `]`.
+fn skip_bracketed(chars: &[char], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < chars.len() {
+        match chars[i] {
+            '"' => {
+                i += 1;
+                while i < chars.len() {
+                    match chars[i] {
+                        '\\' => i += 2,
+                        '"' => break,
+                        _ => i += 1,
+                    }
+                }
+            }
+            '[' => depth += 1,
+            ']' => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    chars.len()
+}
+
+fn generate(src: &str) -> Result<String, String> {
+    let tokens: Vec<&str> = src.split_whitespace().collect();
+    let joined = tokens.join(" ");
+
+    let (kind, rest) = if let Some(pos) = find_keyword(&joined, "enum") {
+        ("enum", &joined[pos + "enum".len()..])
+    } else if let Some(pos) = find_keyword(&joined, "struct") {
+        ("struct", &joined[pos + "struct".len()..])
+    } else {
+        return Err("derive(Serialize): expected a struct or enum".to_string());
+    };
+
+    let rest = rest.trim_start();
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() {
+        return Err("derive(Serialize): cannot read item name".to_string());
+    }
+    let after_name = rest[name.len()..].trim_start();
+    if after_name.starts_with('<') {
+        return Err(
+            "derive(Serialize): generic items are not supported by the offline shim".to_string(),
+        );
+    }
+    let Some(body) = after_name
+        .strip_prefix('{')
+        .and_then(|b| b.trim_end().strip_suffix('}'))
+    else {
+        return Err(format!(
+            "derive(Serialize): unsupported item shape for `{name}` (tuple structs are not supported by the offline shim)"
+        ));
+    };
+
+    let mut code = String::new();
+    let _ = write!(
+        code,
+        "impl ::serde::Serialize for {name} {{ fn serialize_json(&self, out: &mut ::std::string::String) {{ "
+    );
+    match kind {
+        "struct" => {
+            let fields = named_fields(body)?;
+            if fields.is_empty() {
+                return Err(format!("derive(Serialize): `{name}` has no named fields"));
+            }
+            code.push_str("out.push('{');");
+            for (i, f) in fields.iter().enumerate() {
+                let first = i == 0;
+                let _ = write!(
+                    code,
+                    "::serde::ser::write_field(out, {f:?}, &self.{f}, {first});"
+                );
+            }
+            code.push_str("out.push('}');");
+        }
+        _ => {
+            code.push_str("match self { ");
+            for variant in split_top_level(body) {
+                let variant = variant.trim();
+                if variant.is_empty() {
+                    continue;
+                }
+                let vname: String = variant
+                    .chars()
+                    .take_while(|c| c.is_alphanumeric() || *c == '_')
+                    .collect();
+                let after = variant[vname.len()..].trim_start();
+                if after.is_empty() {
+                    let _ = write!(
+                        code,
+                        "{name}::{vname} => ::serde::ser::write_json_string(out, {vname:?}), "
+                    );
+                } else if let Some(vbody) = after
+                    .strip_prefix('{')
+                    .and_then(|b| b.trim_end().strip_suffix('}'))
+                {
+                    let fields = named_fields(vbody)?;
+                    let pat = fields.join(", ");
+                    let _ = write!(code, "{name}::{vname} {{ {pat} }} => {{ ");
+                    code.push_str("out.push('{');");
+                    let _ = write!(code, "::serde::ser::write_json_string(out, {vname:?});");
+                    code.push_str("out.push(':');out.push('{');");
+                    for (i, f) in fields.iter().enumerate() {
+                        let first = i == 0;
+                        let _ =
+                            write!(code, "::serde::ser::write_field(out, {f:?}, {f}, {first});");
+                    }
+                    code.push_str("out.push('}');out.push('}'); } ");
+                } else {
+                    return Err(format!(
+                        "derive(Serialize): tuple variant `{name}::{vname}` is not supported by the offline shim"
+                    ));
+                }
+            }
+            code.push_str("} ");
+        }
+    }
+    code.push_str("} }");
+    Ok(code)
+}
+
+/// Find `kw` as a standalone word (preceded by start/space, followed by space).
+fn find_keyword(s: &str, kw: &str) -> Option<usize> {
+    let pat = format!("{kw} ");
+    if let Some(stripped) = s.strip_prefix(&pat) {
+        let _ = stripped;
+        return Some(0);
+    }
+    s.find(&format!(" {kw} ")).map(|p| p + 1)
+}
+
+/// Split a brace-delimited body at top-level commas.
+fn split_top_level(body: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut depth = 0usize;
+    let mut current = String::new();
+    for c in body.chars() {
+        match c {
+            '{' | '(' | '<' | '[' => {
+                depth += 1;
+                current.push(c);
+            }
+            '}' | ')' | '>' | ']' => {
+                depth = depth.saturating_sub(1);
+                current.push(c);
+            }
+            ',' if depth == 0 => {
+                parts.push(std::mem::take(&mut current));
+            }
+            _ => current.push(c),
+        }
+    }
+    if !current.trim().is_empty() {
+        parts.push(current);
+    }
+    parts
+}
+
+/// Extract the identifiers of `name: Type` fields from a struct/variant body.
+fn named_fields(body: &str) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    for part in split_top_level(body) {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let Some((lhs, _ty)) = part.split_once(':') else {
+            return Err(format!("derive(Serialize): cannot parse field `{part}`"));
+        };
+        let ident = lhs
+            .trim()
+            .rsplit(|c: char| c.is_whitespace())
+            .next()
+            .unwrap_or("")
+            .to_string();
+        if ident.is_empty() || !ident.chars().all(|c| c.is_alphanumeric() || c == '_') {
+            return Err(format!("derive(Serialize): cannot parse field `{part}`"));
+        }
+        fields.push(ident);
+    }
+    Ok(fields)
+}

@@ -1,0 +1,142 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! Provides `to_string` and `to_string_pretty` over the `serde` shim's
+//! JSON-writing trait. Serialization in this workspace is infallible, so
+//! [`Error`] is never constructed; the `Result` return types exist for
+//! call-site compatibility with the real serde_json.
+
+use std::fmt;
+
+/// Serialization error. Never produced by this shim; present so call sites
+/// written against the real serde_json (`.unwrap()` etc.) compile unchanged.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("serde_json shim error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize `value` as a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
+
+/// Serialize `value` as a pretty-printed JSON string (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(prettify(&to_string(value)?))
+}
+
+/// Re-indent a compact JSON document. Operates on the text while tracking
+/// string-literal state, so braces and commas inside strings are untouched.
+fn prettify(compact: &str) -> String {
+    let mut out = String::with_capacity(compact.len() * 2);
+    let mut indent = 0usize;
+    let mut in_string = false;
+    let mut chars = compact.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_string {
+            out.push(c);
+            match c {
+                '\\' => {
+                    if let Some(esc) = chars.next() {
+                        out.push(esc);
+                    }
+                }
+                '"' => in_string = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                out.push(c);
+            }
+            '{' | '[' => {
+                out.push(c);
+                if chars.peek() == Some(&'}') || chars.peek() == Some(&']') {
+                    out.push(chars.next().unwrap());
+                } else {
+                    indent += 1;
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent));
+                }
+            }
+            '}' | ']' => {
+                indent = indent.saturating_sub(1);
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push(c);
+            }
+            ',' => {
+                out.push(c);
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+            }
+            ':' => {
+                out.push(c);
+                out.push(' ');
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::Serialize;
+
+    /// Exercises the `#[derive(Serialize)]` shim from a consumer crate (the
+    /// generated code names the `serde` crate absolutely, so it cannot be
+    /// tested from inside `serde` itself). Doc comments on fields and
+    /// variants deliberately stress the derive's textual parser.
+    #[derive(Serialize)]
+    struct Point {
+        /// Horizontal coordinate.
+        x: i32,
+        label: String,
+    }
+
+    #[derive(Serialize)]
+    enum Shade {
+        /// A unit variant, encoded as a bare string.
+        Light,
+        /// A struct variant, encoded with external tagging.
+        Custom { r: u8, g: u8 },
+    }
+
+    #[test]
+    fn derived_struct_and_enum() {
+        let p = Point {
+            x: -4,
+            label: "p".to_string(),
+        };
+        assert_eq!(super::to_string(&p).unwrap(), r#"{"x":-4,"label":"p"}"#);
+        assert_eq!(super::to_string(&Shade::Light).unwrap(), r#""Light""#);
+        assert_eq!(
+            super::to_string(&Shade::Custom { r: 1, g: 2 }).unwrap(),
+            r#"{"Custom":{"r":1,"g":2}}"#
+        );
+    }
+
+    #[test]
+    fn compact_and_pretty() {
+        let v = vec!["a".to_string(), "b{c}".to_string()];
+        assert_eq!(super::to_string(&v).unwrap(), r#"["a","b{c}"]"#);
+        let pretty = super::to_string_pretty(&v).unwrap();
+        assert_eq!(pretty, "[\n  \"a\",\n  \"b{c}\"\n]");
+    }
+
+    #[test]
+    fn empty_containers_stay_inline() {
+        let v: Vec<u8> = Vec::new();
+        assert_eq!(super::to_string_pretty(&v).unwrap(), "[]");
+    }
+}
