@@ -2,8 +2,10 @@
 //! column of Figure 16) and for the compiler-profile pipeline (Figure 4).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use stack_core::Checker;
-use stack_corpus::{FIG10_POSTGRES_DIVISION, FIG12_FFMPEG_BOUNDS, FIG2_TUN_NULL_CHECK};
+use stack_core::{Checker, CheckerConfig};
+use stack_corpus::{
+    generate, SynthConfig, FIG10_POSTGRES_DIVISION, FIG12_FFMPEG_BOUNDS, FIG2_TUN_NULL_CHECK,
+};
 use stack_opt::{most_aggressive, run_profile};
 
 fn checker_on_paper_examples(c: &mut Criterion) {
@@ -27,6 +29,47 @@ fn checker_on_paper_examples(c: &mut Criterion) {
     group.finish();
 }
 
+/// The fig16 synthetic workload: sequential-uncached seed path vs the
+/// parallel driver with the memoized query cache.
+fn checker_on_synthetic_population(c: &mut Criterion) {
+    let synth = SynthConfig {
+        packages: 4,
+        seed: 47,
+        ..SynthConfig::default()
+    };
+    let mut modules = Vec::new();
+    for pkg in generate(&synth) {
+        for file in &pkg.files {
+            let mut module =
+                stack_minic::compile(&file.source, &file.name).expect("synthetic files compile");
+            stack_opt::optimize_for_analysis(&mut module);
+            modules.push(module);
+        }
+    }
+    let mut group = c.benchmark_group("checker_population");
+    for (name, threads, query_cache) in [
+        ("seed_sequential_uncached", 1usize, false),
+        ("parallel_cached", 4usize, true),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let checker = Checker::with_config(CheckerConfig {
+                    query_budget: 500_000,
+                    threads: Some(threads),
+                    query_cache,
+                    ..CheckerConfig::default()
+                });
+                let mut reports = 0usize;
+                for module in &modules {
+                    reports += checker.check_module(module).reports.len();
+                }
+                criterion::black_box(reports)
+            })
+        });
+    }
+    group.finish();
+}
+
 fn profile_pipeline(c: &mut Criterion) {
     c.bench_function("opt/aggressive_profile_on_fig12", |b| {
         b.iter(|| {
@@ -36,5 +79,10 @@ fn profile_pipeline(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, checker_on_paper_examples, profile_pipeline);
+criterion_group!(
+    benches,
+    checker_on_paper_examples,
+    checker_on_synthetic_population,
+    profile_pipeline
+);
 criterion_main!(benches);

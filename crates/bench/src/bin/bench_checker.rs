@@ -1,0 +1,29 @@
+//! Checker-scaling benchmark: measures end-to-end analysis throughput over
+//! the fig16 synthetic population under the sequential uncached seed path
+//! and under the parallel driver + memoized query cache at 1/2/4 threads,
+//! then writes the machine-readable results to `BENCH_checker.json` (CI
+//! uploads it as an artifact, giving the repo a perf trajectory).
+//!
+//! Usage: `bench_checker [--out <path>]`; honors `STACK_BENCH_FAST=1`.
+
+use stack_bench::{checker_scaling, ScalingConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_path = match args.iter().position(|a| a == "--out") {
+        Some(i) => match args.get(i + 1) {
+            Some(path) => path.clone(),
+            None => {
+                eprintln!("bench_checker: --out needs a path");
+                std::process::exit(2);
+            }
+        },
+        None => "BENCH_checker.json".to_string(),
+    };
+    let cfg = ScalingConfig::from_env();
+    let results = checker_scaling(&cfg);
+    print!("{}", results.render());
+    let json = results.to_json();
+    std::fs::write(&out_path, json).expect("write benchmark results");
+    println!("  wrote {out_path}");
+}

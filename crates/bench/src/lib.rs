@@ -5,6 +5,7 @@
 //! formatted text rendering; the binaries under `src/bin/` print them, and
 //! `EXPERIMENTS.md` records the comparison against the paper's numbers.
 
+use serde::Serialize;
 use stack_core::{Algorithm, Checker, CheckerConfig, UbKind};
 use stack_corpus::{completeness_benchmark, figure9_corpus, generate, SynthConfig, UB_COLUMNS};
 use stack_opt::{lowest_discarding_level, survey_compilers};
@@ -338,6 +339,228 @@ impl PrevalenceResult {
     }
 }
 
+/// Configuration of the checker-scaling benchmark (the `BENCH_checker.json`
+/// emitter): how large a synthetic population to analyze, which thread
+/// counts to measure, and the per-query budget.
+#[derive(Clone, Debug)]
+pub struct ScalingConfig {
+    /// Packages in the synthetic population (the fig16 workload shape).
+    pub packages: usize,
+    /// Population seed.
+    pub seed: u64,
+    /// Thread counts to measure with the query cache enabled.
+    pub threads: Vec<usize>,
+    /// Per-query solver budget in propagations.
+    pub query_budget: u64,
+}
+
+impl Default for ScalingConfig {
+    fn default() -> ScalingConfig {
+        ScalingConfig {
+            packages: 24,
+            seed: 47,
+            threads: vec![1, 2, 4],
+            query_budget: 500_000,
+        }
+    }
+}
+
+impl ScalingConfig {
+    /// The default configuration, shrunk when `STACK_BENCH_FAST` is set (CI
+    /// runs the benchmark as a smoke + artifact step, not as a measurement).
+    pub fn from_env() -> ScalingConfig {
+        let mut cfg = ScalingConfig::default();
+        if std::env::var_os("STACK_BENCH_FAST").is_some() {
+            cfg.packages = 6;
+        }
+        cfg
+    }
+}
+
+/// One measured checker configuration (a row of `BENCH_checker.json`).
+#[derive(Clone, Debug, Serialize)]
+pub struct ScalingRow {
+    /// Human-readable configuration label.
+    pub label: String,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Whether the memoized query cache was enabled.
+    pub query_cache: bool,
+    /// End-to-end analysis wall clock over the whole population.
+    pub wall_ms: u64,
+    /// Functions analyzed per second of wall clock.
+    pub functions_per_sec: f64,
+    /// Total solver queries issued.
+    pub queries: u64,
+    /// Queries that exhausted their budget.
+    pub timeouts: u64,
+    /// Queries answered from the cache.
+    pub cache_hits: u64,
+    /// Queries that consulted the cache and missed.
+    pub cache_misses: u64,
+    /// hits / (hits + misses), 0 when the cache is disabled.
+    pub cache_hit_rate: f64,
+    /// Total reports produced (must agree across every row).
+    pub reports: usize,
+}
+
+/// Results of the checker-scaling benchmark: the uncached sequential seed
+/// path as the baseline, then cached runs at each requested thread count.
+#[derive(Clone, Debug, Serialize)]
+pub struct CheckerScaling {
+    /// Workload description.
+    pub population: String,
+    /// Packages generated.
+    pub packages: usize,
+    /// Files compiled.
+    pub files: usize,
+    /// Functions analyzed per configuration run.
+    pub functions: usize,
+    /// Measured configurations; row 0 is the seed baseline.
+    pub rows: Vec<ScalingRow>,
+    /// Baseline wall clock / best cached-run wall clock.
+    pub speedup_vs_seed: f64,
+    /// Label of the fastest cached configuration.
+    pub best_label: String,
+}
+
+/// Run the checker-scaling benchmark: analyze one synthetic population under
+/// (a) the sequential uncached seed configuration and (b) the cached
+/// parallel driver at each thread count in `cfg.threads`, measuring wall
+/// clock, throughput, and cache behavior for each.
+pub fn checker_scaling(cfg: &ScalingConfig) -> CheckerScaling {
+    let synth = SynthConfig {
+        packages: cfg.packages,
+        seed: cfg.seed,
+        ..SynthConfig::default()
+    };
+    let population = generate(&synth);
+    let mut modules = Vec::new();
+    let mut files = 0usize;
+    for pkg in &population {
+        for file in &pkg.files {
+            files += 1;
+            let mut module =
+                stack_minic::compile(&file.source, &file.name).expect("synthetic files compile");
+            stack_opt::optimize_for_analysis(&mut module);
+            modules.push(module);
+        }
+    }
+    let functions: usize = modules.iter().map(|m| m.len()).sum();
+
+    let mut rows = Vec::new();
+    let mut measure = |label: String, threads: usize, query_cache: bool| {
+        // A fresh checker per configuration: each run starts from a cold
+        // cache, so rows are comparable and independent of run order.
+        let checker = Checker::with_config(CheckerConfig {
+            query_budget: cfg.query_budget,
+            threads: Some(threads),
+            query_cache,
+            ..CheckerConfig::default()
+        });
+        let start = Instant::now();
+        let mut queries = 0u64;
+        let mut timeouts = 0u64;
+        let mut cache_hits = 0u64;
+        let mut cache_misses = 0u64;
+        let mut reports = 0usize;
+        for module in &modules {
+            let result = checker.check_module(module);
+            queries += result.stats.queries;
+            timeouts += result.stats.timeouts;
+            cache_hits += result.stats.cache_hits;
+            cache_misses += result.stats.cache_misses;
+            reports += result.reports.len();
+        }
+        let elapsed = start.elapsed();
+        let secs = elapsed.as_secs_f64().max(1e-9);
+        let lookups = cache_hits + cache_misses;
+        rows.push(ScalingRow {
+            label,
+            threads,
+            query_cache,
+            wall_ms: u64::try_from(elapsed.as_millis()).unwrap_or(u64::MAX),
+            functions_per_sec: functions as f64 / secs,
+            queries,
+            timeouts,
+            cache_hits,
+            cache_misses,
+            cache_hit_rate: if lookups == 0 {
+                0.0
+            } else {
+                cache_hits as f64 / lookups as f64
+            },
+            reports,
+        });
+    };
+
+    measure("seed (sequential, no cache)".to_string(), 1, false);
+    for &threads in &cfg.threads {
+        measure(format!("{threads} thread(s) + query cache"), threads, true);
+    }
+
+    let baseline_ms = rows[0].wall_ms.max(1) as f64;
+    let best = rows[1..]
+        .iter()
+        .min_by(|a, b| a.wall_ms.cmp(&b.wall_ms))
+        .expect("at least one cached configuration");
+    let speedup = baseline_ms / best.wall_ms.max(1) as f64;
+    let best_label = best.label.clone();
+    CheckerScaling {
+        population: format!(
+            "fig16 synthetic population (packages={}, seed={})",
+            cfg.packages, cfg.seed
+        ),
+        packages: cfg.packages,
+        files,
+        functions,
+        rows,
+        speedup_vs_seed: speedup,
+        best_label,
+    }
+}
+
+impl CheckerScaling {
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Checker scaling over {} ({} files, {} functions)",
+            self.population, self.files, self.functions
+        );
+        let _ = writeln!(
+            out,
+            "  {:<30} {:>8} {:>12} {:>9} {:>9} {:>9} {:>8}",
+            "configuration", "wall(ms)", "funcs/sec", "queries", "hits", "misses", "hit%"
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "  {:<30} {:>8} {:>12.1} {:>9} {:>9} {:>9} {:>7.1}%",
+                r.label,
+                r.wall_ms,
+                r.functions_per_sec,
+                r.queries,
+                r.cache_hits,
+                r.cache_misses,
+                100.0 * r.cache_hit_rate
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  speedup vs seed path: {:.2}x ({})",
+            self.speedup_vs_seed, self.best_label
+        );
+        out
+    }
+
+    /// Serialize to the `BENCH_checker.json` payload.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("scaling results serialize")
+    }
+}
+
 /// §6.3 precision: run the checker over the Kerberos- and Postgres-like
 /// corpora and classify the reports.
 pub struct PrecisionResult {
@@ -460,5 +683,35 @@ mod tests {
         assert_eq!(result.packages, 12);
         assert!(result.packages_with_reports > 0);
         assert!(!result.reports_by_algorithm.is_empty());
+    }
+
+    #[test]
+    fn checker_scaling_rows_agree_and_cache_hits() {
+        let cfg = ScalingConfig {
+            packages: 4,
+            seed: 11,
+            threads: vec![1, 2],
+            query_budget: 500_000,
+        };
+        let scaling = checker_scaling(&cfg);
+        assert_eq!(scaling.rows.len(), 3); // seed + two cached configs
+        assert!(scaling.functions > 0);
+        // Every configuration must find exactly the same bugs.
+        let seed_reports = scaling.rows[0].reports;
+        let seed_queries = scaling.rows[0].queries;
+        for row in &scaling.rows {
+            assert_eq!(row.reports, seed_reports, "{}", row.label);
+            assert_eq!(row.queries, seed_queries, "{}", row.label);
+        }
+        // The seed row never consults the cache; the cached rows must get a
+        // nonzero hit rate out of the repeated synthetic idioms.
+        assert_eq!(scaling.rows[0].cache_hits, 0);
+        for row in &scaling.rows[1..] {
+            assert!(row.cache_hit_rate > 0.0, "{}", row.label);
+        }
+        // The JSON payload is valid enough to round-trip its key fields.
+        let json = scaling.to_json();
+        assert!(json.contains("\"speedup_vs_seed\""));
+        assert!(json.contains("\"cache_hit_rate\""));
     }
 }

@@ -3,11 +3,15 @@
 //! Usage:
 //!
 //! ```text
-//! stack check <file.mc> [--json] [--include-macros]   # analyze a mini-C file
+//! stack check <file.mc> [--json] [--include-macros] [--threads N] [--no-cache]
 //! stack demo  <pattern-id>                            # analyze a built-in paper example
 //! stack list                                          # list built-in examples
 //! stack survey                                        # print the Figure 4 compiler matrix rows
 //! ```
+//!
+//! `--threads N` pins the parallel per-function driver to `N` workers
+//! (default: available parallelism; `1` is fully sequential) and
+//! `--no-cache` disables the memoized solver query cache.
 
 use stack_core::{Checker, CheckerConfig};
 use stack_opt::{lowest_discarding_level, survey_compilers};
@@ -18,11 +22,25 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("check") => {
             let Some(path) = args.get(1) else {
-                eprintln!("usage: stack check <file.mc> [--json] [--include-macros]");
+                eprintln!(
+                    "usage: stack check <file.mc> [--json] [--include-macros] \
+                     [--threads N] [--no-cache]"
+                );
                 return ExitCode::from(2);
             };
             let json = args.iter().any(|a| a == "--json");
             let include_macros = args.iter().any(|a| a == "--include-macros");
+            let query_cache = !args.iter().any(|a| a == "--no-cache");
+            let threads = match args.iter().position(|a| a == "--threads") {
+                Some(i) => match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) if n >= 1 => Some(n),
+                    _ => {
+                        eprintln!("stack: --threads needs a positive integer");
+                        return ExitCode::from(2);
+                    }
+                },
+                None => None,
+            };
             let source = match std::fs::read_to_string(path) {
                 Ok(s) => s,
                 Err(e) => {
@@ -32,6 +50,8 @@ fn main() -> ExitCode {
             };
             let checker = Checker::with_config(CheckerConfig {
                 report_compiler_generated: include_macros,
+                threads,
+                query_cache,
                 ..CheckerConfig::default()
             });
             match checker.check_source(&source, path) {

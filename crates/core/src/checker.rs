@@ -20,8 +20,10 @@ use crate::encoder::FunctionEncoder;
 use crate::report::{origin_info, Algorithm, BugReport, UbSource};
 use crate::ubcond::{collect_ub_conditions, UbCondition};
 use stack_ir::{CmpPred, Function, InstKind, Module, Operand, Origin};
-use stack_solver::{Budget, BvSolver, QueryResult, TermId};
+use stack_solver::{Budget, BvSolver, CacheStats, QueryCache, QueryResult, SolverStats, TermId};
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Checker configuration.
@@ -33,6 +35,15 @@ pub struct CheckerConfig {
     /// Whether to keep reports whose unstable fragment was produced by a
     /// macro expansion or inlining (the paper suppresses them, §4.2).
     pub report_compiler_generated: bool,
+    /// Worker threads for [`Checker::check_module`]. `None` uses the
+    /// machine's available parallelism; `Some(1)` preserves the sequential
+    /// behavior exactly. Per-function checking (§4.4) makes every function's
+    /// queries independent, so the driver scales near-linearly.
+    pub threads: Option<usize>,
+    /// Whether to memoize solver queries in a cache shared across functions,
+    /// modules, and worker threads (structurally identical queries are
+    /// answered without re-entering the SAT core).
+    pub query_cache: bool,
 }
 
 impl Default for CheckerConfig {
@@ -40,6 +51,8 @@ impl Default for CheckerConfig {
         CheckerConfig {
             query_budget: 2_000_000,
             report_compiler_generated: false,
+            threads: None,
+            query_cache: true,
         }
     }
 }
@@ -49,14 +62,32 @@ impl Default for CheckerConfig {
 pub struct CheckStats {
     /// Number of functions analyzed.
     pub functions: usize,
-    /// Total solver queries issued.
+    /// Total solver queries issued (merged across worker threads).
     pub queries: u64,
-    /// Queries that exhausted their budget.
+    /// Queries that exhausted their budget (merged across worker threads).
     pub timeouts: u64,
+    /// Queries answered from the shared query cache.
+    pub cache_hits: u64,
+    /// Queries that consulted the cache and missed.
+    pub cache_misses: u64,
+    /// Worker threads the run actually used.
+    pub threads: usize,
     /// Wall-clock analysis time.
     pub elapsed: Duration,
     /// Reports per algorithm.
     pub by_algorithm: HashMap<Algorithm, usize>,
+}
+
+impl CheckStats {
+    /// Fraction of queries answered from the cache (0 when none consulted).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
 }
 
 /// Result of checking a module.
@@ -81,9 +112,25 @@ impl CheckResult {
 }
 
 /// The checker.
-#[derive(Debug, Default)]
+///
+/// One `Checker` owns one query cache: every [`check_module`] /
+/// [`check_source`] call through the same instance shares it, so repeated
+/// idioms are answered from memory across files and modules (the synthetic
+/// Debian population re-instantiates the same unstable patterns thousands of
+/// times).
+///
+/// [`check_module`]: Checker::check_module
+/// [`check_source`]: Checker::check_source
+#[derive(Debug)]
 pub struct Checker {
     config: CheckerConfig,
+    cache: Arc<QueryCache>,
+}
+
+impl Default for Checker {
+    fn default() -> Checker {
+        Checker::with_config(CheckerConfig::default())
+    }
 }
 
 impl Checker {
@@ -94,7 +141,37 @@ impl Checker {
 
     /// A checker with an explicit configuration.
     pub fn with_config(config: CheckerConfig) -> Checker {
-        Checker { config }
+        Checker {
+            config,
+            cache: Arc::new(QueryCache::new()),
+        }
+    }
+
+    /// Counters of the checker-owned query cache (lifetime of this instance).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// A solver wired to this checker's budget and (if enabled) query cache.
+    fn make_solver(&self) -> BvSolver {
+        let mut solver = BvSolver::with_budget(Budget::propagations(self.config.query_budget));
+        if self.config.query_cache {
+            solver.set_cache(Some(Arc::clone(&self.cache)));
+        }
+        solver
+    }
+
+    /// Number of worker threads a `check_module` run will use for a module
+    /// of `functions` functions.
+    fn resolve_threads(&self, functions: usize) -> usize {
+        self.config
+            .threads
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            })
+            .clamp(1, functions.max(1))
     }
 
     /// Compile a mini-C source string, run the analysis pre-pass, and check it.
@@ -105,13 +182,30 @@ impl Checker {
     }
 
     /// Check every function of an (already optimized-for-analysis) module.
+    ///
+    /// Functions are distributed over [`CheckerConfig::threads`] scoped
+    /// worker threads pulling from a shared atomic work index (dynamic
+    /// self-scheduling, so a thread that drew cheap functions steals the
+    /// remaining work of slower ones). Each worker owns a private solver —
+    /// and therefore private `TermPool`s via its per-function encoders —
+    /// while sharing the checker-wide query cache. Results are stitched back
+    /// in function order, so the report list is identical to a sequential
+    /// run's regardless of thread count or scheduling.
     pub fn check_module(&self, module: &Module) -> CheckResult {
         let start = Instant::now();
-        let mut solver = BvSolver::with_budget(Budget::propagations(self.config.query_budget));
-        let mut reports = Vec::new();
-        for func in module.functions() {
-            reports.extend(self.check_function(func, &mut solver));
-        }
+        let functions = module.functions();
+        let threads = self.resolve_threads(functions.len());
+        let (mut per_function, solver_stats) = if threads <= 1 {
+            let mut solver = self.make_solver();
+            let per_function: Vec<Vec<BugReport>> = functions
+                .iter()
+                .map(|func| self.check_function(func, &mut solver))
+                .collect();
+            (per_function, solver.stats())
+        } else {
+            self.check_functions_parallel(functions, threads)
+        };
+        let mut reports: Vec<BugReport> = per_function.drain(..).flatten().collect();
         // Deduplicate identical (location, algorithm) reports.
         let mut seen = HashSet::new();
         reports
@@ -124,13 +218,55 @@ impl Checker {
             *by_algorithm.entry(r.algorithm).or_insert(0) += 1;
         }
         let stats = CheckStats {
-            functions: module.len(),
-            queries: solver.stats().queries,
-            timeouts: solver.stats().timeouts,
+            functions: functions.len(),
+            queries: solver_stats.queries,
+            timeouts: solver_stats.timeouts,
+            cache_hits: solver_stats.cache_hits,
+            cache_misses: solver_stats.cache_misses,
+            threads,
             elapsed: start.elapsed(),
             by_algorithm,
         };
         CheckResult { reports, stats }
+    }
+
+    /// The parallel driver: `threads` scoped workers draw function indices
+    /// from a shared counter and return `(index, reports)` pairs plus their
+    /// private solver's statistics, which are merged field-by-field (so the
+    /// aggregate equals what one sequential solver would have counted).
+    fn check_functions_parallel(
+        &self,
+        functions: &[Function],
+        threads: usize,
+    ) -> (Vec<Vec<BugReport>>, SolverStats) {
+        let next = AtomicUsize::new(0);
+        let mut per_function: Vec<Vec<BugReport>> = vec![Vec::new(); functions.len()];
+        let mut solver_stats = SolverStats::default();
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..threads)
+                .map(|_| {
+                    let next = &next;
+                    scope.spawn(move || {
+                        let mut solver = self.make_solver();
+                        let mut local: Vec<(usize, Vec<BugReport>)> = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(func) = functions.get(i) else { break };
+                            local.push((i, self.check_function(func, &mut solver)));
+                        }
+                        (local, solver.stats())
+                    })
+                })
+                .collect();
+            for worker in workers {
+                let (local, stats) = worker.join().expect("checker worker panicked");
+                solver_stats.merge(&stats);
+                for (i, reports) in local {
+                    per_function[i] = reports;
+                }
+            }
+        });
+        (per_function, solver_stats)
     }
 
     /// Check a single function.
@@ -664,5 +800,86 @@ mod tests {
         assert!(result.stats.queries >= 2);
         assert_eq!(result.stats.timeouts, 0);
         assert!(result.stats.by_algorithm.values().sum::<usize>() >= 1);
+        assert!(result.stats.threads >= 1);
+    }
+
+    /// A module with several functions, mixing unstable and stable code, so
+    /// the parallel driver has real work to distribute.
+    const MULTI_FUNCTION_SRC: &str = "\
+        int f0(struct s *tun) { long sk = tun->sk; if (!tun) return 1; return 0; }\n\
+        int f1(int x) { if (x + 100 < x) return 1; return 0; }\n\
+        int f2(int x, int y) { if (y == 0) return -1; return x / y; }\n\
+        int f3(char *buf, char *buf_end, unsigned int len) {\n\
+          if (buf + len >= buf_end) return -1;\n\
+          if (buf + len < buf) return -1;\n\
+          return 0;\n\
+        }\n\
+        int f4(int x) { if (!(1 << x)) return 1; return 0; }\n\
+        int f5(int x) { if (x + 100 < x) return 1; return 0; }\n";
+
+    fn check_with(threads: Option<usize>, query_cache: bool) -> CheckResult {
+        Checker::with_config(CheckerConfig {
+            threads,
+            query_cache,
+            ..CheckerConfig::default()
+        })
+        .check_source(MULTI_FUNCTION_SRC, "multi.c")
+        .unwrap()
+    }
+
+    #[test]
+    fn parallel_run_matches_sequential_run() {
+        let sequential = check_with(Some(1), true);
+        for threads in [2, 4] {
+            let parallel = check_with(Some(threads), true);
+            assert_eq!(
+                format!("{:?}", sequential.reports),
+                format!("{:?}", parallel.reports),
+                "threads={threads}"
+            );
+            assert_eq!(sequential.stats.queries, parallel.stats.queries);
+            assert_eq!(sequential.stats.timeouts, parallel.stats.timeouts);
+        }
+    }
+
+    #[test]
+    fn cache_disabled_matches_cache_enabled() {
+        let cached = check_with(Some(1), true);
+        let uncached = check_with(Some(1), false);
+        assert_eq!(
+            format!("{:?}", cached.reports),
+            format!("{:?}", uncached.reports)
+        );
+        assert_eq!(uncached.stats.cache_hits, 0);
+        assert_eq!(uncached.stats.cache_misses, 0);
+        // f1 and f5 are structurally identical, so the cached run must
+        // answer at least one query from memory.
+        assert!(cached.stats.cache_hits > 0, "{:?}", cached.stats);
+    }
+
+    #[test]
+    fn cache_is_shared_across_check_calls() {
+        let checker = Checker::new();
+        let src = "int f(int x) { if (x + 1 < x) return 1; return 0; }";
+        let first = checker.check_source(src, "a.c").unwrap();
+        let second = checker.check_source(src, "b.c").unwrap();
+        assert_eq!(first.reports.len(), second.reports.len());
+        // The second pass re-issues structurally identical queries, so every
+        // decided query hits the cache built by the first pass.
+        assert!(
+            second.stats.cache_hits >= first.stats.cache_hits,
+            "first={:?} second={:?}",
+            first.stats,
+            second.stats
+        );
+        assert!(second.stats.cache_hits > 0);
+        let cache = checker.cache_stats();
+        assert_eq!(
+            cache.hits + cache.misses,
+            first.stats.cache_hits
+                + first.stats.cache_misses
+                + second.stats.cache_hits
+                + second.stats.cache_misses
+        );
     }
 }

@@ -19,6 +19,7 @@
 //! means the corresponding fragment is unstable code.
 
 pub mod blast;
+pub mod cache;
 pub mod cnf;
 pub mod lit;
 pub mod model;
@@ -27,6 +28,7 @@ pub mod solver;
 pub mod term;
 
 pub use blast::BitBlaster;
+pub use cache::{canonical_key, CacheKey, CacheStats, QueryCache};
 pub use cnf::{Clause, ClauseDb, ClauseRef, CnfFormula};
 pub use lit::{LBool, Lit, Var};
 pub use model::Model;

@@ -9,9 +9,12 @@
 //! reproducible across machines.
 
 use crate::blast::BitBlaster;
+use crate::cache::{FingerprintMemo, QueryCache};
 use crate::model::Model;
 use crate::sat::{Budget, SatResult, SatSolver};
 use crate::term::{Sort, TermId, TermKind, TermPool};
+use std::collections::HashSet;
+use std::sync::Arc;
 
 /// Outcome of a single query.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -57,6 +60,27 @@ pub struct SolverStats {
     pub propagations: u64,
     /// Total conflicts across all queries.
     pub conflicts: u64,
+    /// Queries answered from the shared [`QueryCache`] without bit-blasting.
+    pub cache_hits: u64,
+    /// Queries that consulted the cache and missed.
+    pub cache_misses: u64,
+}
+
+impl SolverStats {
+    /// Fold another solver's counters into this one. The parallel checker
+    /// runs one [`BvSolver`] per worker thread and merges their statistics
+    /// at the end; summing every field keeps the aggregate identical to what
+    /// a single sequential solver would have reported.
+    pub fn merge(&mut self, other: &SolverStats) {
+        self.queries += other.queries;
+        self.sat += other.sat;
+        self.unsat += other.unsat;
+        self.timeouts += other.timeouts;
+        self.propagations += other.propagations;
+        self.conflicts += other.conflicts;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+    }
 }
 
 /// The bit-vector solver.
@@ -64,6 +88,8 @@ pub struct SolverStats {
 pub struct BvSolver {
     budget: Budget,
     stats: SolverStats,
+    cache: Option<Arc<QueryCache>>,
+    memo: FingerprintMemo,
 }
 
 impl Default for BvSolver {
@@ -75,10 +101,7 @@ impl Default for BvSolver {
 impl BvSolver {
     /// Create a solver with an unlimited per-query budget.
     pub fn new() -> BvSolver {
-        BvSolver {
-            budget: Budget::unlimited(),
-            stats: SolverStats::default(),
-        }
+        BvSolver::with_budget(Budget::unlimited())
     }
 
     /// Create a solver with a per-query propagation budget (the deterministic
@@ -87,12 +110,30 @@ impl BvSolver {
         BvSolver {
             budget,
             stats: SolverStats::default(),
+            cache: None,
+            memo: FingerprintMemo::default(),
         }
     }
 
     /// Change the per-query budget.
     pub fn set_budget(&mut self, budget: Budget) {
         self.budget = budget;
+    }
+
+    /// Attach (or detach) a memoized query cache, typically shared between
+    /// several solvers via [`Arc`]. With a cache attached, [`check`]
+    /// consults it before bit-blasting and stores every decided result;
+    /// budget-exhausted `Unknown` results are never cached.
+    ///
+    /// [`check`]: BvSolver::check
+    pub fn set_cache(&mut self, cache: Option<Arc<QueryCache>>) {
+        self.cache = cache;
+    }
+
+    /// Builder-style variant of [`BvSolver::set_cache`].
+    pub fn with_cache(mut self, cache: Arc<QueryCache>) -> BvSolver {
+        self.cache = Some(cache);
+        self
     }
 
     /// Statistics accumulated so far.
@@ -106,40 +147,68 @@ impl BvSolver {
     }
 
     /// Check satisfiability of the conjunction of `assertions`.
+    ///
+    /// The query pipeline is: cheap pre-solve simplification (conjunction
+    /// flattening, constant folding, complementary-literal propagation),
+    /// then a lookup in the attached [`QueryCache`] (if any), and only on a
+    /// miss the full bit-blast + CDCL run. Decided results of full runs are
+    /// stored back into the cache.
     pub fn check(&mut self, pool: &TermPool, assertions: &[TermId]) -> QueryResult {
         self.stats.queries += 1;
 
-        // Fast path: constant-folded assertions.
-        let mut all_true = true;
-        for &a in assertions {
-            debug_assert!(pool.sort(a).is_bool());
-            match pool.as_bool_const(a) {
-                Some(false) => {
-                    self.stats.unsat += 1;
-                    return QueryResult::Unsat;
-                }
-                Some(true) => {}
-                None => all_true = false,
+        // Pre-solve simplification of the assertion conjunction.
+        let mut simplified = match presimplify(pool, assertions) {
+            Presimplified::Unsat => {
+                self.stats.unsat += 1;
+                return QueryResult::Unsat;
             }
-        }
-        if all_true {
-            self.stats.sat += 1;
-            return QueryResult::Sat(Model::new());
+            Presimplified::Sat => {
+                self.stats.sat += 1;
+                return QueryResult::Sat(Model::new());
+            }
+            Presimplified::Open(list) => list,
+        };
+
+        // Canonicalize unconditionally (not just when a cache is attached):
+        // blasting in fingerprint order makes the CNF — and with it a
+        // budget-boundary `Unknown` — depend only on the assertion *set*, so
+        // answering a later query from the cache can never disagree with
+        // what recomputing it would have produced. That is what keeps
+        // parallel, sequential, cached, and uncached runs byte-identical.
+        let key = self.memo.canonicalize(pool, &mut simplified);
+        let key = self.cache.is_some().then_some(key);
+        if let (Some(cache), Some(key)) = (&self.cache, &key) {
+            if let Some(result) = cache.lookup(key) {
+                self.stats.cache_hits += 1;
+                match &result {
+                    QueryResult::Sat(model) => {
+                        self.stats.sat += 1;
+                        // A cached model came from a structurally identical
+                        // query, so it names the same variables; re-check it
+                        // against this pool's terms in debug builds.
+                        debug_assert!(
+                            assertions.iter().all(|&a| model.eval_bool(pool, a)),
+                            "cached model does not satisfy the assertions"
+                        );
+                    }
+                    QueryResult::Unsat => self.stats.unsat += 1,
+                    QueryResult::Unknown => unreachable!("Unknown is never cached"),
+                }
+                return result;
+            }
+            self.stats.cache_misses += 1;
         }
 
         let mut sat = SatSolver::new();
         let mut blaster = BitBlaster::new();
-        for &a in assertions {
-            if pool.as_bool_const(a) == Some(true) {
-                continue;
-            }
+        for &a in &simplified {
             let lit = blaster.blast_bool(pool, &mut sat, a);
             sat.add_clause(&[lit]);
         }
         let result = sat.solve_with(&[], self.budget);
         self.stats.propagations += sat.stats().propagations;
         self.stats.conflicts += sat.stats().conflicts;
-        match result {
+        let outcome = match result {
             SatResult::Unsat => {
                 self.stats.unsat += 1;
                 QueryResult::Unsat
@@ -169,7 +238,11 @@ impl BvSolver {
                 );
                 QueryResult::Sat(model)
             }
+        };
+        if let (Some(cache), Some(key)) = (&self.cache, key) {
+            cache.insert(key, &outcome);
         }
+        outcome
     }
 
     /// Check whether a single boolean term is satisfiable.
@@ -189,6 +262,67 @@ impl BvSolver {
         let not_conclusion = pool.not(conclusion);
         let counterexample = pool.and(assumption, not_conclusion);
         self.check_one(pool, counterexample).is_unsat()
+    }
+}
+
+/// Outcome of the pre-solve simplification of an assertion conjunction.
+enum Presimplified {
+    /// The conjunction is trivially false.
+    Unsat,
+    /// The conjunction is trivially true (empty after simplification).
+    Sat,
+    /// The remaining, flattened, deduplicated assertions.
+    Open(Vec<TermId>),
+}
+
+/// Cheap pre-solve simplification of the assertion conjunction, run before
+/// CNF conversion:
+///
+/// * **flattening** — a top-level `And(a, b)` assertion is split into the
+///   assertions `a` and `b` (recursively), so the bit-blaster asserts the
+///   conjuncts directly instead of building gate literals for them, and so
+///   the cache key for `[and(a, b)]` coincides with the one for `[a, b]`;
+/// * **constant folding** — `true` conjuncts are dropped, a `false` conjunct
+///   decides the query (term constructors already fold ground subterms, so
+///   this is a lookup, not an evaluation);
+/// * **unit propagation** over asserted literals — duplicated conjuncts
+///   collapse, and a conjunct asserted both positively and under a negation
+///   (`t` and `not t`) decides the query as UNSAT.
+fn presimplify(pool: &TermPool, assertions: &[TermId]) -> Presimplified {
+    let mut out = Vec::with_capacity(assertions.len());
+    let mut seen: HashSet<TermId> = HashSet::with_capacity(assertions.len());
+    let mut work: Vec<TermId> = assertions.iter().rev().copied().collect();
+    while let Some(t) = work.pop() {
+        debug_assert!(pool.sort(t).is_bool());
+        match &pool.term(t).kind {
+            TermKind::BoolConst(true) => {}
+            TermKind::BoolConst(false) => return Presimplified::Unsat,
+            TermKind::And(a, b) => {
+                // Preserve left-to-right order of the conjuncts.
+                work.push(*b);
+                work.push(*a);
+            }
+            TermKind::Not(inner) if seen.contains(inner) => return Presimplified::Unsat,
+            _ => {
+                if seen.insert(t) {
+                    out.push(t);
+                }
+            }
+        }
+    }
+    // Second pass for complements discovered out of order (`t` asserted
+    // after `not t`): any asserted `Not(x)` whose `x` is also asserted.
+    for &t in &out {
+        if let TermKind::Not(inner) = &pool.term(t).kind {
+            if seen.contains(inner) {
+                return Presimplified::Unsat;
+            }
+        }
+    }
+    if out.is_empty() {
+        Presimplified::Sat
+    } else {
+        Presimplified::Open(out)
     }
 }
 

@@ -11,6 +11,10 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic source of pool identities (see [`TermPool::epoch`]).
+static POOL_EPOCH: AtomicU64 = AtomicU64::new(1);
 
 /// Maximum supported bit-vector width. The checker models C types up to
 /// 64-bit integers and pointers, matching the paper's examples.
@@ -136,16 +140,34 @@ pub fn to_signed(value: u64, width: u32) -> i64 {
 }
 
 /// The hash-consing pool of terms.
-#[derive(Default)]
 pub struct TermPool {
     terms: Vec<Term>,
     dedup: HashMap<TermKind, TermId>,
+    epoch: u64,
+}
+
+impl Default for TermPool {
+    fn default() -> TermPool {
+        TermPool::new()
+    }
 }
 
 impl TermPool {
     /// Create an empty pool.
     pub fn new() -> TermPool {
-        TermPool::default()
+        TermPool {
+            terms: Vec::new(),
+            dedup: HashMap::new(),
+            epoch: POOL_EPOCH.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    /// A process-unique identity for this pool. [`TermId`]s are only
+    /// meaningful within one pool; consumers that memoize per-term data
+    /// (e.g. the query cache's structural fingerprints) key it by epoch so a
+    /// memo built against one pool is never consulted for another.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Number of distinct terms created.

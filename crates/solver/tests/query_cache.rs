@@ -1,0 +1,155 @@
+//! Property coverage for the memoized query cache: for random assertion
+//! sets, a cache-backed solver and a plain solver agree on every
+//! `QueryResult`, replaying a query through the cache reproduces the first
+//! answer, and canonical cache keys are insensitive to the order (and
+//! multiplicity) of the assertion slice.
+
+use proptest::prelude::*;
+use stack_solver::{canonical_key, BvSolver, QueryCache, QueryResult, TermId, TermPool};
+use std::sync::Arc;
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+/// Build a random 8-bit term over `x`, `y`, `z`, and constants, of bounded
+/// depth, driven by a deterministic LCG stream.
+fn random_bv(pool: &mut TermPool, state: &mut u64, depth: u32) -> TermId {
+    if depth == 0 || lcg(state).is_multiple_of(3) {
+        return match lcg(state) % 4 {
+            0 => pool.bv_var("x", 8),
+            1 => pool.bv_var("y", 8),
+            2 => pool.bv_var("z", 8),
+            _ => pool.bv_const(8, lcg(state) & 0xFF),
+        };
+    }
+    let a = random_bv(pool, state, depth - 1);
+    let b = random_bv(pool, state, depth - 1);
+    match lcg(state) % 5 {
+        0 => pool.bv_add(a, b),
+        1 => pool.bv_sub(a, b),
+        2 => pool.bv_mul(a, b),
+        3 => pool.bv_and(a, b),
+        _ => pool.bv_xor(a, b),
+    }
+}
+
+/// A random boolean assertion: a comparison between two random 8-bit terms,
+/// sometimes negated or conjoined (exercising conjunction flattening).
+fn random_assertion(pool: &mut TermPool, state: &mut u64) -> TermId {
+    let a = random_bv(pool, state, 2);
+    let b = random_bv(pool, state, 2);
+    let cmp = match lcg(state) % 4 {
+        0 => pool.bv_ult(a, b),
+        1 => pool.bv_slt(a, b),
+        2 => pool.eq(a, b),
+        _ => pool.bv_ule(a, b),
+    };
+    match lcg(state) % 4 {
+        0 => pool.not(cmp),
+        1 => {
+            let c = random_bv(pool, state, 1);
+            let d = random_bv(pool, state, 1);
+            let other = pool.bv_ule(c, d);
+            pool.and(cmp, other)
+        }
+        _ => cmp,
+    }
+}
+
+fn random_assertions(seed: u64) -> (TermPool, Vec<TermId>) {
+    let mut pool = TermPool::new();
+    let mut state = seed | 1;
+    let count = 1 + (lcg(&mut state) % 4) as usize;
+    let assertions = (0..count)
+        .map(|_| random_assertion(&mut pool, &mut state))
+        .collect();
+    (pool, assertions)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Cached and uncached solving agree, and replaying the query through
+    /// the warm cache agrees again.
+    #[test]
+    fn cached_and_uncached_check_agree(seed in any::<u64>()) {
+        let (pool, assertions) = random_assertions(seed);
+        let mut plain = BvSolver::new();
+        let mut cached = BvSolver::new().with_cache(Arc::new(QueryCache::new()));
+        let expected = plain.check(&pool, &assertions);
+        let first = cached.check(&pool, &assertions);
+        prop_assert_eq!(&expected, &first, "first cached query must agree");
+        let replay = cached.check(&pool, &assertions);
+        prop_assert_eq!(&expected, &replay, "cache replay must agree");
+        // A decided non-trivial query must have been answered from the cache
+        // the second time (trivial queries are decided before the cache).
+        let stats = cached.stats();
+        prop_assert_eq!(stats.queries, 2);
+        if stats.cache_misses > 0 && !matches!(expected, QueryResult::Unknown) {
+            prop_assert_eq!(stats.cache_hits, 1);
+        }
+    }
+
+    /// Canonical keys ignore assertion order and duplication.
+    #[test]
+    fn cache_keys_are_order_insensitive(seed in any::<u64>()) {
+        let (pool, assertions) = random_assertions(seed);
+        let key = canonical_key(&pool, &assertions);
+        let reversed: Vec<TermId> = assertions.iter().rev().copied().collect();
+        prop_assert_eq!(&key, &canonical_key(&pool, &reversed));
+        // Rotate by one.
+        let mut rotated = assertions.clone();
+        rotated.rotate_left(1);
+        prop_assert_eq!(&key, &canonical_key(&pool, &rotated));
+        // Duplicate every assertion.
+        let doubled: Vec<TermId> = assertions
+            .iter()
+            .chain(assertions.iter())
+            .copied()
+            .collect();
+        prop_assert_eq!(&key, &canonical_key(&pool, &doubled));
+    }
+
+    /// Sharing one cache between two solvers with distinct pools: the second
+    /// solver answers structurally identical queries from the first
+    /// solver's work.
+    #[test]
+    fn cache_is_shared_across_pools(seed in any::<u64>()) {
+        let cache = Arc::new(QueryCache::new());
+        let (pool_a, asserts_a) = random_assertions(seed);
+        let (pool_b, asserts_b) = random_assertions(seed);
+        let mut solver_a = BvSolver::new().with_cache(Arc::clone(&cache));
+        let mut solver_b = BvSolver::new().with_cache(Arc::clone(&cache));
+        let ra = solver_a.check(&pool_a, &asserts_a);
+        let rb = solver_b.check(&pool_b, &asserts_b);
+        prop_assert_eq!(&ra, &rb, "same construction recipe, same answer");
+        if solver_a.stats().cache_misses > 0 && !matches!(ra, QueryResult::Unknown) {
+            prop_assert_eq!(solver_b.stats().cache_hits, 1);
+            prop_assert_eq!(solver_b.stats().cache_misses, 0);
+        }
+    }
+}
+
+/// Deterministic (non-property) check that a known non-trivial repeated
+/// query is a hit, including across differently-ordered assertion slices.
+#[test]
+fn known_query_hits_after_reorder() {
+    let cache = Arc::new(QueryCache::new());
+    let mut pool = TermPool::new();
+    let mut solver = BvSolver::new().with_cache(Arc::clone(&cache));
+    let x = pool.bv_var("x", 16);
+    let y = pool.bv_var("y", 16);
+    let sum = pool.bv_add(x, y);
+    let a = pool.bv_ult(sum, x);
+    let b = pool.bv_ult(x, y);
+    let r1 = solver.check(&pool, &[a, b]);
+    let r2 = solver.check(&pool, &[b, a]);
+    assert_eq!(r1, r2);
+    assert_eq!(solver.stats().cache_hits, 1);
+    assert_eq!(solver.stats().cache_misses, 1);
+    assert_eq!(cache.stats().entries, 1);
+}

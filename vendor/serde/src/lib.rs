@@ -45,6 +45,28 @@ impl Serialize for bool {
     }
 }
 
+macro_rules! impl_serialize_float {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl Serialize for $t {
+                fn serialize_json(&self, out: &mut String) {
+                    if self.is_finite() {
+                        // `{:?}` always includes a decimal point or exponent,
+                        // matching real serde_json's float formatting.
+                        out.push_str(&format!("{self:?}"));
+                    } else {
+                        // JSON has no NaN/Infinity; real serde_json errors
+                        // here, the shim degrades to null.
+                        out.push_str("null");
+                    }
+                }
+            }
+        )*
+    };
+}
+
+impl_serialize_float!(f32, f64);
+
 impl Serialize for str {
     fn serialize_json(&self, out: &mut String) {
         ser::write_json_string(out, self);
