@@ -348,7 +348,9 @@ pub struct ScalingConfig {
     pub packages: usize,
     /// Population seed.
     pub seed: u64,
-    /// Thread counts to measure with the query cache enabled.
+    /// Thread counts to measure. Each count is measured twice: once with the
+    /// query cache alone (the PR 2 configuration) and once with the cache
+    /// plus incremental per-function solver instances.
     pub threads: Vec<usize>,
     /// Per-query solver budget in propagations.
     pub query_budget: u64,
@@ -386,6 +388,9 @@ pub struct ScalingRow {
     pub threads: usize,
     /// Whether the memoized query cache was enabled.
     pub query_cache: bool,
+    /// Whether incremental solving (persistent per-function instances with
+    /// UB conditions as assumption literals) was enabled.
+    pub incremental: bool,
     /// End-to-end analysis wall clock over the whole population.
     pub wall_ms: u64,
     /// Functions analyzed per second of wall clock.
@@ -400,12 +405,17 @@ pub struct ScalingRow {
     pub cache_misses: u64,
     /// hits / (hits + misses), 0 when the cache is disabled.
     pub cache_hit_rate: f64,
+    /// Queries decided on a persistent incremental instance.
+    pub incremental_queries: u64,
+    /// Clause slots those queries reused instead of re-blasting.
+    pub reused_clauses: u64,
     /// Total reports produced (must agree across every row).
     pub reports: usize,
 }
 
 /// Results of the checker-scaling benchmark: the uncached sequential seed
-/// path as the baseline, then cached runs at each requested thread count.
+/// path as the baseline, then cached runs (the PR 2 configuration) and
+/// cached+incremental runs at each requested thread count.
 #[derive(Clone, Debug, Serialize)]
 pub struct CheckerScaling {
     /// Workload description.
@@ -418,16 +428,26 @@ pub struct CheckerScaling {
     pub functions: usize,
     /// Measured configurations; row 0 is the seed baseline.
     pub rows: Vec<ScalingRow>,
-    /// Baseline wall clock / best cached-run wall clock.
+    /// Baseline wall clock / best non-seed wall clock.
     pub speedup_vs_seed: f64,
-    /// Label of the fastest cached configuration.
+    /// Label of the fastest non-seed configuration.
     pub best_label: String,
+    /// Best cached-only wall clock / best incremental wall clock: how much
+    /// the incremental mode gains over the PR 2 cached-parallel
+    /// configuration on the same workload (>1 means incremental wins).
+    pub speedup_incremental_vs_cached: f64,
+    /// Label of the fastest cached-only (non-incremental) configuration.
+    pub best_cached_label: String,
+    /// Label of the fastest incremental configuration.
+    pub best_incremental_label: String,
 }
 
 /// Run the checker-scaling benchmark: analyze one synthetic population under
-/// (a) the sequential uncached seed configuration and (b) the cached
-/// parallel driver at each thread count in `cfg.threads`, measuring wall
-/// clock, throughput, and cache behavior for each.
+/// (a) the sequential uncached seed configuration, (b) the cached parallel
+/// driver at each thread count in `cfg.threads` (the PR 2 configuration),
+/// and (c) the cached parallel driver with incremental per-function solver
+/// instances at the same thread counts, measuring wall clock, throughput,
+/// cache behavior, and clause reuse for each.
 pub fn checker_scaling(cfg: &ScalingConfig) -> CheckerScaling {
     let synth = SynthConfig {
         packages: cfg.packages,
@@ -449,13 +469,14 @@ pub fn checker_scaling(cfg: &ScalingConfig) -> CheckerScaling {
     let functions: usize = modules.iter().map(|m| m.len()).sum();
 
     let mut rows = Vec::new();
-    let mut measure = |label: String, threads: usize, query_cache: bool| {
+    let mut measure = |label: String, threads: usize, query_cache: bool, incremental: bool| {
         // A fresh checker per configuration: each run starts from a cold
         // cache, so rows are comparable and independent of run order.
         let checker = Checker::with_config(CheckerConfig {
             query_budget: cfg.query_budget,
             threads: Some(threads),
             query_cache,
+            incremental,
             ..CheckerConfig::default()
         });
         let start = Instant::now();
@@ -463,6 +484,8 @@ pub fn checker_scaling(cfg: &ScalingConfig) -> CheckerScaling {
         let mut timeouts = 0u64;
         let mut cache_hits = 0u64;
         let mut cache_misses = 0u64;
+        let mut incremental_queries = 0u64;
+        let mut reused_clauses = 0u64;
         let mut reports = 0usize;
         for module in &modules {
             let result = checker.check_module(module);
@@ -470,6 +493,8 @@ pub fn checker_scaling(cfg: &ScalingConfig) -> CheckerScaling {
             timeouts += result.stats.timeouts;
             cache_hits += result.stats.cache_hits;
             cache_misses += result.stats.cache_misses;
+            incremental_queries += result.stats.incremental_queries;
+            reused_clauses += result.stats.reused_clauses;
             reports += result.reports.len();
         }
         let elapsed = start.elapsed();
@@ -479,6 +504,7 @@ pub fn checker_scaling(cfg: &ScalingConfig) -> CheckerScaling {
             label,
             threads,
             query_cache,
+            incremental,
             wall_ms: u64::try_from(elapsed.as_millis()).unwrap_or(u64::MAX),
             functions_per_sec: functions as f64 / secs,
             queries,
@@ -490,22 +516,41 @@ pub fn checker_scaling(cfg: &ScalingConfig) -> CheckerScaling {
             } else {
                 cache_hits as f64 / lookups as f64
             },
+            incremental_queries,
+            reused_clauses,
             reports,
         });
     };
 
-    measure("seed (sequential, no cache)".to_string(), 1, false);
+    measure("seed (sequential, no cache)".to_string(), 1, false, false);
     for &threads in &cfg.threads {
-        measure(format!("{threads} thread(s) + query cache"), threads, true);
+        measure(
+            format!("{threads} thread(s) + query cache"),
+            threads,
+            true,
+            false,
+        );
+    }
+    for &threads in &cfg.threads {
+        measure(
+            format!("{threads} thread(s) + cache + incremental"),
+            threads,
+            true,
+            true,
+        );
     }
 
     let baseline_ms = rows[0].wall_ms.max(1) as f64;
-    let best = rows[1..]
-        .iter()
-        .min_by(|a, b| a.wall_ms.cmp(&b.wall_ms))
-        .expect("at least one cached configuration");
-    let speedup = baseline_ms / best.wall_ms.max(1) as f64;
-    let best_label = best.label.clone();
+    let fastest = |rows: &[ScalingRow], pred: &dyn Fn(&ScalingRow) -> bool| {
+        rows.iter()
+            .filter(|r| pred(r))
+            .min_by_key(|r| r.wall_ms)
+            .map(|r| (r.wall_ms.max(1) as f64, r.label.clone()))
+            .expect("at least one matching configuration")
+    };
+    let (best_ms, best_label) = fastest(&rows[1..], &|_| true);
+    let (best_cached_ms, best_cached_label) = fastest(&rows, &|r| r.query_cache && !r.incremental);
+    let (best_incremental_ms, best_incremental_label) = fastest(&rows, &|r| r.incremental);
     CheckerScaling {
         population: format!(
             "fig16 synthetic population (packages={}, seed={})",
@@ -515,8 +560,11 @@ pub fn checker_scaling(cfg: &ScalingConfig) -> CheckerScaling {
         files,
         functions,
         rows,
-        speedup_vs_seed: speedup,
+        speedup_vs_seed: baseline_ms / best_ms,
         best_label,
+        speedup_incremental_vs_cached: best_cached_ms / best_incremental_ms,
+        best_cached_label,
+        best_incremental_label,
     }
 }
 
@@ -531,26 +579,32 @@ impl CheckerScaling {
         );
         let _ = writeln!(
             out,
-            "  {:<30} {:>8} {:>12} {:>9} {:>9} {:>9} {:>8}",
-            "configuration", "wall(ms)", "funcs/sec", "queries", "hits", "misses", "hit%"
+            "  {:<30} {:>8} {:>12} {:>9} {:>9} {:>8} {:>9} {:>10}",
+            "configuration", "wall(ms)", "funcs/sec", "queries", "hits", "hit%", "incr", "reused"
         );
         for r in &self.rows {
             let _ = writeln!(
                 out,
-                "  {:<30} {:>8} {:>12.1} {:>9} {:>9} {:>9} {:>7.1}%",
+                "  {:<30} {:>8} {:>12.1} {:>9} {:>9} {:>7.1}% {:>9} {:>10}",
                 r.label,
                 r.wall_ms,
                 r.functions_per_sec,
                 r.queries,
                 r.cache_hits,
-                r.cache_misses,
-                100.0 * r.cache_hit_rate
+                100.0 * r.cache_hit_rate,
+                r.incremental_queries,
+                r.reused_clauses
             );
         }
         let _ = writeln!(
             out,
             "  speedup vs seed path: {:.2}x ({})",
             self.speedup_vs_seed, self.best_label
+        );
+        let _ = writeln!(
+            out,
+            "  incremental vs cached-parallel: {:.2}x ({} over {})",
+            self.speedup_incremental_vs_cached, self.best_incremental_label, self.best_cached_label
         );
         out
     }
@@ -694,7 +748,7 @@ mod tests {
             query_budget: 500_000,
         };
         let scaling = checker_scaling(&cfg);
-        assert_eq!(scaling.rows.len(), 3); // seed + two cached configs
+        assert_eq!(scaling.rows.len(), 5); // seed + two cached + two incremental
         assert!(scaling.functions > 0);
         // Every configuration must find exactly the same bugs.
         let seed_reports = scaling.rows[0].reports;
@@ -709,9 +763,21 @@ mod tests {
         for row in &scaling.rows[1..] {
             assert!(row.cache_hit_rate > 0.0, "{}", row.label);
         }
+        // Only the incremental rows answer queries on persistent instances,
+        // and those must reuse loaded clauses across the Figure 8 loop.
+        for row in &scaling.rows {
+            if row.incremental {
+                assert!(row.incremental_queries > 0, "{}", row.label);
+                assert!(row.reused_clauses > 0, "{}", row.label);
+            } else {
+                assert_eq!(row.incremental_queries, 0, "{}", row.label);
+            }
+        }
         // The JSON payload is valid enough to round-trip its key fields.
         let json = scaling.to_json();
         assert!(json.contains("\"speedup_vs_seed\""));
         assert!(json.contains("\"cache_hit_rate\""));
+        assert!(json.contains("\"speedup_incremental_vs_cached\""));
+        assert!(json.contains("\"incremental\": true"));
     }
 }

@@ -3,15 +3,18 @@
 //! Usage:
 //!
 //! ```text
-//! stack check <file.mc> [--json] [--include-macros] [--threads N] [--no-cache]
+//! stack check <file.mc> [--json] [--include-macros] [--threads N] [--no-cache] [--no-incremental]
 //! stack demo  <pattern-id>                            # analyze a built-in paper example
 //! stack list                                          # list built-in examples
 //! stack survey                                        # print the Figure 4 compiler matrix rows
 //! ```
 //!
 //! `--threads N` pins the parallel per-function driver to `N` workers
-//! (default: available parallelism; `1` is fully sequential) and
-//! `--no-cache` disables the memoized solver query cache.
+//! (default: available parallelism; `1` is fully sequential), `--no-cache`
+//! disables the memoized solver query cache, and `--no-incremental` falls
+//! back to from-scratch solving per query instead of the persistent
+//! per-function incremental instances (the escape hatch for comparing the
+//! two modes or sidestepping incremental-mode issues).
 
 use stack_core::{Checker, CheckerConfig};
 use stack_opt::{lowest_discarding_level, survey_compilers};
@@ -24,13 +27,14 @@ fn main() -> ExitCode {
             let Some(path) = args.get(1) else {
                 eprintln!(
                     "usage: stack check <file.mc> [--json] [--include-macros] \
-                     [--threads N] [--no-cache]"
+                     [--threads N] [--no-cache] [--no-incremental]"
                 );
                 return ExitCode::from(2);
             };
             let json = args.iter().any(|a| a == "--json");
             let include_macros = args.iter().any(|a| a == "--include-macros");
             let query_cache = !args.iter().any(|a| a == "--no-cache");
+            let incremental = !args.iter().any(|a| a == "--no-incremental");
             let threads = match args.iter().position(|a| a == "--threads") {
                 Some(i) => match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
                     Some(n) if n >= 1 => Some(n),
@@ -52,6 +56,7 @@ fn main() -> ExitCode {
                 report_compiler_generated: include_macros,
                 threads,
                 query_cache,
+                incremental,
                 ..CheckerConfig::default()
             });
             match checker.check_source(&source, path) {

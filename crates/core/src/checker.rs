@@ -44,6 +44,15 @@ pub struct CheckerConfig {
     /// modules, and worker threads (structurally identical queries are
     /// answered without re-entering the SAT core).
     pub query_cache: bool,
+    /// Whether to solve incrementally: one persistent SAT instance per
+    /// function (per worker), with every UB-condition negation registered as
+    /// an assumption literal, so the Figure 8 minimal-UB-set loop toggles
+    /// assumptions on an already-encoded formula instead of re-bit-blasting
+    /// each near-identical query. Composes with `query_cache` (the cache
+    /// still answers structurally repeated queries across functions; the
+    /// instance absorbs the misses) and with `threads` (each worker's solver
+    /// owns its own instances).
+    pub incremental: bool,
 }
 
 impl Default for CheckerConfig {
@@ -53,6 +62,7 @@ impl Default for CheckerConfig {
             report_compiler_generated: false,
             threads: None,
             query_cache: true,
+            incremental: true,
         }
     }
 }
@@ -70,6 +80,12 @@ pub struct CheckStats {
     pub cache_hits: u64,
     /// Queries that consulted the cache and missed.
     pub cache_misses: u64,
+    /// Queries decided by a persistent incremental solver instance (merged
+    /// across worker threads; 0 when `CheckerConfig::incremental` is off).
+    pub incremental_queries: u64,
+    /// Clause slots reused by incremental queries instead of re-blasted
+    /// (summed over queries; the clause-reuse counter of the solver layer).
+    pub reused_clauses: u64,
     /// Worker threads the run actually used.
     pub threads: usize,
     /// Wall-clock analysis time.
@@ -152,12 +168,14 @@ impl Checker {
         self.cache.stats()
     }
 
-    /// A solver wired to this checker's budget and (if enabled) query cache.
+    /// A solver wired to this checker's budget, (if enabled) query cache,
+    /// and (if enabled) incremental solving mode.
     fn make_solver(&self) -> BvSolver {
         let mut solver = BvSolver::with_budget(Budget::propagations(self.config.query_budget));
         if self.config.query_cache {
             solver.set_cache(Some(Arc::clone(&self.cache)));
         }
+        solver.set_incremental(self.config.incremental);
         solver
     }
 
@@ -190,7 +208,11 @@ impl Checker {
     /// and therefore private `TermPool`s via its per-function encoders —
     /// while sharing the checker-wide query cache. Results are stitched back
     /// in function order, so the report list is identical to a sequential
-    /// run's regardless of thread count or scheduling.
+    /// run's regardless of thread count or scheduling. (On workloads where
+    /// queries hit the per-query budget, that guarantee additionally
+    /// requires `incremental: false`: an incremental instance's CNF depends
+    /// on which of its queries were answered by the shared cache first, so
+    /// budget-boundary `Unknown` outcomes can vary with thread timing.)
     pub fn check_module(&self, module: &Module) -> CheckResult {
         let start = Instant::now();
         let functions = module.functions();
@@ -223,6 +245,8 @@ impl Checker {
             timeouts: solver_stats.timeouts,
             cache_hits: solver_stats.cache_hits,
             cache_misses: solver_stats.cache_misses,
+            incremental_queries: solver_stats.incremental_queries,
+            reused_clauses: solver_stats.reused_clauses,
             threads,
             elapsed: start.elapsed(),
             by_algorithm,
@@ -275,6 +299,15 @@ impl Checker {
         let ub_conds = collect_ub_conditions(func, &mut enc);
         let mut reports = Vec::new();
 
+        // Negate each UB condition exactly once, in condition order:
+        // `neg_terms[i]` is the Δ conjunct "¬ub_conds[i]" that every query
+        // below assumes for the conditions dominating its fragment. In
+        // incremental mode each negation becomes an assumption literal on the
+        // function's persistent solver instance the first time a query uses
+        // it — encoded once (blaster-memoized), then merely toggled by every
+        // later fragment query and Figure 8 minimization iteration.
+        let neg_terms: Vec<TermId> = ub_conds.iter().map(|c| enc.negation(c.term)).collect();
+
         // Index UB conditions by the instruction they attach to.
         let mut by_inst: HashMap<stack_ir::InstId, Vec<usize>> = HashMap::new();
         for (i, c) in ub_conds.iter().enumerate() {
@@ -297,13 +330,9 @@ impl Checker {
                 continue;
             }
             let mut assertions = vec![reach];
-            let negations: Vec<TermId> = dom_conds
-                .iter()
-                .map(|&ci| enc.pool.not(ub_conds[ci].term))
-                .collect();
-            assertions.extend(&negations);
+            assertions.extend(dom_conds.iter().map(|&ci| neg_terms[ci]));
             if solver.check(&enc.pool, &assertions).is_unsat() {
-                let minimal = minimal_ub_set(&mut enc, solver, &[reach], &dom_conds, &ub_conds);
+                let minimal = minimal_ub_set(&enc.pool, solver, &[reach], &dom_conds, &neg_terms);
                 let origin = block_report_origin(func, block);
                 reports.push(build_report(
                     func,
@@ -339,10 +368,7 @@ impl Checker {
             if dom_conds.is_empty() {
                 continue;
             }
-            let negations: Vec<TermId> = dom_conds
-                .iter()
-                .map(|&ci| enc.pool.not(ub_conds[ci].term))
-                .collect();
+            let negations: Vec<TermId> = dom_conds.iter().map(|&ci| neg_terms[ci]).collect();
 
             // Boolean oracle: propose `true`, then `false`.
             let mut reported = false;
@@ -358,7 +384,7 @@ impl Checker {
                 assertions.extend(&negations);
                 if solver.check(&enc.pool, &assertions).is_unsat() {
                     let minimal =
-                        minimal_ub_set(&mut enc, solver, &[diff, reach], &dom_conds, &ub_conds);
+                        minimal_ub_set(&enc.pool, solver, &[diff, reach], &dom_conds, &neg_terms);
                     let origin = func.inst(inst_id).origin.clone();
                     reports.push(build_report(
                         func,
@@ -388,8 +414,13 @@ impl Checker {
                     let mut assertions = vec![diff, reach];
                     assertions.extend(&negations);
                     if solver.check(&enc.pool, &assertions).is_unsat() {
-                        let minimal =
-                            minimal_ub_set(&mut enc, solver, &[diff, reach], &dom_conds, &ub_conds);
+                        let minimal = minimal_ub_set(
+                            &enc.pool,
+                            solver,
+                            &[diff, reach],
+                            &dom_conds,
+                            &neg_terms,
+                        );
                         let origin = func.inst(inst_id).origin.clone();
                         reports.push(build_report(
                             func,
@@ -444,24 +475,31 @@ fn dominating_conditions(
 
 /// The greedy minimal-UB-set computation of Figure 8: drop each condition in
 /// turn; if the query becomes satisfiable, that condition is essential.
+///
+/// Every iteration asserts the same `base` fragment encoding plus all but one
+/// of the precomputed condition negations (`neg_terms[ci]`, indexed like
+/// `dom_conds`). In incremental mode these terms are already registered as
+/// assumption literals on the function's persistent solver instance, so each
+/// iteration is a `check_assuming` toggle rather than a fresh bit-blast; the
+/// query cache still short-circuits iterations repeated across structurally
+/// identical functions.
 fn minimal_ub_set(
-    enc: &mut FunctionEncoder<'_>,
+    pool: &stack_solver::TermPool,
     solver: &mut BvSolver,
     base: &[TermId],
     dom_conds: &[usize],
-    ub_conds: &[UbCondition],
+    neg_terms: &[TermId],
 ) -> Vec<usize> {
     let mut essential = Vec::new();
     for &skip in dom_conds {
         let mut assertions = base.to_vec();
-        for &ci in dom_conds {
-            if ci == skip {
-                continue;
-            }
-            let neg = enc.pool.not(ub_conds[ci].term);
-            assertions.push(neg);
-        }
-        match solver.check(&enc.pool, &assertions) {
+        assertions.extend(
+            dom_conds
+                .iter()
+                .filter(|&&ci| ci != skip)
+                .map(|&ci| neg_terms[ci]),
+        );
+        match solver.check(pool, &assertions) {
             QueryResult::Sat(_) | QueryResult::Unknown => essential.push(skip),
             QueryResult::Unsat => {}
         }
@@ -818,9 +856,14 @@ mod tests {
         int f5(int x) { if (x + 100 < x) return 1; return 0; }\n";
 
     fn check_with(threads: Option<usize>, query_cache: bool) -> CheckResult {
+        check_with_inc(threads, query_cache, true)
+    }
+
+    fn check_with_inc(threads: Option<usize>, query_cache: bool, incremental: bool) -> CheckResult {
         Checker::with_config(CheckerConfig {
             threads,
             query_cache,
+            incremental,
             ..CheckerConfig::default()
         })
         .check_source(MULTI_FUNCTION_SRC, "multi.c")
@@ -855,6 +898,44 @@ mod tests {
         // f1 and f5 are structurally identical, so the cached run must
         // answer at least one query from memory.
         assert!(cached.stats.cache_hits > 0, "{:?}", cached.stats);
+    }
+
+    #[test]
+    fn incremental_matches_non_incremental() {
+        // Same reports and the same query count, with and without the cache,
+        // sequential and parallel: incremental solving changes how a query is
+        // decided, never what it decides.
+        let baseline = check_with_inc(Some(1), false, false);
+        for (threads, cache) in [(1, false), (1, true), (4, true)] {
+            let incremental = check_with_inc(Some(threads), cache, true);
+            assert_eq!(
+                format!("{:?}", baseline.reports),
+                format!("{:?}", incremental.reports),
+                "threads={threads} cache={cache}"
+            );
+            assert_eq!(baseline.stats.queries, incremental.stats.queries);
+        }
+    }
+
+    #[test]
+    fn incremental_counters_accumulate() {
+        let incremental = check_with_inc(Some(1), false, true);
+        // Without the cache, every non-trivial query is decided on a
+        // persistent instance; later queries against the same function must
+        // reuse its clauses.
+        assert!(
+            incremental.stats.incremental_queries > 0,
+            "{:?}",
+            incremental.stats
+        );
+        assert!(
+            incremental.stats.reused_clauses > 0,
+            "{:?}",
+            incremental.stats
+        );
+        let off = check_with_inc(Some(1), false, false);
+        assert_eq!(off.stats.incremental_queries, 0);
+        assert_eq!(off.stats.reused_clauses, 0);
     }
 
     #[test]

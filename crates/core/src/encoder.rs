@@ -4,10 +4,19 @@
 //! This module implements the per-function approximations of §4.4: the
 //! reachability condition `R'_e(x)` is computed from the start of the current
 //! function using the branch structure (a gated-SSA style path condition in
-//! the spirit of Tu and Padua [48]), and phi nodes are encoded as nested
+//! the spirit of Tu and Padua \[48]), and phi nodes are encoded as nested
 //! if-then-else over the conditions of their incoming edges. Loops are
 //! handled acyclically: back edges contribute unconstrained values, which is
 //! part of the approximation the paper accepts (§4.6).
+//!
+//! One encoder — and therefore one [`TermPool`] — covers a whole function.
+//! Everything is memoized against that pool (operand values, reachability
+//! conditions, condition negations), which is what lets the incremental
+//! solving mode share a single persistent SAT instance across all of the
+//! function's fragments: the checker registers each UB-condition negation
+//! produced by [`FunctionEncoder::negation`] as an assumption literal once,
+//! then drives every elimination, simplification, and Figure 8 minimization
+//! query over the same encoding.
 
 use stack_ir::{
     BinOp, BlockId, Cfg, CmpPred, DomTree, Function, InstId, InstKind, Operand, Terminator, Type,
@@ -58,6 +67,18 @@ impl<'f> FunctionEncoder<'f> {
             rpo_index,
             fresh: 0,
         }
+    }
+
+    /// The negation of a boolean term.
+    ///
+    /// The checker calls this once per UB condition to build the Δ conjuncts
+    /// (`¬c` for every condition `c`) that its queries assume. The pool
+    /// hash-conses, so repeated negations of the same condition return the
+    /// *same* `TermId`, which in turn maps to exactly one assumption literal
+    /// on the incremental solver instance — this wrapper exists to name that
+    /// contract, not to add caching on top of the interning.
+    pub fn negation(&mut self, term: TermId) -> TermId {
+        self.pool.not(term)
     }
 
     fn fresh_name(&mut self, prefix: &str) -> String {

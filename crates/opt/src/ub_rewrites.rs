@@ -33,9 +33,9 @@ pub enum UbRewrite {
     /// negative, `-k >= 0` folds to `true` (§2.2 example 4, Figure 13).
     SignedOverflowRange,
     /// `(C << x) == 0` with a non-zero constant folds to `false`
-    /// (§2.2 example 5, the ext4 patch [31]).
+    /// (§2.2 example 5, the ext4 patch \[31]).
     ShiftFold,
-    /// `abs(x) < 0` folds to `false` (§2.2 example 6, the PHP check [18]).
+    /// `abs(x) < 0` folds to `false` (§2.2 example 6, the PHP check \[18]).
     AbsFold,
 }
 

@@ -10,6 +10,7 @@
 use std::collections::HashMap;
 
 use crate::lit::Lit;
+use crate::model::Model;
 use crate::sat::SatSolver;
 use crate::term::{TermId, TermKind, TermPool};
 
@@ -40,6 +41,23 @@ impl BitBlaster {
     /// All blasted variables and their literals.
     pub fn variables(&self) -> impl Iterator<Item = (&String, &Vec<Lit>)> {
         self.var_bits.iter()
+    }
+
+    /// Read back a [`Model`] for every blasted free variable from the SAT
+    /// solver's current assignment (valid after a `Sat` answer, before the
+    /// next solve call backtracks the trail).
+    pub fn extract_model(&self, sat: &SatSolver) -> Model {
+        let mut model = Model::new();
+        for (name, bits) in self.variables() {
+            let mut value = 0u64;
+            for (i, &lit) in bits.iter().enumerate() {
+                if sat.model_value(lit.var()) == lit.is_positive() {
+                    value |= 1u64 << i;
+                }
+            }
+            model.set(name, value);
+        }
+        model
     }
 
     /// A literal that is always true.

@@ -14,7 +14,7 @@
 //! fingerprints. This makes the key
 //!
 //! * **pool-independent** — every function is encoded in its own
-//!   [`TermPool`](crate::term::TermPool), so raw [`TermId`]s never coincide
+//!   [`TermPool`], so raw [`TermId`]s never coincide
 //!   across functions, but structurally identical formulas do;
 //! * **order-insensitive** — `check(&[a, b])` and `check(&[b, a])` hit the
 //!   same entry, as does `check(&[and(a, b)])` after conjunction flattening;

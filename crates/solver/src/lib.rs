@@ -12,7 +12,13 @@
 //!   shifts, division, width conversion;
 //! * a bit-blaster ([`blast::BitBlaster`]) translating terms to CNF;
 //! * a query-level API ([`solver::BvSolver`]) with deterministic per-query
-//!   resource budgets standing in for the paper's 5-second query timeout.
+//!   resource budgets standing in for the paper's 5-second query timeout;
+//! * a memoized query cache ([`cache::QueryCache`]) answering structurally
+//!   identical queries across threads, functions, and modules;
+//! * incremental solving under assumptions ([`incremental::SolverInstance`]):
+//!   one persistent SAT instance per function encoding, with UB-condition
+//!   literals toggled as assumptions, so the checker's minimal-UB-set loop
+//!   (paper Figure 8) stops re-paying bit-blasting per iteration.
 //!
 //! The checker builds elimination and simplification queries (paper §3.2) as
 //! boolean terms and asks [`solver::BvSolver::check`] for SAT/UNSAT; UNSAT
@@ -21,6 +27,7 @@
 pub mod blast;
 pub mod cache;
 pub mod cnf;
+pub mod incremental;
 pub mod lit;
 pub mod model;
 pub mod sat;
@@ -30,6 +37,7 @@ pub mod term;
 pub use blast::BitBlaster;
 pub use cache::{canonical_key, CacheKey, CacheStats, QueryCache};
 pub use cnf::{Clause, ClauseDb, ClauseRef, CnfFormula};
+pub use incremental::{InstanceStats, SolverInstance};
 pub use lit::{LBool, Lit, Var};
 pub use model::Model;
 pub use sat::{Budget, SatResult, SatSolver, SatStats};

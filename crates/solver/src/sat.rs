@@ -162,6 +162,24 @@ impl SatSolver {
         self.assigns.len()
     }
 
+    /// Number of clause slots in the database (original and learned,
+    /// including slots whose clause was deleted by database reduction).
+    /// Incremental callers use this to measure how much already-loaded
+    /// formula a [`solve_with`](SatSolver::solve_with) call reuses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Undo every assignment above the root decision level.
+    ///
+    /// After a `Sat` answer the trail is intentionally left intact so
+    /// [`model_value`](SatSolver::model_value) can read the assignment;
+    /// incremental callers must return to the root level before adding more
+    /// clauses. Calling this at the root level is a no-op.
+    pub fn cancel_until_root(&mut self) {
+        self.backtrack(0);
+    }
+
     /// Accumulated statistics.
     pub fn stats(&self) -> SatStats {
         self.stats

@@ -1,15 +1,20 @@
 //! The public bit-vector solver interface used by the checker.
 //!
-//! Each query is independent (the checker issues one elimination or
-//! simplification query per candidate fragment), so [`BvSolver::check`]
-//! builds a fresh SAT instance per call: assert the conjunction of the given
-//! boolean terms, bit-blast, and run CDCL under a deterministic resource
-//! budget. The budget plays the role of the per-query wall-clock timeout the
-//! paper uses (5 seconds per Boolector query, §6.4) while keeping results
-//! reproducible across machines.
+//! [`BvSolver::check`] decides the conjunction of the given boolean terms:
+//! cheap pre-solve simplification, then a lookup in the attached
+//! [`QueryCache`] (if any), and on a miss a bit-blast + CDCL run under a
+//! deterministic resource budget. The budget plays the role of the per-query
+//! wall-clock timeout the paper uses (5 seconds per Boolector query, §6.4)
+//! while keeping results reproducible across machines. How a miss is solved
+//! depends on the mode: by default each query gets a throwaway SAT instance;
+//! in incremental mode ([`BvSolver::set_incremental`]) misses share one
+//! persistent [`SolverInstance`] per [`TermPool`], which trades per-query
+//! isolation for not re-paying bit-blasting across the checker's
+//! near-identical Figure 8 queries.
 
 use crate::blast::BitBlaster;
 use crate::cache::{FingerprintMemo, QueryCache};
+use crate::incremental::SolverInstance;
 use crate::model::Model;
 use crate::sat::{Budget, SatResult, SatSolver};
 use crate::term::{Sort, TermId, TermKind, TermPool};
@@ -64,6 +69,13 @@ pub struct SolverStats {
     pub cache_hits: u64,
     /// Queries that consulted the cache and missed.
     pub cache_misses: u64,
+    /// Queries decided by a persistent [`SolverInstance`] (incremental mode)
+    /// instead of a from-scratch bit-blast + CDCL run.
+    pub incremental_queries: u64,
+    /// Clause slots already loaded in an incremental instance when a query
+    /// started — formula reused across queries instead of re-emitted. Summed
+    /// over all incremental queries.
+    pub reused_clauses: u64,
 }
 
 impl SolverStats {
@@ -80,6 +92,8 @@ impl SolverStats {
         self.conflicts += other.conflicts;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
+        self.incremental_queries += other.incremental_queries;
+        self.reused_clauses += other.reused_clauses;
     }
 }
 
@@ -90,6 +104,10 @@ pub struct BvSolver {
     stats: SolverStats,
     cache: Option<Arc<QueryCache>>,
     memo: FingerprintMemo,
+    /// Whether cache misses are decided by a persistent [`SolverInstance`]
+    /// (one per pool epoch) instead of a from-scratch bit-blast.
+    incremental: bool,
+    instance: Option<SolverInstance>,
 }
 
 impl Default for BvSolver {
@@ -112,12 +130,55 @@ impl BvSolver {
             stats: SolverStats::default(),
             cache: None,
             memo: FingerprintMemo::default(),
+            incremental: false,
+            instance: None,
         }
     }
 
     /// Change the per-query budget.
     pub fn set_budget(&mut self, budget: Budget) {
         self.budget = budget;
+        if let Some(instance) = &mut self.instance {
+            instance.set_budget(budget);
+        }
+    }
+
+    /// Enable or disable incremental solving. When enabled, queries that miss
+    /// the cache are decided by a persistent [`SolverInstance`] shared by
+    /// every query against the same [`TermPool`]: each assertion is
+    /// registered as an assumption literal on its first appearance — exactly
+    /// once per pool, memoized — and toggled per query, so near-identical
+    /// queries (the checker's Figure 8 minimization loop) stop paying
+    /// repeated bit-blasting. The instance is replaced whenever the pool
+    /// changes (in the checker: one instance per function).
+    ///
+    /// Registration is deliberately on-demand rather than up-front: encoding
+    /// a function's full UB-condition set eagerly measured ~2× slower on
+    /// miss-light workloads, because conditions that dominate no queried
+    /// fragment were blasted (and then assigned by every Sat answer) for
+    /// nothing.
+    pub fn set_incremental(&mut self, incremental: bool) {
+        self.incremental = incremental;
+        if !incremental {
+            self.instance = None;
+        }
+    }
+
+    /// Builder-style variant of [`BvSolver::set_incremental`].
+    pub fn with_incremental(mut self, incremental: bool) -> BvSolver {
+        self.set_incremental(incremental);
+        self
+    }
+
+    /// The persistent instance for `pool`, creating or replacing it as
+    /// needed. Only meaningful in incremental mode.
+    fn instance_for(&mut self, pool: &TermPool) -> &mut SolverInstance {
+        let stale =
+            !matches!(&self.instance, Some(i) if i.epoch().is_none_or(|e| e == pool.epoch()));
+        if stale {
+            self.instance = Some(SolverInstance::with_budget(self.budget));
+        }
+        self.instance.as_mut().expect("instance just ensured")
     }
 
     /// Attach (or detach) a memoized query cache, typically shared between
@@ -170,11 +231,19 @@ impl BvSolver {
         };
 
         // Canonicalize unconditionally (not just when a cache is attached):
-        // blasting in fingerprint order makes the CNF — and with it a
-        // budget-boundary `Unknown` — depend only on the assertion *set*, so
-        // answering a later query from the cache can never disagree with
+        // blasting in fingerprint order makes a fresh-mode CNF — and with it
+        // a budget-boundary `Unknown` — depend only on the assertion *set*,
+        // so answering a later query from the cache can never disagree with
         // what recomputing it would have produced. That is what keeps
-        // parallel, sequential, cached, and uncached runs byte-identical.
+        // parallel, sequential, cached, and uncached runs byte-identical in
+        // fresh (non-incremental) mode. Incremental mode weakens this:
+        // decided results are still mode- and history-independent facts, but
+        // an instance's CNF depends on which earlier queries reached it —
+        // under a shared cache and multiple threads, a timing-dependent set —
+        // so budget-boundary `Unknown` outcomes (and anything derived from
+        // them) are only reproducible on timeout-free workloads. The
+        // checker's `--no-incremental` escape hatch restores the strict
+        // guarantee.
         let key = self.memo.canonicalize(pool, &mut simplified);
         let key = self.cache.is_some().then_some(key);
         if let (Some(cache), Some(key)) = (&self.cache, &key) {
@@ -199,49 +268,61 @@ impl BvSolver {
             self.stats.cache_misses += 1;
         }
 
-        let mut sat = SatSolver::new();
-        let mut blaster = BitBlaster::new();
-        for &a in &simplified {
-            let lit = blaster.blast_bool(pool, &mut sat, a);
-            sat.add_clause(&[lit]);
-        }
-        let result = sat.solve_with(&[], self.budget);
-        self.stats.propagations += sat.stats().propagations;
-        self.stats.conflicts += sat.stats().conflicts;
-        let outcome = match result {
-            SatResult::Unsat => {
-                self.stats.unsat += 1;
-                QueryResult::Unsat
-            }
-            SatResult::Unknown => {
-                self.stats.timeouts += 1;
-                QueryResult::Unknown
-            }
-            SatResult::Sat => {
+        let outcome = if self.incremental {
+            self.solve_incremental(pool, &simplified)
+        } else {
+            self.solve_fresh(pool, &simplified)
+        };
+        match &outcome {
+            QueryResult::Unsat => self.stats.unsat += 1,
+            QueryResult::Unknown => self.stats.timeouts += 1,
+            QueryResult::Sat(model) => {
                 self.stats.sat += 1;
-                let mut model = Model::new();
-                for (name, bits) in blaster.variables() {
-                    let mut value = 0u64;
-                    for (i, &lit) in bits.iter().enumerate() {
-                        let bit = sat.model_value(lit.var()) == lit.is_positive();
-                        if bit {
-                            value |= 1u64 << i;
-                        }
-                    }
-                    model.set(name, value);
-                }
                 // Sanity-check the extracted model against term semantics in
                 // debug builds: every assertion must evaluate to true.
                 debug_assert!(
                     assertions.iter().all(|&a| model.eval_bool(pool, a)),
                     "extracted model does not satisfy the assertions"
                 );
-                QueryResult::Sat(model)
             }
-        };
+        }
         if let (Some(cache), Some(key)) = (&self.cache, key) {
             cache.insert(key, &outcome);
         }
+        outcome
+    }
+
+    /// Decide a (pre-simplified) assertion set with a throwaway SAT instance:
+    /// blast every assertion, assert its literal, solve once.
+    fn solve_fresh(&mut self, pool: &TermPool, simplified: &[TermId]) -> QueryResult {
+        let mut sat = SatSolver::new();
+        let mut blaster = BitBlaster::new();
+        for &a in simplified {
+            let lit = blaster.blast_bool(pool, &mut sat, a);
+            sat.add_clause(&[lit]);
+        }
+        let result = sat.solve_with(&[], self.budget);
+        self.stats.propagations += sat.stats().propagations;
+        self.stats.conflicts += sat.stats().conflicts;
+        match result {
+            SatResult::Unsat => QueryResult::Unsat,
+            SatResult::Unknown => QueryResult::Unknown,
+            SatResult::Sat => QueryResult::Sat(blaster.extract_model(&sat)),
+        }
+    }
+
+    /// Decide a (pre-simplified) assertion set on the persistent instance for
+    /// this pool: register each assertion as an assumption literal (a cache
+    /// lookup for everything already encoded) and solve under assumptions.
+    fn solve_incremental(&mut self, pool: &TermPool, simplified: &[TermId]) -> QueryResult {
+        let instance = self.instance_for(pool);
+        let (sat_before, inst_before) = (instance.sat_stats(), instance.stats());
+        let outcome = instance.check_terms(pool, simplified);
+        let (sat_after, inst_after) = (instance.sat_stats(), instance.stats());
+        self.stats.propagations += sat_after.propagations - sat_before.propagations;
+        self.stats.conflicts += sat_after.conflicts - sat_before.conflicts;
+        self.stats.incremental_queries += 1;
+        self.stats.reused_clauses += inst_after.reused_clauses - inst_before.reused_clauses;
         outcome
     }
 
@@ -486,6 +567,54 @@ mod tests {
         let le5 = pool.bv_ule(x, five);
         assert!(solver.implies(&mut pool, is_zero, le5));
         assert!(!solver.implies(&mut pool, le5, is_zero));
+    }
+
+    #[test]
+    fn incremental_mode_agrees_with_fresh_mode() {
+        let mut pool = TermPool::new();
+        let x = pool.bv_var("x", 16);
+        let c1 = pool.bv_const(16, 1);
+        let sum = pool.bv_add(x, c1);
+        let wrap = pool.bv_slt(sum, x); // x + 1 < x (signed)
+        let zero = pool.bv_const(16, 0);
+        let pos = pool.bv_sgt(x, zero);
+        let neg = pool.bv_slt(x, zero);
+        let queries: Vec<Vec<TermId>> = vec![
+            vec![wrap],
+            vec![wrap, pos],
+            vec![wrap, neg],
+            vec![pos, neg],
+            vec![wrap, pos, neg],
+            vec![wrap], // repeat: still answered by the warm instance
+        ];
+        let mut fresh = BvSolver::new();
+        let mut incremental = BvSolver::new().with_incremental(true);
+        for q in &queries {
+            let a = fresh.check(&pool, q);
+            let b = incremental.check(&pool, q);
+            assert_eq!(a.is_sat(), b.is_sat(), "query {q:?}");
+            assert_eq!(a.is_unsat(), b.is_unsat(), "query {q:?}");
+        }
+        let stats = incremental.stats();
+        assert_eq!(stats.incremental_queries, queries.len() as u64);
+        assert!(stats.reused_clauses > 0);
+        assert_eq!(fresh.stats().incremental_queries, 0);
+    }
+
+    #[test]
+    fn incremental_instance_is_replaced_per_pool() {
+        let mut solver = BvSolver::new().with_incremental(true);
+        for _ in 0..2 {
+            let mut pool = TermPool::new();
+            let x = pool.bv_var("x", 8);
+            let zero = pool.bv_const(8, 0);
+            let q = pool.bv_slt(x, zero);
+            assert!(solver.check(&pool, &[q]).is_sat());
+        }
+        assert_eq!(solver.stats().incremental_queries, 2);
+        // The second pool's query started on a fresh instance (no clause
+        // carry-over across pools), so nothing was reused.
+        assert_eq!(solver.stats().reused_clauses, 0);
     }
 
     #[test]

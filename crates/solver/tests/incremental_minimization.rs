@@ -1,0 +1,166 @@
+//! Property coverage for incremental solving under assumptions: on random
+//! fragments (a base assertion plus a set of UB-condition-like boolean
+//! terms), driving the checker's greedy Figure 8 minimization loop through a
+//! persistent [`SolverInstance`] produces exactly the same minimal condition
+//! sets as re-solving every iteration from scratch, and the two modes agree
+//! on the full-set query itself. Budgets are unlimited, so `Unknown` — the
+//! one outcome where the modes are allowed to diverge — cannot occur.
+
+use proptest::prelude::*;
+use stack_solver::{BvSolver, Lit, SolverInstance, TermId, TermPool};
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+/// A random 8-bit term over `x`, `y`, `z`, and constants, of bounded depth.
+fn random_bv(pool: &mut TermPool, state: &mut u64, depth: u32) -> TermId {
+    if depth == 0 || lcg(state).is_multiple_of(3) {
+        return match lcg(state) % 4 {
+            0 => pool.bv_var("x", 8),
+            1 => pool.bv_var("y", 8),
+            2 => pool.bv_var("z", 8),
+            _ => pool.bv_const(8, lcg(state) & 0xFF),
+        };
+    }
+    let a = random_bv(pool, state, depth - 1);
+    let b = random_bv(pool, state, depth - 1);
+    match lcg(state) % 5 {
+        0 => pool.bv_add(a, b),
+        1 => pool.bv_sub(a, b),
+        2 => pool.bv_mul(a, b),
+        3 => pool.bv_and(a, b),
+        _ => pool.bv_xor(a, b),
+    }
+}
+
+/// A random boolean "condition": a comparison between two random terms,
+/// sometimes negated — the shape of an encoded UB condition.
+fn random_condition(pool: &mut TermPool, state: &mut u64) -> TermId {
+    let a = random_bv(pool, state, 2);
+    let b = random_bv(pool, state, 2);
+    let cmp = match lcg(state) % 4 {
+        0 => pool.bv_ult(a, b),
+        1 => pool.bv_slt(a, b),
+        2 => pool.eq(a, b),
+        _ => pool.bv_ule(a, b),
+    };
+    if lcg(state).is_multiple_of(3) {
+        pool.not(cmp)
+    } else {
+        cmp
+    }
+}
+
+/// A random fragment: a base ("reachability") assertion plus 1–5 condition
+/// negations, mirroring the assertion sets of the checker's Figure 8 loop.
+fn random_fragment(seed: u64) -> (TermPool, TermId, Vec<TermId>) {
+    let mut pool = TermPool::new();
+    let mut state = seed | 1;
+    let base = random_condition(&mut pool, &mut state);
+    let count = 1 + (lcg(&mut state) % 5) as usize;
+    let negs = (0..count)
+        .map(|_| {
+            let cond = random_condition(&mut pool, &mut state);
+            pool.not(cond)
+        })
+        .collect();
+    (pool, base, negs)
+}
+
+/// The greedy Figure 8 minimization, one fresh solve per iteration: a
+/// condition is essential iff dropping (only) its negation makes the query
+/// satisfiable.
+fn minimal_set_fresh(pool: &TermPool, base: TermId, negs: &[TermId]) -> Vec<usize> {
+    let mut solver = BvSolver::new();
+    let mut essential = Vec::new();
+    for skip in 0..negs.len() {
+        let mut assertions = vec![base];
+        assertions.extend(
+            negs.iter()
+                .enumerate()
+                .filter(|&(i, _)| i != skip)
+                .map(|(_, &n)| n),
+        );
+        if !solver.check(pool, &assertions).is_unsat() {
+            essential.push(skip);
+        }
+    }
+    essential
+}
+
+/// The same loop on one persistent instance: every term is registered once
+/// and each iteration toggles assumption literals.
+fn minimal_set_incremental(pool: &TermPool, base: TermId, negs: &[TermId]) -> Vec<usize> {
+    let mut instance = SolverInstance::new();
+    let base_lit = instance.literal_for(pool, base);
+    let neg_lits: Vec<Lit> = negs
+        .iter()
+        .map(|&n| instance.literal_for(pool, n))
+        .collect();
+    let mut essential = Vec::new();
+    for skip in 0..neg_lits.len() {
+        let mut assumptions = vec![base_lit];
+        assumptions.extend(
+            neg_lits
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != skip)
+                .map(|(_, &l)| l),
+        );
+        if !instance.check_assuming(&assumptions).is_unsat() {
+            essential.push(skip);
+        }
+    }
+    essential
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Incremental and non-incremental minimization agree on every random
+    /// fragment, and so does the full-set query both loops start from.
+    #[test]
+    fn incremental_minimization_matches_fresh(seed in any::<u64>()) {
+        let (pool, base, negs) = random_fragment(seed);
+        let mut all = vec![base];
+        all.extend(&negs);
+        let fresh_full = BvSolver::new().check(&pool, &all);
+        let incr_full = SolverInstance::new().check_terms(&pool, &all);
+        prop_assert_eq!(
+            fresh_full.is_unsat(),
+            incr_full.is_unsat(),
+            "full-set query must agree"
+        );
+        let fresh = minimal_set_fresh(&pool, base, &negs);
+        let incremental = minimal_set_incremental(&pool, base, &negs);
+        prop_assert_eq!(fresh, incremental, "minimal UB sets must agree");
+    }
+
+    /// A BvSolver in incremental mode (instance behind the cache-miss path)
+    /// agrees with fresh mode on the same minimization loop, query by query.
+    #[test]
+    fn incremental_bvsolver_minimization_matches(seed in any::<u64>()) {
+        let (pool, base, negs) = random_fragment(seed);
+        let mut fresh = BvSolver::new();
+        let mut incremental = BvSolver::new().with_incremental(true);
+        for skip in 0..negs.len() {
+            let mut assertions = vec![base];
+            assertions.extend(
+                negs.iter()
+                    .enumerate()
+                    .filter(|&(i, _)| i != skip)
+                    .map(|(_, &n)| n),
+            );
+            let a = fresh.check(&pool, &assertions);
+            let b = incremental.check(&pool, &assertions);
+            prop_assert_eq!(a.is_unsat(), b.is_unsat(), "iteration {} disagrees", skip);
+        }
+        // Queries decided by pre-solve simplification (e.g. a complementary
+        // literal pair) never reach the instance, so this is an upper bound.
+        prop_assert!(incremental.stats().incremental_queries <= negs.len() as u64);
+    }
+}
