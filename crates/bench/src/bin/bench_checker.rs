@@ -2,10 +2,13 @@
 //! the fig16 synthetic population under the sequential uncached seed path,
 //! the parallel driver + memoized query cache at 1/2/4 threads (the PR 2
 //! configuration), and the same thread counts with incremental per-function
-//! solver instances on top of the cache, then writes the machine-readable
-//! results to `BENCH_checker.json` (CI uploads it as an artifact, giving the
-//! repo a perf trajectory; the `speedup_incremental_vs_cached` field records
-//! how much the incremental mode gains over cached-parallel alone).
+//! solver instances on top of the cache — plus a cold-vs-warm archive scan
+//! through a disk-backed query store (the `scan` section, whose
+//! `speedup_warm_vs_cold` field records what cross-run persistence buys) —
+//! then writes the machine-readable results to `BENCH_checker.json` (CI
+//! uploads it as an artifact, giving the repo a perf trajectory; the
+//! `speedup_incremental_vs_cached` field records how much the incremental
+//! mode gains over cached-parallel alone).
 //!
 //! Usage: `bench_checker [--out <path>]`; honors `STACK_BENCH_FAST=1`.
 

@@ -6,11 +6,17 @@
 //! `EXPERIMENTS.md` records the comparison against the paper's numbers.
 
 use serde::Serialize;
-use stack_core::{Algorithm, Checker, CheckerConfig, UbKind};
-use stack_corpus::{completeness_benchmark, figure9_corpus, generate, SynthConfig, UB_COLUMNS};
+use stack_core::{Algorithm, AnalysisSession, Checker, CheckerConfig, UbKind};
+use stack_corpus::{
+    completeness_benchmark, figure9_corpus, generate, generate_archive, ArchiveConfig, SynthConfig,
+    UB_COLUMNS,
+};
 use stack_opt::{lowest_discarding_level, survey_compilers};
+use stack_solver::DiskQueryStore;
 use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Figure 4: the compiler × example matrix of lowest discarding levels.
@@ -371,11 +377,20 @@ impl ScalingConfig {
     /// The default configuration, shrunk when `STACK_BENCH_FAST` is set (CI
     /// runs the benchmark as a smoke + artifact step, not as a measurement).
     pub fn from_env() -> ScalingConfig {
-        let mut cfg = ScalingConfig::default();
+        let cfg = ScalingConfig::default();
         if std::env::var_os("STACK_BENCH_FAST").is_some() {
-            cfg.packages = 6;
+            cfg.fast()
+        } else {
+            cfg
         }
-        cfg
+    }
+
+    /// Shrink to the smoke-test population (what `STACK_BENCH_FAST` and the
+    /// CLI's `stack bench --fast` both mean); the single definition of the
+    /// fast-mode knob.
+    pub fn fast(mut self) -> ScalingConfig {
+        self.packages = 6;
+        self
     }
 }
 
@@ -413,6 +428,153 @@ pub struct ScalingRow {
     pub reports: usize,
 }
 
+/// One measured archive-scan configuration (a row of the `scan` section of
+/// `BENCH_checker.json`).
+#[derive(Clone, Debug, Serialize)]
+pub struct ScanRow {
+    /// Human-readable configuration label.
+    pub label: String,
+    /// Whether the run warm-started from a populated disk store.
+    pub warm: bool,
+    /// End-to-end analysis wall clock over the whole archive, in
+    /// milliseconds (rounded; see `wall_us` for the value the speedup is
+    /// computed from).
+    pub wall_ms: u64,
+    /// End-to-end analysis wall clock in microseconds.
+    pub wall_us: u64,
+    /// Functions analyzed per second of wall clock.
+    pub functions_per_sec: f64,
+    /// Total solver queries issued.
+    pub queries: u64,
+    /// Queries that exhausted their budget (must be 0: `Unknown` results
+    /// are never persisted, so timeouts would erode the warm hit rate).
+    pub timeouts: u64,
+    /// Queries answered from the disk-backed store.
+    pub store_hits: u64,
+    /// Queries that consulted the store and missed.
+    pub store_misses: u64,
+    /// hits / (hits + misses).
+    pub store_hit_rate: f64,
+    /// Total reports produced (must agree between cold and warm).
+    pub reports: usize,
+}
+
+/// The cold-vs-warm archive-scan measurement: the same archive population
+/// analyzed twice through a disk-backed query store — once cold (empty
+/// store, which the run populates and saves) and once warm (store reloaded
+/// from the file the cold run wrote). This is the §6.5 deployment mode:
+/// repeated scans of a package archive starting from the previous run's
+/// answers.
+#[derive(Clone, Debug, Serialize)]
+pub struct ScanPersistence {
+    /// Workload description.
+    pub archive: String,
+    /// Files (modules) scanned per run.
+    pub files: usize,
+    /// Functions analyzed per run.
+    pub functions: usize,
+    /// Disk-store entries the warm run loaded.
+    pub store_entries: u64,
+    /// Cold and warm rows, in that order.
+    pub rows: Vec<ScanRow>,
+    /// Cold wall clock / warm wall clock (>1 means the store pays off).
+    pub speedup_warm_vs_cold: f64,
+    /// The warm run's store hit rate (the fraction of consulted queries
+    /// answered from disk; the acceptance bar is ≥0.9).
+    pub warm_store_hit_rate: f64,
+    /// Whether the cold and warm runs produced byte-identical report
+    /// streams (they must).
+    pub reports_identical: bool,
+}
+
+/// Run the cold-vs-warm archive-scan measurement. The store file lives in
+/// the system temp directory (unique per process and invocation) and is
+/// removed afterwards.
+pub fn scan_persistence(cfg: &ScalingConfig) -> ScanPersistence {
+    static INVOCATION: AtomicU64 = AtomicU64::new(0);
+    let store_path = std::env::temp_dir().join(format!(
+        "stack-bench-scan-{}-{}.qs",
+        std::process::id(),
+        INVOCATION.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_file(&store_path);
+
+    let archive_cfg = ArchiveConfig {
+        packages: cfg.packages,
+        ..ArchiveConfig::default()
+    };
+    let archive = generate_archive(&archive_cfg);
+    let mut modules = Vec::new();
+    for file in &archive {
+        let mut module =
+            stack_minic::compile(&file.source, &file.name).expect("archive files compile");
+        stack_opt::optimize_for_analysis(&mut module);
+        modules.push(module);
+    }
+    let functions: usize = modules.iter().map(|m| m.len()).sum();
+    let threads = cfg.threads.iter().copied().max().unwrap_or(1);
+    let config = CheckerConfig {
+        query_budget: cfg.query_budget,
+        threads: Some(threads),
+        ..CheckerConfig::default()
+    };
+
+    let run = |label: &str, warm: bool| -> (ScanRow, Vec<String>) {
+        let store = Arc::new(DiskQueryStore::open(&store_path).expect("open benchmark store file"));
+        let session = AnalysisSession::with_store(config, store.clone() as _);
+        let mut reports = Vec::new();
+        let start = Instant::now();
+        for module in &modules {
+            session.check_module_streaming(module, &mut |r| reports.push(format!("{r:?}")));
+        }
+        let elapsed = start.elapsed();
+        store.save().expect("save benchmark store file");
+        let stats = session.stats();
+        let lookups = stats.cache_hits + stats.cache_misses;
+        let row = ScanRow {
+            label: label.to_string(),
+            warm,
+            wall_ms: u64::try_from(elapsed.as_millis()).unwrap_or(u64::MAX),
+            wall_us: u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX),
+            functions_per_sec: functions as f64 / elapsed.as_secs_f64().max(1e-9),
+            queries: stats.queries,
+            timeouts: stats.timeouts,
+            store_hits: stats.cache_hits,
+            store_misses: stats.cache_misses,
+            store_hit_rate: if lookups == 0 {
+                0.0
+            } else {
+                stats.cache_hits as f64 / lookups as f64
+            },
+            reports: reports.len(),
+        };
+        (row, reports)
+    };
+
+    let (cold_row, cold_reports) = run("archive scan (cold disk store)", false);
+    let store_entries = DiskQueryStore::open(&store_path)
+        .map(|s| s.loaded_entries())
+        .unwrap_or(0);
+    let (warm_row, warm_reports) = run("archive scan (warm disk store)", true);
+    let _ = std::fs::remove_file(&store_path);
+
+    let speedup = cold_row.wall_us.max(1) as f64 / warm_row.wall_us.max(1) as f64;
+    let warm_store_hit_rate = warm_row.store_hit_rate;
+    ScanPersistence {
+        archive: format!(
+            "overlap archive (packages={}, seed={:#x})",
+            archive_cfg.packages, archive_cfg.seed
+        ),
+        files: archive.len(),
+        functions,
+        store_entries,
+        rows: vec![cold_row, warm_row],
+        speedup_warm_vs_cold: speedup,
+        warm_store_hit_rate,
+        reports_identical: cold_reports == warm_reports,
+    }
+}
+
 /// Results of the checker-scaling benchmark: the uncached sequential seed
 /// path as the baseline, then cached runs (the PR 2 configuration) and
 /// cached+incremental runs at each requested thread count.
@@ -440,6 +602,9 @@ pub struct CheckerScaling {
     pub best_cached_label: String,
     /// Label of the fastest incremental configuration.
     pub best_incremental_label: String,
+    /// The cold-vs-warm disk-store archive scan (`speedup_warm_vs_cold`
+    /// lives here; CI fails the bench job if it goes missing).
+    pub scan: ScanPersistence,
 }
 
 /// Run the checker-scaling benchmark: analyze one synthetic population under
@@ -565,6 +730,7 @@ pub fn checker_scaling(cfg: &ScalingConfig) -> CheckerScaling {
         speedup_incremental_vs_cached: best_cached_ms / best_incremental_ms,
         best_cached_label,
         best_incremental_label,
+        scan: scan_persistence(cfg),
     }
 }
 
@@ -605,6 +771,28 @@ impl CheckerScaling {
             out,
             "  incremental vs cached-parallel: {:.2}x ({} over {})",
             self.speedup_incremental_vs_cached, self.best_incremental_label, self.best_cached_label
+        );
+        let _ = writeln!(
+            out,
+            "Archive persistence over {} ({} files, {} functions, {} stored entries)",
+            self.scan.archive, self.scan.files, self.scan.functions, self.scan.store_entries
+        );
+        for r in &self.scan.rows {
+            let _ = writeln!(
+                out,
+                "  {:<30} {:>8} {:>12.1} {:>9} {:>9} {:>7.1}%",
+                r.label,
+                r.wall_ms,
+                r.functions_per_sec,
+                r.queries,
+                r.store_hits,
+                100.0 * r.store_hit_rate
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  warm vs cold scan: {:.2}x (reports identical: {})",
+            self.scan.speedup_warm_vs_cold, self.scan.reports_identical
         );
         out
     }
@@ -779,5 +967,36 @@ mod tests {
         assert!(json.contains("\"cache_hit_rate\""));
         assert!(json.contains("\"speedup_incremental_vs_cached\""));
         assert!(json.contains("\"incremental\": true"));
+        assert!(json.contains("\"speedup_warm_vs_cold\""));
+    }
+
+    #[test]
+    fn warm_scan_answers_from_the_disk_store() {
+        let cfg = ScalingConfig {
+            packages: 6,
+            seed: 13,
+            threads: vec![2],
+            query_budget: 500_000,
+        };
+        let scan = scan_persistence(&cfg);
+        assert_eq!(scan.rows.len(), 2);
+        let (cold, warm) = (&scan.rows[0], &scan.rows[1]);
+        assert!(!cold.warm);
+        assert!(warm.warm);
+        // Cold and warm runs do the same work and must report the same bugs,
+        // byte for byte.
+        assert_eq!(cold.queries, warm.queries);
+        assert_eq!(cold.reports, warm.reports);
+        assert!(scan.reports_identical);
+        // The warm run starts from the cold run's saved entries and answers
+        // (at least) 90% of its store lookups from disk — on this archive,
+        // all of them: every decided query was persisted.
+        assert!(scan.store_entries > 0);
+        assert_eq!(warm.store_misses, 0, "{warm:?}");
+        assert!(
+            scan.warm_store_hit_rate >= 0.9,
+            "warm hit rate {} below the 90% bar",
+            scan.warm_store_hit_rate
+        );
     }
 }

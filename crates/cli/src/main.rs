@@ -3,135 +3,572 @@
 //! Usage:
 //!
 //! ```text
-//! stack check <file.mc> [--json] [--include-macros] [--threads N] [--no-cache] [--no-incremental]
-//! stack demo  <pattern-id>                            # analyze a built-in paper example
-//! stack list                                          # list built-in examples
-//! stack survey                                        # print the Figure 4 compiler matrix rows
+//! stack check <file.mc> [options]                # analyze one file
+//! stack scan  <dir|manifest> [options]           # batch-analyze many files
+//! stack scan  --synth N [--seed S] [options]     # scan a generated archive
+//! stack bench [--out <path>] [--fast]            # checker-scaling benchmark
+//! stack gen-archive <dir> [--packages N] [--seed S]
+//! stack demo  <pattern-id>                       # analyze a built-in paper example
+//! stack list                                     # list built-in examples
+//! stack survey                                   # print the Figure 4 compiler matrix rows
 //! ```
 //!
-//! `--threads N` pins the parallel per-function driver to `N` workers
-//! (default: available parallelism; `1` is fully sequential), `--no-cache`
-//! disables the memoized solver query cache, and `--no-incremental` falls
-//! back to from-scratch solving per query instead of the persistent
-//! per-function incremental instances (the escape hatch for comparing the
-//! two modes or sidestepping incremental-mode issues).
+//! Shared analysis options: `--threads N` pins the parallel per-function
+//! driver to `N` workers (default: available parallelism; `1` is fully
+//! sequential), `--no-cache` disables the memoized query store,
+//! `--no-incremental` falls back to from-scratch solving per query, and
+//! `--include-macros` keeps macro-origin reports. `--cache-file <path>`
+//! backs the query store with a disk file: existing entries warm-start the
+//! run, and the (possibly grown) store is saved back on success — the
+//! cross-run persistence mode that lets repeated archive scans skip almost
+//! every solver query. A cache file written by a different encoder/solver
+//! revision is detected and discarded, never trusted.
+//!
+//! Exit codes: `check` exits 0 with no reports, 1 with reports, 2 on any
+//! error. `scan` is a batch driver: it exits 0 when every file was analyzed
+//! (reports or not) and 2 when any file failed to read or compile, or any
+//! I/O (cache-file, `--out`) operation failed.
 
-use stack_core::{Checker, CheckerConfig};
+use serde::Serialize;
+use stack_core::{AnalysisSession, CheckStats, Checker, CheckerConfig};
 use stack_opt::{lowest_discarding_level, survey_compilers};
+use stack_solver::DiskQueryStore;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("check") => {
-            let Some(path) = args.get(1) else {
-                eprintln!(
-                    "usage: stack check <file.mc> [--json] [--include-macros] \
-                     [--threads N] [--no-cache] [--no-incremental]"
+        Some("check") => cmd_check(&args[1..]),
+        Some("scan") => cmd_scan(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
+        Some("gen-archive") => cmd_gen_archive(&args[1..]),
+        Some("demo") => cmd_demo(&args[1..]),
+        Some("list") => cmd_list(),
+        Some("survey") => cmd_survey(),
+        _ => {
+            eprintln!("usage: stack <check|scan|bench|gen-archive|demo|list|survey> ...");
+            ExitCode::from(2)
+        }
+    }
+}
+
+// ---- shared option parsing --------------------------------------------------
+
+/// Options shared by `check` and `scan`.
+struct AnalysisOpts {
+    json: bool,
+    include_macros: bool,
+    threads: Option<usize>,
+    query_cache: bool,
+    incremental: bool,
+    cache_file: Option<PathBuf>,
+    out: Option<PathBuf>,
+    quiet: bool,
+}
+
+impl AnalysisOpts {
+    fn parse(args: &[String]) -> Result<AnalysisOpts, String> {
+        Ok(AnalysisOpts {
+            json: has_flag(args, "--json"),
+            include_macros: has_flag(args, "--include-macros"),
+            threads: match parse_flag_value::<usize>(args, "--threads")? {
+                Some(0) => return Err("--threads needs a positive integer".to_string()),
+                other => other,
+            },
+            query_cache: !has_flag(args, "--no-cache"),
+            incremental: !has_flag(args, "--no-incremental"),
+            cache_file: flag_value(args, "--cache-file")?.map(PathBuf::from),
+            out: flag_value(args, "--out")?.map(PathBuf::from),
+            quiet: has_flag(args, "--quiet"),
+        })
+    }
+
+    fn config(&self) -> CheckerConfig {
+        CheckerConfig {
+            report_compiler_generated: self.include_macros,
+            threads: self.threads,
+            query_cache: self.query_cache,
+            incremental: self.incremental,
+            ..CheckerConfig::default()
+        }
+    }
+
+    /// Build the session, opening the disk-backed store when `--cache-file`
+    /// was given. Returns the store handle too, so the caller can save it.
+    fn open_session(&self) -> Result<(AnalysisSession, Option<Arc<DiskQueryStore>>), String> {
+        match &self.cache_file {
+            Some(path) => {
+                let store = Arc::new(
+                    DiskQueryStore::open(path)
+                        .map_err(|e| format!("cannot open cache file {}: {e}", path.display()))?,
                 );
-                return ExitCode::from(2);
-            };
-            let json = args.iter().any(|a| a == "--json");
-            let include_macros = args.iter().any(|a| a == "--include-macros");
-            let query_cache = !args.iter().any(|a| a == "--no-cache");
-            let incremental = !args.iter().any(|a| a == "--no-incremental");
-            let threads = match args.iter().position(|a| a == "--threads") {
-                Some(i) => match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
-                    Some(n) if n >= 1 => Some(n),
-                    _ => {
-                        eprintln!("stack: --threads needs a positive integer");
-                        return ExitCode::from(2);
-                    }
-                },
-                None => None,
-            };
-            let source = match std::fs::read_to_string(path) {
-                Ok(s) => s,
-                Err(e) => {
-                    eprintln!("stack: cannot read {path}: {e}");
-                    return ExitCode::from(2);
+                if store.was_invalidated() {
+                    eprintln!(
+                        "stack: cache file {} was written by a different encoder/solver \
+                         revision; starting cold",
+                        path.display()
+                    );
                 }
-            };
-            let checker = Checker::with_config(CheckerConfig {
-                report_compiler_generated: include_macros,
-                threads,
-                query_cache,
-                incremental,
-                ..CheckerConfig::default()
-            });
-            match checker.check_source(&source, path) {
-                Ok(result) => {
-                    if json {
-                        println!("{}", serde_json::to_string_pretty(&result.reports).unwrap());
-                    } else {
-                        for report in &result.reports {
-                            print!("{report}");
-                        }
-                        eprintln!(
-                            "stack: {} report(s), {} queries, {} timeouts",
-                            result.reports.len(),
-                            result.stats.queries,
-                            result.stats.timeouts
-                        );
-                    }
-                    if result.reports.is_empty() {
-                        ExitCode::SUCCESS
-                    } else {
-                        ExitCode::from(1)
-                    }
-                }
-                Err(e) => {
-                    eprintln!("stack: {path}: {e}");
-                    ExitCode::from(2)
+                Ok((
+                    AnalysisSession::with_store(self.config(), store.clone() as _),
+                    Some(store),
+                ))
+            }
+            None => Ok((AnalysisSession::new(self.config()), None)),
+        }
+    }
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+/// The value following a `--flag value` pair, if the flag is present.
+fn flag_value<'a>(args: &'a [String], name: &str) -> Result<Option<&'a str>, String> {
+    match args.iter().position(|a| a == name) {
+        Some(i) => match args.get(i + 1) {
+            Some(v) => Ok(Some(v)),
+            None => Err(format!("{name} needs a value")),
+        },
+        None => Ok(None),
+    }
+}
+
+fn parse_flag_value<T: std::str::FromStr>(
+    args: &[String],
+    name: &str,
+) -> Result<Option<T>, String> {
+    match flag_value(args, name)? {
+        Some(text) => text
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("{name}: cannot parse `{text}`")),
+        None => Ok(None),
+    }
+}
+
+fn fail(message: &str) -> ExitCode {
+    eprintln!("stack: {message}");
+    ExitCode::from(2)
+}
+
+/// Write `content` to `path`, mapping failures to a user-facing error.
+fn write_output(path: &Path, content: &str) -> Result<(), String> {
+    std::fs::write(path, content).map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
+/// Save a disk-backed store, reporting how many entries were persisted.
+fn save_store(store: &Arc<DiskQueryStore>, quiet: bool) -> Result<(), String> {
+    let entries = store
+        .save()
+        .map_err(|e| format!("cannot save cache file {}: {e}", store.path().display()))?;
+    if !quiet {
+        eprintln!(
+            "stack: saved {entries} cache entries to {}",
+            store.path().display()
+        );
+    }
+    Ok(())
+}
+
+// ---- check ------------------------------------------------------------------
+
+fn cmd_check(args: &[String]) -> ExitCode {
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!(
+            "usage: stack check <file.mc> [--json] [--include-macros] [--threads N] \
+             [--no-cache] [--no-incremental] [--cache-file F] [--out F]"
+        );
+        return ExitCode::from(2);
+    };
+    let opts = match AnalysisOpts::parse(args) {
+        Ok(opts) => opts,
+        Err(e) => return fail(&e),
+    };
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("cannot read {path}: {e}")),
+    };
+    let (session, store) = match opts.open_session() {
+        Ok(pair) => pair,
+        Err(e) => return fail(&e),
+    };
+    let result = match session.check_source(&source, path) {
+        Ok(result) => result,
+        Err(e) => return fail(&format!("{path}: {e}")),
+    };
+    if opts.json {
+        let json = match serde_json::to_string_pretty(&result.reports) {
+            Ok(json) => json,
+            Err(e) => return fail(&format!("cannot serialize reports: {e}")),
+        };
+        match &opts.out {
+            Some(out) => {
+                if let Err(e) = write_output(out, &json) {
+                    return fail(&e);
                 }
             }
+            None => println!("{json}"),
         }
-        Some("demo") => {
-            let Some(id) = args.get(1) else {
-                eprintln!("usage: stack demo <pattern-id>   (see `stack list`)");
-                return ExitCode::from(2);
-            };
-            let Some(pattern) = stack_corpus::all_patterns()
-                .into_iter()
-                .find(|p| p.id == *id)
-            else {
-                eprintln!("stack: unknown pattern `{id}` (see `stack list`)");
-                return ExitCode::from(2);
-            };
+    } else {
+        let mut rendered = String::new();
+        for report in &result.reports {
+            rendered.push_str(&report.to_string());
+        }
+        match &opts.out {
+            Some(out) => {
+                if let Err(e) = write_output(out, &rendered) {
+                    return fail(&e);
+                }
+            }
+            None => print!("{rendered}"),
+        }
+        eprintln!(
+            "stack: {} report(s), {} queries, {} timeouts",
+            result.reports.len(),
+            result.stats.queries,
+            result.stats.timeouts
+        );
+    }
+    if let Some(store) = &store {
+        if let Err(e) = save_store(store, opts.quiet) {
+            return fail(&e);
+        }
+    }
+    if result.reports.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+// ---- scan -------------------------------------------------------------------
+
+/// Machine-readable scan summary (`--json` / `--out`).
+#[derive(Serialize)]
+struct ScanSummary {
+    files: usize,
+    failures: usize,
+    functions: usize,
+    reports: usize,
+    queries: u64,
+    timeouts: u64,
+    store_hits: u64,
+    store_misses: u64,
+    store_hit_rate: f64,
+    cache_file_loaded_entries: u64,
+    elapsed_ms: u64,
+}
+
+fn cmd_scan(args: &[String]) -> ExitCode {
+    let opts = match AnalysisOpts::parse(args) {
+        Ok(opts) => opts,
+        Err(e) => return fail(&e),
+    };
+    let sources = match gather_scan_sources(args) {
+        Ok(sources) => sources,
+        Err(e) => return fail(&e),
+    };
+    if sources.is_empty() {
+        return fail("nothing to scan (no .mc/.c files found)");
+    }
+    let (session, store) = match opts.open_session() {
+        Ok(pair) => pair,
+        Err(e) => return fail(&e),
+    };
+    let start = Instant::now();
+    let mut failures = 0usize;
+    let mut reports = 0usize;
+    for (name, input) in &sources {
+        // Read one file at a time, inside the loop: a scan's peak memory is
+        // one module's source plus its reports, never the whole archive.
+        let read;
+        let source: &str = match input {
+            ScanInput::Inline(source) => source,
+            ScanInput::File(path) => match std::fs::read_to_string(path) {
+                Ok(source) => {
+                    read = source;
+                    &read
+                }
+                Err(e) => {
+                    eprintln!("stack: cannot read {name}: {e}");
+                    failures += 1;
+                    continue;
+                }
+            },
+        };
+        let quiet = opts.quiet || opts.json;
+        let outcome = session.check_source_streaming(source, name, &mut |report| {
+            reports += 1;
+            if !quiet {
+                print!("{report}");
+            }
+        });
+        if let Err(e) = outcome {
+            eprintln!("stack: {name}: {e}");
+            failures += 1;
+        }
+    }
+    let elapsed = start.elapsed();
+    let stats = session.stats();
+    let summary = ScanSummary {
+        files: sources.len(),
+        failures,
+        functions: stats.functions,
+        reports,
+        queries: stats.queries,
+        timeouts: stats.timeouts,
+        store_hits: stats.cache_hits,
+        store_misses: stats.cache_misses,
+        store_hit_rate: stats.cache_hit_rate(),
+        cache_file_loaded_entries: store.as_ref().map_or(0, |s| s.loaded_entries()),
+        elapsed_ms: u64::try_from(elapsed.as_millis()).unwrap_or(u64::MAX),
+    };
+    let rendered = if opts.json {
+        match serde_json::to_string_pretty(&summary) {
+            Ok(json) => json,
+            Err(e) => return fail(&format!("cannot serialize summary: {e}")),
+        }
+    } else {
+        render_scan_summary(&summary, &stats)
+    };
+    match &opts.out {
+        Some(out) => {
+            if let Err(e) = write_output(out, &rendered) {
+                return fail(&e);
+            }
+        }
+        None => println!("{rendered}"),
+    }
+    if let Some(store) = &store {
+        if let Err(e) = save_store(store, opts.quiet) {
+            return fail(&e);
+        }
+    }
+    if failures > 0 {
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// One unit of scan work: a path to read when its turn comes (so the scan
+/// never holds the whole archive's text in memory), or source generated
+/// in-process (`--synth`).
+enum ScanInput {
+    File(PathBuf),
+    Inline(String),
+}
+
+/// Whether a path names a single source file `scan` should analyze directly
+/// (rather than interpret as a manifest).
+fn is_source_path(path: &Path) -> bool {
+    matches!(
+        path.extension().and_then(|e| e.to_str()),
+        Some("mc") | Some("c")
+    )
+}
+
+/// Resolve what `scan` should analyze: `--synth N` generates the archive
+/// population in memory; a directory is walked for `.mc`/`.c` files (sorted,
+/// so runs are deterministic); a single `.mc`/`.c` path is scanned as-is;
+/// any other path is read as a manifest listing one source path per line
+/// (`#` comments allowed). Sources are returned as paths and only read once
+/// the scan loop reaches them, so one unreadable file fails that file, not
+/// the scan.
+fn gather_scan_sources(args: &[String]) -> Result<Vec<(String, ScanInput)>, String> {
+    if let Some(packages) = parse_flag_value::<usize>(args, "--synth")? {
+        if packages == 0 {
+            return Err("--synth needs a positive package count".to_string());
+        }
+        let cfg = stack_corpus::ArchiveConfig {
+            packages,
+            seed: parse_flag_value::<u64>(args, "--seed")?
+                .unwrap_or(stack_corpus::ArchiveConfig::default().seed),
+            ..stack_corpus::ArchiveConfig::default()
+        };
+        return Ok(stack_corpus::generate_archive(&cfg)
+            .into_iter()
+            .map(|f| (f.name, ScanInput::Inline(f.source)))
+            .collect());
+    }
+    let Some(root) = args.first().filter(|a| !a.starts_with("--")) else {
+        return Err(
+            "usage: stack scan <dir|manifest|file.mc> | --synth N  [--seed S] [--cache-file F] \
+             [--threads N] [--no-cache] [--no-incremental] [--include-macros] [--json] \
+             [--out F] [--quiet]"
+                .to_string(),
+        );
+    };
+    let root = PathBuf::from(root);
+    let paths: Vec<PathBuf> = if root.is_dir() {
+        let entries = std::fs::read_dir(&root)
+            .map_err(|e| format!("cannot read directory {}: {e}", root.display()))?;
+        let mut paths: Vec<PathBuf> = entries
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| is_source_path(p))
+            .collect();
+        paths.sort();
+        paths
+    } else if is_source_path(&root) {
+        vec![root]
+    } else {
+        let manifest = std::fs::read_to_string(&root)
+            .map_err(|e| format!("cannot read manifest {}: {e}", root.display()))?;
+        manifest
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .map(PathBuf::from)
+            .collect()
+    };
+    Ok(paths
+        .into_iter()
+        .map(|p| (p.display().to_string(), ScanInput::File(p)))
+        .collect())
+}
+
+fn render_scan_summary(summary: &ScanSummary, stats: &CheckStats) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "scan summary");
+    let _ = writeln!(
+        out,
+        "  files           {:>8}  ({} failed)",
+        summary.files, summary.failures
+    );
+    let _ = writeln!(out, "  functions       {:>8}", summary.functions);
+    let _ = writeln!(out, "  reports         {:>8}", summary.reports);
+    let _ = writeln!(
+        out,
+        "  queries         {:>8}  ({} timeouts)",
+        summary.queries, summary.timeouts
+    );
+    let _ = writeln!(
+        out,
+        "  query store     {:>8} hits / {} misses ({:.1}% hit rate)",
+        summary.store_hits,
+        summary.store_misses,
+        100.0 * summary.store_hit_rate
+    );
+    if summary.cache_file_loaded_entries > 0 {
+        let _ = writeln!(
+            out,
+            "  cache file      {:>8} entries warm-started this scan",
+            summary.cache_file_loaded_entries
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  elapsed         {:>8} ms  ({} thread(s))",
+        summary.elapsed_ms, stats.threads
+    );
+    out.trim_end().to_string()
+}
+
+// ---- bench ------------------------------------------------------------------
+
+fn cmd_bench(args: &[String]) -> ExitCode {
+    let out_path = match flag_value(args, "--out") {
+        Ok(path) => path.unwrap_or("BENCH_checker.json").to_string(),
+        Err(e) => return fail(&e),
+    };
+    let mut cfg = stack_bench::ScalingConfig::from_env();
+    if has_flag(args, "--fast") {
+        cfg = cfg.fast();
+    }
+    let results = stack_bench::checker_scaling(&cfg);
+    print!("{}", results.render());
+    let json = results.to_json();
+    if let Err(e) = write_output(Path::new(&out_path), &json) {
+        return fail(&e);
+    }
+    println!("  wrote {out_path}");
+    ExitCode::SUCCESS
+}
+
+// ---- gen-archive ------------------------------------------------------------
+
+fn cmd_gen_archive(args: &[String]) -> ExitCode {
+    let Some(dir) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!("usage: stack gen-archive <dir> [--packages N] [--seed S]");
+        return ExitCode::from(2);
+    };
+    let defaults = stack_corpus::ArchiveConfig::default();
+    let cfg = match (
+        parse_flag_value::<usize>(args, "--packages"),
+        parse_flag_value::<u64>(args, "--seed"),
+    ) {
+        (Ok(packages), Ok(seed)) => stack_corpus::ArchiveConfig {
+            packages: packages.unwrap_or(defaults.packages),
+            seed: seed.unwrap_or(defaults.seed),
+            ..defaults
+        },
+        (Err(e), _) | (_, Err(e)) => return fail(&e),
+    };
+    match stack_corpus::write_archive(&cfg, Path::new(dir)) {
+        Ok(paths) => {
             println!(
-                "// {} ({})\n{}\n",
-                pattern.id, pattern.paper_ref, pattern.source
+                "stack: wrote {} archive files ({} packages, seed {}) under {dir}",
+                paths.len(),
+                cfg.packages,
+                cfg.seed
             );
-            let result = Checker::new()
-                .check_source(pattern.source, &format!("{id}.c"))
-                .unwrap();
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(&format!("cannot write archive under {dir}: {e}")),
+    }
+}
+
+// ---- demo / list / survey ---------------------------------------------------
+
+fn cmd_demo(args: &[String]) -> ExitCode {
+    let Some(id) = args.first() else {
+        eprintln!("usage: stack demo <pattern-id>   (see `stack list`)");
+        return ExitCode::from(2);
+    };
+    let Some(pattern) = stack_corpus::all_patterns()
+        .into_iter()
+        .find(|p| p.id == *id)
+    else {
+        eprintln!("stack: unknown pattern `{id}` (see `stack list`)");
+        return ExitCode::from(2);
+    };
+    println!(
+        "// {} ({})\n{}\n",
+        pattern.id, pattern.paper_ref, pattern.source
+    );
+    match Checker::new().check_source(pattern.source, &format!("{id}.c")) {
+        Ok(result) => {
             for report in &result.reports {
                 print!("{report}");
             }
             ExitCode::SUCCESS
         }
-        Some("list") => {
-            for p in stack_corpus::all_patterns() {
-                println!("{:<36} {}", p.id, p.paper_ref);
-            }
-            ExitCode::SUCCESS
-        }
-        Some("survey") => {
-            let src = "int f(int x) { if (x + 100 < x) return 1; return 0; }";
-            println!("check: if (x + 100 < x)");
-            for profile in survey_compilers() {
-                let level = lowest_discarding_level(src, "f", &profile);
-                println!(
-                    "  {:<18} {}",
-                    profile.name,
-                    level.map(|l| format!("O{l}")).unwrap_or_else(|| "–".into())
-                );
-            }
-            ExitCode::SUCCESS
-        }
-        _ => {
-            eprintln!("usage: stack <check|demo|list|survey> ...");
-            ExitCode::from(2)
-        }
+        Err(e) => fail(&format!("built-in pattern `{id}` failed to compile: {e}")),
     }
+}
+
+fn cmd_list() -> ExitCode {
+    for p in stack_corpus::all_patterns() {
+        println!("{:<36} {}", p.id, p.paper_ref);
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_survey() -> ExitCode {
+    let src = "int f(int x) { if (x + 100 < x) return 1; return 0; }";
+    println!("check: if (x + 100 < x)");
+    for profile in survey_compilers() {
+        let level = lowest_discarding_level(src, "f", &profile);
+        println!(
+            "  {:<18} {}",
+            profile.name,
+            level.map(|l| format!("O{l}")).unwrap_or_else(|| "–".into())
+        );
+    }
+    ExitCode::SUCCESS
 }

@@ -15,16 +15,19 @@
 //!
 //! Each report carries the minimal set of UB conditions that makes the query
 //! unsatisfiable, computed with the greedy algorithm of Figure 8.
+//!
+//! The algorithms themselves live in [`crate::session`]: an
+//! [`AnalysisSession`] is the long-lived layer (owning the query store, the
+//! configuration, and aggregate statistics across modules), and the
+//! [`Checker`] defined here is the historical one-shot wrapper over a
+//! session, kept as the convenient entry point for single-file use.
 
-use crate::encoder::FunctionEncoder;
-use crate::report::{origin_info, Algorithm, BugReport, UbSource};
-use crate::ubcond::{collect_ub_conditions, UbCondition};
-use stack_ir::{CmpPred, Function, InstKind, Module, Operand, Origin};
-use stack_solver::{Budget, BvSolver, CacheStats, QueryCache, QueryResult, SolverStats, TermId};
+use crate::report::{Algorithm, BugReport};
+use crate::session::AnalysisSession;
+use stack_ir::{Function, Module};
+use stack_solver::{BvSolver, CacheStats};
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Checker configuration.
 #[derive(Clone, Copy, Debug)]
@@ -40,15 +43,16 @@ pub struct CheckerConfig {
     /// behavior exactly. Per-function checking (§4.4) makes every function's
     /// queries independent, so the driver scales near-linearly.
     pub threads: Option<usize>,
-    /// Whether to memoize solver queries in a cache shared across functions,
+    /// Whether to memoize solver queries in a store shared across functions,
     /// modules, and worker threads (structurally identical queries are
-    /// answered without re-entering the SAT core).
+    /// answered without re-entering the SAT core). The store is in-memory by
+    /// default; [`AnalysisSession::with_store`] swaps in a disk-backed one.
     pub query_cache: bool,
     /// Whether to solve incrementally: one persistent SAT instance per
     /// function (per worker), with every UB-condition negation registered as
     /// an assumption literal, so the Figure 8 minimal-UB-set loop toggles
     /// assumptions on an already-encoded formula instead of re-bit-blasting
-    /// each near-identical query. Composes with `query_cache` (the cache
+    /// each near-identical query. Composes with `query_cache` (the store
     /// still answers structurally repeated queries across functions; the
     /// instance absorbs the misses) and with `threads` (each worker's solver
     /// owns its own instances).
@@ -68,17 +72,23 @@ impl Default for CheckerConfig {
 }
 
 /// Aggregate statistics of a checker run (drives the Figure 16 columns).
+/// Also the unit of [`AnalysisSession`]'s cross-module aggregate: see
+/// [`CheckStats::merge`].
 #[derive(Clone, Debug, Default)]
 pub struct CheckStats {
+    /// Number of modules these statistics cover (1 for a single
+    /// `check_module` call; the number of modules checked so far for a
+    /// session aggregate).
+    pub modules: usize,
     /// Number of functions analyzed.
     pub functions: usize,
     /// Total solver queries issued (merged across worker threads).
     pub queries: u64,
     /// Queries that exhausted their budget (merged across worker threads).
     pub timeouts: u64,
-    /// Queries answered from the shared query cache.
+    /// Queries answered from the shared query store.
     pub cache_hits: u64,
-    /// Queries that consulted the cache and missed.
+    /// Queries that consulted the store and missed.
     pub cache_misses: u64,
     /// Queries decided by a persistent incremental solver instance (merged
     /// across worker threads; 0 when `CheckerConfig::incremental` is off).
@@ -86,22 +96,42 @@ pub struct CheckStats {
     /// Clause slots reused by incremental queries instead of re-blasted
     /// (summed over queries; the clause-reuse counter of the solver layer).
     pub reused_clauses: u64,
-    /// Worker threads the run actually used.
+    /// Worker threads the run actually used (maximum across modules for an
+    /// aggregate).
     pub threads: usize,
-    /// Wall-clock analysis time.
+    /// Wall-clock analysis time (summed across modules for an aggregate).
     pub elapsed: Duration,
     /// Reports per algorithm.
     pub by_algorithm: HashMap<Algorithm, usize>,
 }
 
 impl CheckStats {
-    /// Fraction of queries answered from the cache (0 when none consulted).
+    /// Fraction of queries answered from the store (0 when none consulted).
     pub fn cache_hit_rate(&self) -> f64 {
         let total = self.cache_hits + self.cache_misses;
         if total == 0 {
             0.0
         } else {
             self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Fold another run's counters into this one (the session aggregate):
+    /// counts and times add, `threads` takes the maximum, and the
+    /// per-algorithm report counts merge keywise.
+    pub fn merge(&mut self, other: &CheckStats) {
+        self.modules += other.modules;
+        self.functions += other.functions;
+        self.queries += other.queries;
+        self.timeouts += other.timeouts;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.incremental_queries += other.incremental_queries;
+        self.reused_clauses += other.reused_clauses;
+        self.threads = self.threads.max(other.threads);
+        self.elapsed += other.elapsed;
+        for (algorithm, count) in &other.by_algorithm {
+            *self.by_algorithm.entry(*algorithm).or_insert(0) += count;
         }
     }
 }
@@ -127,26 +157,21 @@ impl CheckResult {
     }
 }
 
-/// The checker.
+/// The one-shot checker: a thin wrapper over an [`AnalysisSession`].
 ///
-/// One `Checker` owns one query cache: every [`check_module`] /
-/// [`check_source`] call through the same instance shares it, so repeated
-/// idioms are answered from memory across files and modules (the synthetic
-/// Debian population re-instantiates the same unstable patterns thousands of
-/// times).
+/// One `Checker` owns one session — and therefore one query store: every
+/// [`check_module`] / [`check_source`] call through the same instance shares
+/// it, so repeated idioms are answered from memory across files and modules
+/// (the synthetic Debian population re-instantiates the same unstable
+/// patterns thousands of times). For archive-scale work — disk-backed
+/// stores, streaming reports, aggregate statistics — use the session
+/// directly.
 ///
 /// [`check_module`]: Checker::check_module
 /// [`check_source`]: Checker::check_source
-#[derive(Debug)]
+#[derive(Debug, Default)]
 pub struct Checker {
-    config: CheckerConfig,
-    cache: Arc<QueryCache>,
-}
-
-impl Default for Checker {
-    fn default() -> Checker {
-        Checker::with_config(CheckerConfig::default())
-    }
+    session: AnalysisSession,
 }
 
 impl Checker {
@@ -158,497 +183,35 @@ impl Checker {
     /// A checker with an explicit configuration.
     pub fn with_config(config: CheckerConfig) -> Checker {
         Checker {
-            config,
-            cache: Arc::new(QueryCache::new()),
+            session: AnalysisSession::new(config),
         }
     }
 
-    /// Counters of the checker-owned query cache (lifetime of this instance).
+    /// The underlying session.
+    pub fn session(&self) -> &AnalysisSession {
+        &self.session
+    }
+
+    /// Counters of the checker-owned query store (lifetime of this instance).
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.stats()
-    }
-
-    /// A solver wired to this checker's budget, (if enabled) query cache,
-    /// and (if enabled) incremental solving mode.
-    fn make_solver(&self) -> BvSolver {
-        let mut solver = BvSolver::with_budget(Budget::propagations(self.config.query_budget));
-        if self.config.query_cache {
-            solver.set_cache(Some(Arc::clone(&self.cache)));
-        }
-        solver.set_incremental(self.config.incremental);
-        solver
-    }
-
-    /// Number of worker threads a `check_module` run will use for a module
-    /// of `functions` functions.
-    fn resolve_threads(&self, functions: usize) -> usize {
-        self.config
-            .threads
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(std::num::NonZeroUsize::get)
-                    .unwrap_or(1)
-            })
-            .clamp(1, functions.max(1))
+        self.session.store_stats()
     }
 
     /// Compile a mini-C source string, run the analysis pre-pass, and check it.
     pub fn check_source(&self, src: &str, file: &str) -> Result<CheckResult, stack_minic::Diag> {
-        let mut module = stack_minic::compile(src, file)?;
-        stack_opt::optimize_for_analysis(&mut module);
-        Ok(self.check_module(&module))
+        self.session.check_source(src, file)
     }
 
     /// Check every function of an (already optimized-for-analysis) module.
-    ///
-    /// Functions are distributed over [`CheckerConfig::threads`] scoped
-    /// worker threads pulling from a shared atomic work index (dynamic
-    /// self-scheduling, so a thread that drew cheap functions steals the
-    /// remaining work of slower ones). Each worker owns a private solver —
-    /// and therefore private `TermPool`s via its per-function encoders —
-    /// while sharing the checker-wide query cache. Results are stitched back
-    /// in function order, so the report list is identical to a sequential
-    /// run's regardless of thread count or scheduling. (On workloads where
-    /// queries hit the per-query budget, that guarantee additionally
-    /// requires `incremental: false`: an incremental instance's CNF depends
-    /// on which of its queries were answered by the shared cache first, so
-    /// budget-boundary `Unknown` outcomes can vary with thread timing.)
+    /// See [`AnalysisSession::check_module_streaming`] for the driver's
+    /// parallelism and determinism contract.
     pub fn check_module(&self, module: &Module) -> CheckResult {
-        let start = Instant::now();
-        let functions = module.functions();
-        let threads = self.resolve_threads(functions.len());
-        let (mut per_function, solver_stats) = if threads <= 1 {
-            let mut solver = self.make_solver();
-            let per_function: Vec<Vec<BugReport>> = functions
-                .iter()
-                .map(|func| self.check_function(func, &mut solver))
-                .collect();
-            (per_function, solver.stats())
-        } else {
-            self.check_functions_parallel(functions, threads)
-        };
-        let mut reports: Vec<BugReport> = per_function.drain(..).flatten().collect();
-        // Deduplicate identical (location, algorithm) reports.
-        let mut seen = HashSet::new();
-        reports
-            .retain(|r: &BugReport| seen.insert((r.location(), r.function.clone(), r.algorithm)));
-        if !self.config.report_compiler_generated {
-            reports.retain(|r| !r.compiler_generated);
-        }
-        let mut by_algorithm: HashMap<Algorithm, usize> = HashMap::new();
-        for r in &reports {
-            *by_algorithm.entry(r.algorithm).or_insert(0) += 1;
-        }
-        let stats = CheckStats {
-            functions: functions.len(),
-            queries: solver_stats.queries,
-            timeouts: solver_stats.timeouts,
-            cache_hits: solver_stats.cache_hits,
-            cache_misses: solver_stats.cache_misses,
-            incremental_queries: solver_stats.incremental_queries,
-            reused_clauses: solver_stats.reused_clauses,
-            threads,
-            elapsed: start.elapsed(),
-            by_algorithm,
-        };
-        CheckResult { reports, stats }
-    }
-
-    /// The parallel driver: `threads` scoped workers draw function indices
-    /// from a shared counter and return `(index, reports)` pairs plus their
-    /// private solver's statistics, which are merged field-by-field (so the
-    /// aggregate equals what one sequential solver would have counted).
-    fn check_functions_parallel(
-        &self,
-        functions: &[Function],
-        threads: usize,
-    ) -> (Vec<Vec<BugReport>>, SolverStats) {
-        let next = AtomicUsize::new(0);
-        let mut per_function: Vec<Vec<BugReport>> = vec![Vec::new(); functions.len()];
-        let mut solver_stats = SolverStats::default();
-        std::thread::scope(|scope| {
-            let workers: Vec<_> = (0..threads)
-                .map(|_| {
-                    let next = &next;
-                    scope.spawn(move || {
-                        let mut solver = self.make_solver();
-                        let mut local: Vec<(usize, Vec<BugReport>)> = Vec::new();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            let Some(func) = functions.get(i) else { break };
-                            local.push((i, self.check_function(func, &mut solver)));
-                        }
-                        (local, solver.stats())
-                    })
-                })
-                .collect();
-            for worker in workers {
-                let (local, stats) = worker.join().expect("checker worker panicked");
-                solver_stats.merge(&stats);
-                for (i, reports) in local {
-                    per_function[i] = reports;
-                }
-            }
-        });
-        (per_function, solver_stats)
+        self.session.check_module(module)
     }
 
     /// Check a single function.
     pub fn check_function(&self, func: &Function, solver: &mut BvSolver) -> Vec<BugReport> {
-        let mut enc = FunctionEncoder::new(func);
-        let ub_conds = collect_ub_conditions(func, &mut enc);
-        let mut reports = Vec::new();
-
-        // Negate each UB condition exactly once, in condition order:
-        // `neg_terms[i]` is the Δ conjunct "¬ub_conds[i]" that every query
-        // below assumes for the conditions dominating its fragment. In
-        // incremental mode each negation becomes an assumption literal on the
-        // function's persistent solver instance the first time a query uses
-        // it — encoded once (blaster-memoized), then merely toggled by every
-        // later fragment query and Figure 8 minimization iteration.
-        let neg_terms: Vec<TermId> = ub_conds.iter().map(|c| enc.negation(c.term)).collect();
-
-        // Index UB conditions by the instruction they attach to.
-        let mut by_inst: HashMap<stack_ir::InstId, Vec<usize>> = HashMap::new();
-        for (i, c) in ub_conds.iter().enumerate() {
-            by_inst.entry(c.inst).or_default().push(i);
-        }
-
-        // --- Elimination over basic blocks (Figure 5) -------------------------
-        for block in func.block_ids() {
-            if block == func.entry() || !enc.cfg.is_reachable(block) {
-                continue;
-            }
-            let reach = enc.reach_term(block);
-            match solver.check(&enc.pool, &[reach]) {
-                QueryResult::Unsat | QueryResult::Unknown => continue, // trivially dead / timeout
-                QueryResult::Sat(_) => {}
-            }
-            // Δ over the dominators of the block (strictly dominating blocks).
-            let dom_conds = dominating_conditions(func, &enc, &ub_conds, &by_inst, block, None);
-            if dom_conds.is_empty() {
-                continue;
-            }
-            let mut assertions = vec![reach];
-            assertions.extend(dom_conds.iter().map(|&ci| neg_terms[ci]));
-            if solver.check(&enc.pool, &assertions).is_unsat() {
-                let minimal = minimal_ub_set(&enc.pool, solver, &[reach], &dom_conds, &neg_terms);
-                let origin = block_report_origin(func, block);
-                reports.push(build_report(
-                    func,
-                    &origin,
-                    Algorithm::Elimination,
-                    format!(
-                        "code in block {} is reachable only by inputs that trigger undefined behavior; \
-                         an optimizing compiler may delete it",
-                        func.block(block)
-                            .name
-                            .clone()
-                            .unwrap_or_else(|| format!("{block}"))
-                    ),
-                    &minimal,
-                    &ub_conds,
-                ));
-            }
-        }
-
-        // --- Simplification over comparisons (Figure 6) -----------------------
-        for (block, inst_id) in func.all_insts() {
-            if !enc.cfg.is_reachable(block) {
-                continue;
-            }
-            let InstKind::Cmp { pred, lhs, rhs } = func.inst(inst_id).kind.clone() else {
-                continue;
-            };
-            let index = func.position_in_block(inst_id).map(|(_, i)| i).unwrap_or(0);
-            let e_term = enc.bool_term(Operand::Inst(inst_id));
-            let reach = enc.reach_term(block);
-            let dom_conds =
-                dominating_conditions(func, &enc, &ub_conds, &by_inst, block, Some(index));
-            if dom_conds.is_empty() {
-                continue;
-            }
-            let negations: Vec<TermId> = dom_conds.iter().map(|&ci| neg_terms[ci]).collect();
-
-            // Boolean oracle: propose `true`, then `false`.
-            let mut reported = false;
-            for proposed in [true, false] {
-                let prop = enc.pool.bool_const(proposed);
-                let diff = enc.pool.xor(e_term, prop);
-                match solver.check(&enc.pool, &[diff, reach]) {
-                    QueryResult::Unsat => break, // trivially constant: not unstable
-                    QueryResult::Unknown => break,
-                    QueryResult::Sat(_) => {}
-                }
-                let mut assertions = vec![diff, reach];
-                assertions.extend(&negations);
-                if solver.check(&enc.pool, &assertions).is_unsat() {
-                    let minimal =
-                        minimal_ub_set(&enc.pool, solver, &[diff, reach], &dom_conds, &neg_terms);
-                    let origin = func.inst(inst_id).origin.clone();
-                    reports.push(build_report(
-                        func,
-                        &origin,
-                        Algorithm::SimplifyBoolean,
-                        format!(
-                            "check always evaluates to {proposed} under the well-defined program \
-                             assumption; an optimizing compiler may discard it"
-                        ),
-                        &minimal,
-                        &ub_conds,
-                    ));
-                    reported = true;
-                    break;
-                }
-            }
-            if reported {
-                continue;
-            }
-
-            // Algebra oracle: cancel a common term on both sides.
-            if let Some((proposed_term, description)) =
-                algebra_proposal(&mut enc, func, pred, lhs, rhs)
-            {
-                let diff = enc.pool.xor(e_term, proposed_term);
-                if let QueryResult::Sat(_) = solver.check(&enc.pool, &[diff, reach]) {
-                    let mut assertions = vec![diff, reach];
-                    assertions.extend(&negations);
-                    if solver.check(&enc.pool, &assertions).is_unsat() {
-                        let minimal = minimal_ub_set(
-                            &enc.pool,
-                            solver,
-                            &[diff, reach],
-                            &dom_conds,
-                            &neg_terms,
-                        );
-                        let origin = func.inst(inst_id).origin.clone();
-                        reports.push(build_report(
-                            func,
-                            &origin,
-                            Algorithm::SimplifyAlgebra,
-                            description,
-                            &minimal,
-                            &ub_conds,
-                        ));
-                    }
-                }
-            }
-        }
-
-        reports
-    }
-}
-
-/// UB-condition indices attached to the dominators of a program point.
-/// `index = None` means "the start of the block" (used for block
-/// elimination); `Some(i)` means the instruction at position `i`.
-fn dominating_conditions(
-    func: &Function,
-    enc: &FunctionEncoder<'_>,
-    ub_conds: &[UbCondition],
-    by_inst: &HashMap<stack_ir::InstId, Vec<usize>>,
-    block: stack_ir::BlockId,
-    index: Option<usize>,
-) -> Vec<usize> {
-    let mut out = Vec::new();
-    let dom_insts = match index {
-        Some(i) => enc.dom.dominating_insts(func, block, i),
-        None => {
-            let mut v = Vec::new();
-            for d in enc.dom.dominators(block) {
-                if d == block {
-                    continue;
-                }
-                v.extend(func.block(d).insts.iter().copied());
-            }
-            v
-        }
-    };
-    for inst in dom_insts {
-        if let Some(indices) = by_inst.get(&inst) {
-            out.extend(indices.iter().copied());
-        }
-    }
-    let _ = ub_conds;
-    out
-}
-
-/// The greedy minimal-UB-set computation of Figure 8: drop each condition in
-/// turn; if the query becomes satisfiable, that condition is essential.
-///
-/// Every iteration asserts the same `base` fragment encoding plus all but one
-/// of the precomputed condition negations (`neg_terms[ci]`, indexed like
-/// `dom_conds`). In incremental mode these terms are already registered as
-/// assumption literals on the function's persistent solver instance, so each
-/// iteration is a `check_assuming` toggle rather than a fresh bit-blast; the
-/// query cache still short-circuits iterations repeated across structurally
-/// identical functions.
-fn minimal_ub_set(
-    pool: &stack_solver::TermPool,
-    solver: &mut BvSolver,
-    base: &[TermId],
-    dom_conds: &[usize],
-    neg_terms: &[TermId],
-) -> Vec<usize> {
-    let mut essential = Vec::new();
-    for &skip in dom_conds {
-        let mut assertions = base.to_vec();
-        assertions.extend(
-            dom_conds
-                .iter()
-                .filter(|&&ci| ci != skip)
-                .map(|&ci| neg_terms[ci]),
-        );
-        match solver.check(pool, &assertions) {
-            QueryResult::Sat(_) | QueryResult::Unknown => essential.push(skip),
-            QueryResult::Unsat => {}
-        }
-    }
-    if essential.is_empty() {
-        // Degenerate case (e.g. a single condition): keep everything.
-        essential = dom_conds.to_vec();
-    }
-    essential
-}
-
-/// Propose a simpler expression by cancelling a common term on both sides of
-/// a comparison (the algebra oracle).
-fn algebra_proposal(
-    enc: &mut FunctionEncoder<'_>,
-    func: &Function,
-    pred: CmpPred,
-    lhs: Operand,
-    rhs: Operand,
-) -> Option<(TermId, String)> {
-    // Pointer form: (p + x) pred p  ==>  x pred' 0 with signed ordering.
-    if let Operand::Inst(id) = lhs {
-        if let InstKind::PtrAdd {
-            ptr,
-            offset,
-            elem_size,
-            ..
-        } = func.inst(id).kind
-        {
-            if ptr == rhs {
-                let off = enc.scaled_offset(offset, elem_size);
-                let zero = enc.pool.bv_const(64, 0);
-                let term = match pred {
-                    CmpPred::Ult | CmpPred::Slt => enc.pool.bv_slt(off, zero),
-                    CmpPred::Ule | CmpPred::Sle => enc.pool.bv_sle(off, zero),
-                    CmpPred::Ugt | CmpPred::Sgt => enc.pool.bv_sgt(off, zero),
-                    CmpPred::Uge | CmpPred::Sge => enc.pool.bv_sge(off, zero),
-                    CmpPred::Eq => enc.pool.eq(off, zero),
-                    CmpPred::Ne => enc.pool.ne(off, zero),
-                };
-                return Some((
-                    term,
-                    "pointer check `p + x < p` can be simplified to a sign test on `x`; \
-                     compilers perform the same rewrite"
-                        .to_string(),
-                ));
-            }
-        }
-        // Integer form: (x + y) pred x  ==>  y pred 0.
-        if let InstKind::Bin {
-            op: stack_ir::BinOp::Add,
-            lhs: a,
-            rhs: b,
-        } = func.inst(id).kind
-        {
-            let other = if a == rhs {
-                Some(b)
-            } else if b == rhs {
-                Some(a)
-            } else {
-                None
-            };
-            if let Some(y) = other {
-                let yt = enc.bv_term(y);
-                let width = enc.pool.width(yt);
-                let zero = enc.pool.bv_const(width, 0);
-                let term = match pred {
-                    CmpPred::Slt | CmpPred::Ult => enc.pool.bv_slt(yt, zero),
-                    CmpPred::Sle | CmpPred::Ule => enc.pool.bv_sle(yt, zero),
-                    CmpPred::Sgt | CmpPred::Ugt => enc.pool.bv_sgt(yt, zero),
-                    CmpPred::Sge | CmpPred::Uge => enc.pool.bv_sge(yt, zero),
-                    CmpPred::Eq => enc.pool.eq(yt, zero),
-                    CmpPred::Ne => enc.pool.ne(yt, zero),
-                };
-                return Some((
-                    term,
-                    "comparison `x + y < x` can be simplified to a sign test on `y`".to_string(),
-                ));
-            }
-        }
-    }
-    None
-}
-
-/// Pick a representative origin for a block that may be eliminated: its first
-/// instruction, or the condition of the branch that leads to it.
-fn block_report_origin(func: &Function, block: stack_ir::BlockId) -> Origin {
-    if let Some(&first) = func.block(block).insts.first() {
-        return func.inst(first).origin.clone();
-    }
-    // Empty block (e.g. a lone `return`): walk predecessors until we find the
-    // branch condition (or the last instruction) that decides whether this
-    // block runs, so the report points at the check being bypassed.
-    let mut visited = std::collections::HashSet::new();
-    let mut work = vec![block];
-    while let Some(cur) = work.pop() {
-        if !visited.insert(cur) {
-            continue;
-        }
-        for b in func.block_ids() {
-            let term = &func.block(b).terminator;
-            if !term.successors().contains(&cur) {
-                continue;
-            }
-            if let stack_ir::Terminator::CondBr {
-                cond: Operand::Inst(id),
-                ..
-            } = term
-            {
-                return func.inst(*id).origin.clone();
-            }
-            if let Some(&last) = func.block(b).insts.last() {
-                return func.inst(last).origin.clone();
-            }
-            work.push(b);
-        }
-    }
-    Origin::unknown()
-}
-
-fn build_report(
-    func: &Function,
-    origin: &Origin,
-    algorithm: Algorithm,
-    description: String,
-    minimal: &[usize],
-    ub_conds: &[UbCondition],
-) -> BugReport {
-    let (file, line, compiler_generated) = origin_info(origin);
-    let mut ub_sources: Vec<UbSource> = minimal
-        .iter()
-        .map(|&i| UbSource {
-            kind: ub_conds[i].kind,
-            location: format!(
-                "{}:{}",
-                ub_conds[i].origin.loc.file, ub_conds[i].origin.loc.line
-            ),
-        })
-        .collect();
-    ub_sources.sort_by(|a, b| (a.kind, &a.location).cmp(&(b.kind, &b.location)));
-    ub_sources.dedup();
-    BugReport {
-        function: func.name.clone(),
-        file,
-        line,
-        algorithm,
-        description,
-        ub_sources,
-        compiler_generated,
+        self.session.check_function(func, solver)
     }
 }
 
@@ -834,11 +397,29 @@ mod tests {
     #[test]
     fn stats_accumulate() {
         let result = check("int f(int x) { if (x + 1 < x) return 1; return 0; }");
+        assert_eq!(result.stats.modules, 1);
         assert_eq!(result.stats.functions, 1);
         assert!(result.stats.queries >= 2);
         assert_eq!(result.stats.timeouts, 0);
         assert!(result.stats.by_algorithm.values().sum::<usize>() >= 1);
         assert!(result.stats.threads >= 1);
+    }
+
+    #[test]
+    fn stats_merge_adds_counts_and_merges_algorithms() {
+        let a = check("int f(int x) { if (x + 1 < x) return 1; return 0; }");
+        let b = check("int g(int *p) { int v = *p; if (!p) return 1; return v; }");
+        let mut merged = a.stats.clone();
+        merged.merge(&b.stats);
+        assert_eq!(merged.modules, 2);
+        assert_eq!(merged.functions, 2);
+        assert_eq!(merged.queries, a.stats.queries + b.stats.queries);
+        assert_eq!(
+            merged.by_algorithm.values().sum::<usize>(),
+            a.stats.by_algorithm.values().sum::<usize>()
+                + b.stats.by_algorithm.values().sum::<usize>()
+        );
+        assert!(merged.elapsed >= a.stats.elapsed.max(b.stats.elapsed));
     }
 
     /// A module with several functions, mixing unstable and stable code, so

@@ -34,10 +34,12 @@ pub mod checker;
 pub mod classify;
 pub mod encoder;
 pub mod report;
+pub mod session;
 pub mod ubcond;
 
 pub use checker::{CheckResult, CheckStats, Checker, CheckerConfig};
 pub use classify::{classify_source, BugClass};
 pub use encoder::FunctionEncoder;
 pub use report::{Algorithm, BugReport, UbSource};
+pub use session::AnalysisSession;
 pub use ubcond::{collect_ub_conditions, UbCondition, UbKind};

@@ -229,6 +229,17 @@ pub fn collect_ub_conditions(func: &Function, enc: &mut FunctionEncoder<'_>) -> 
                     let term = enc.pool.bv_ult(dist, len64);
                     push(UbKind::OverlappingMemcpy, term, &mut out);
                 }
+                "memset" if args.len() == 3 => {
+                    // Passing a null pointer to memset is undefined even
+                    // though no dereference is visible at the call site — the
+                    // e1000e idiom (paper Table 1): `memset(es, 0, n)`
+                    // followed by `if (!es)` lets the compiler delete the
+                    // null check.
+                    let dst = enc.bv_term(args[0]);
+                    let null = enc.pool.bv_const(64, 0);
+                    let term = enc.pool.eq(dst, null);
+                    push(UbKind::NullPointerDereference, term, &mut out);
+                }
                 "free" if args.len() == 1 => freed.push((args[0], inst_id)),
                 "realloc" if args.len() == 2 => reallocated.push((args[0], inst_id)),
                 _ => {}
@@ -361,6 +372,8 @@ mod tests {
             "f",
         );
         assert!(kinds.contains(&UbKind::OverlappingMemcpy));
+        let kinds = conditions("void f(char *d, unsigned long n) { memset(d, 0, n); }", "f");
+        assert!(kinds.contains(&UbKind::NullPointerDereference));
     }
 
     #[test]

@@ -1,0 +1,279 @@
+//! Archive-population generator for the cross-run persistence workload.
+//!
+//! The §6.5 deployment mode scans a whole package archive, and the payoff of
+//! a disk-backed query store comes from *structural overlap*: the same
+//! unstable idioms re-instantiated across packages, so their queries hit the
+//! store instead of the SAT core. The [`synth`](crate::synth) population
+//! deliberately varies constants per instance (every injected bug is
+//! distinguishable); this module generates the opposite shape — every
+//! function body is drawn from a fixed pool of (template, constant-variant)
+//! idioms with fixed parameter names, so instantiating the same pool slot in
+//! different packages encodes to structurally identical solver queries.
+//! Only function names differ, and names of functions never appear in query
+//! terms.
+//!
+//! That makes the archive the right workload for measuring both layers of
+//! reuse: a cold scan solves each pool slot once (the
+//! [`ArchiveConfig::variants`] knob controls how many such first-sightings
+//! it must pay for, and the pool includes deliberately expensive
+//! multiplication/division circuits) and answers every repeat from the
+//! in-memory table; a warm re-run against the saved store answers every
+//! decided query from disk without entering the SAT core at all.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Generator configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ArchiveConfig {
+    /// Number of packages.
+    pub packages: usize,
+    /// Files per package (exact).
+    pub files_per_package: usize,
+    /// Functions per file (exact).
+    pub functions_per_file: usize,
+    /// Probability that a function is an unstable idiom rather than a
+    /// stable one.
+    pub unstable_fraction: f64,
+    /// Constant variants per unstable template. Each variant embeds a
+    /// different literal, so it encodes to a *distinct* solver query: a cold
+    /// scan must solve each (template, variant) pair once, while a warm
+    /// re-run answers all of them from the persisted store. Raising this
+    /// widens the cold/warm gap; 1 collapses every template to a single
+    /// shape.
+    pub variants: usize,
+    /// RNG seed (the population is deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for ArchiveConfig {
+    fn default() -> ArchiveConfig {
+        ArchiveConfig {
+            packages: 24,
+            files_per_package: 2,
+            functions_per_file: 5,
+            unstable_fraction: 0.4,
+            variants: 8,
+            seed: 0xa2c41,
+        }
+    }
+}
+
+/// One generated source file of the archive.
+#[derive(Clone, Debug)]
+pub struct ArchiveFile {
+    /// Owning package (`archive-0007`).
+    pub package: String,
+    /// File name (`archive-0007_1.mc`).
+    pub name: String,
+    /// Mini-C source.
+    pub source: String,
+    /// Number of unstable idioms instantiated (ground truth for calibration
+    /// tests; the checker never sees this).
+    pub injected: usize,
+}
+
+/// Number of unstable templates [`unstable_body`] instantiates.
+const UNSTABLE_TEMPLATES: usize = 7;
+
+/// One unstable idiom body (everything after the function name). Parameter
+/// names are fixed per template, and the embedded constant is a pure
+/// function of `variant`, so instantiating the same (template, variant)
+/// pair anywhere in the archive yields structurally identical solver
+/// queries — while distinct variants yield distinct ones. The mix spans
+/// cheap queries (null checks) and expensive ones (the multiplication
+/// overflow guard, whose division-based encoding is the costliest circuit
+/// the blaster builds here), so a cold scan pays real solver time on every
+/// first-seen variant.
+fn unstable_body(template: usize, variant: usize) -> String {
+    // Distinct, deterministic small constants per variant.
+    let k = 3 + 13 * (variant as u64);
+    match template % UNSTABLE_TEMPLATES {
+        0 => {
+            format!("(struct pkt *p) {{ long seq = p->seq; if (!p) return {k}; return (int)seq; }}")
+        }
+        1 => format!("(int x) {{ if (x + {k} < x) return 1; return x; }}"),
+        2 => format!(
+            "(char *buf, unsigned int len) {{ if (buf + len < buf) return -{k}; return 0; }}"
+        ),
+        3 => format!(
+            "(unsigned int v, int s) {{ unsigned int r = v << s; if (s >= 32) return {k}; \
+             return (int)r; }}"
+        ),
+        4 => {
+            format!("(int a, int b) {{ int q = (a + {k}) / b; if (b == 0) return -1; return q; }}")
+        }
+        5 => format!("(int x) {{ if (abs(x) < -{k}) return 1; return abs(x); }}"),
+        // The classic multiplication overflow guard: under the well-defined
+        // assumption `a * b` never overflows, so `p / b != a` is always
+        // false and the whole check is unstable.
+        _ => format!(
+            "(int a, int b) {{ int p = a * {k}; int q = p / {k}; if (q != a) return -1; \
+             return p + b; }}"
+        ),
+    }
+}
+
+/// One stable idiom body (well-defined filler; must stay report-free).
+fn stable_body(template: usize) -> String {
+    const STABLE_BODIES: &[&str] = &[
+        "(int a, int b) { if (b == 0) return -1; return a / b; }",
+        "(unsigned int v, int s) { if (s < 0 || s >= 32) return 0; return (int)(v << s); }",
+        "(int a, int b) { int m = a < b ? a : b; return m * 2 + 1; }",
+        "(char *p, int n) { if (!p) return -1; if (n < 0) return -2; return *p + n; }",
+    ];
+    STABLE_BODIES[template % STABLE_BODIES.len()].to_string()
+}
+
+/// Number of stable templates [`stable_body`] instantiates.
+const STABLE_TEMPLATES: usize = 4;
+
+/// Generate the archive population.
+pub fn generate_archive(config: &ArchiveConfig) -> Vec<ArchiveFile> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut files = Vec::new();
+    let mut uid = 0usize;
+    for p in 0..config.packages {
+        let package = format!("archive-{p:04}");
+        for f in 0..config.files_per_package {
+            let mut source = String::new();
+            let mut injected = 0usize;
+            for _ in 0..config.functions_per_file.max(1) {
+                uid += 1;
+                let unstable = rng.gen_bool(config.unstable_fraction);
+                let body = if unstable {
+                    injected += 1;
+                    let template = rng.gen_range(0..UNSTABLE_TEMPLATES);
+                    let variant = rng.gen_range(0..config.variants.max(1));
+                    unstable_body(template, variant)
+                } else {
+                    stable_body(rng.gen_range(0..STABLE_TEMPLATES))
+                };
+                source.push_str(&format!("int fn_{uid}{body}\n"));
+            }
+            files.push(ArchiveFile {
+                package: package.clone(),
+                name: format!("{package}_{f}.mc"),
+                source,
+                injected,
+            });
+        }
+    }
+    files
+}
+
+/// Materialize the archive population as `.mc` files under `dir` (created
+/// if needed), returning the written paths in generation order. This is
+/// what `stack gen-archive` uses to give the `scan` subcommand a real
+/// directory to walk.
+pub fn write_archive(config: &ArchiveConfig, dir: &Path) -> io::Result<Vec<PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let mut paths = Vec::new();
+    for file in generate_archive(config) {
+        let path = dir.join(&file.name);
+        std::fs::write(&path, &file.source)?;
+        paths.push(path);
+    }
+    Ok(paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = ArchiveConfig::default();
+        let a = generate_archive(&cfg);
+        let b = generate_archive(&cfg);
+        assert_eq!(a.len(), cfg.packages * cfg.files_per_package);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.source, y.source);
+            assert_eq!(x.injected, y.injected);
+        }
+    }
+
+    #[test]
+    fn generated_files_compile() {
+        let cfg = ArchiveConfig {
+            packages: 6,
+            ..ArchiveConfig::default()
+        };
+        for file in generate_archive(&cfg) {
+            stack_minic::compile(&file.source, &file.name)
+                .unwrap_or_else(|e| panic!("{}: {e}\n{}", file.name, file.source));
+        }
+    }
+
+    #[test]
+    fn bodies_overlap_across_modules() {
+        // Strip the unique function names: the remaining bodies must come
+        // from the fixed (template, variant) pool, so the whole archive uses
+        // at most `UNSTABLE_TEMPLATES * variants + STABLE_TEMPLATES`
+        // distinct shapes — far fewer than the function count, which is what
+        // makes repeated instances hit the query store.
+        let cfg = ArchiveConfig::default();
+        let mut bodies: HashSet<String> = HashSet::new();
+        let mut functions = 0usize;
+        for file in generate_archive(&cfg) {
+            for line in file.source.lines() {
+                let body = line
+                    .split_once('(')
+                    .map(|(_, rest)| rest.to_string())
+                    .expect("every line is a function definition");
+                bodies.insert(body);
+                functions += 1;
+            }
+        }
+        assert!(functions > 100, "population too small to measure overlap");
+        let pool = UNSTABLE_TEMPLATES * cfg.variants + STABLE_TEMPLATES;
+        assert!(
+            bodies.len() <= pool,
+            "expected at most {pool} shapes, got {} distinct bodies",
+            bodies.len()
+        );
+        assert!(
+            functions > 2 * bodies.len(),
+            "population must re-instantiate shapes ({} functions, {} shapes)",
+            functions,
+            bodies.len()
+        );
+    }
+
+    #[test]
+    fn roughly_the_configured_fraction_is_unstable() {
+        let cfg = ArchiveConfig {
+            packages: 50,
+            ..ArchiveConfig::default()
+        };
+        let files = generate_archive(&cfg);
+        let injected: usize = files.iter().map(|f| f.injected).sum();
+        let total: usize = files.len() * cfg.functions_per_file;
+        let fraction = injected as f64 / total as f64;
+        assert!(
+            (0.25..0.55).contains(&fraction),
+            "expected ~{} unstable, got {fraction}",
+            cfg.unstable_fraction
+        );
+    }
+
+    #[test]
+    fn write_archive_materializes_the_population() {
+        let dir = std::env::temp_dir().join(format!("stack-archive-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = ArchiveConfig {
+            packages: 2,
+            ..ArchiveConfig::default()
+        };
+        let paths = write_archive(&cfg, &dir).unwrap();
+        assert_eq!(paths.len(), cfg.packages * cfg.files_per_package);
+        for path in &paths {
+            assert!(path.exists(), "{path:?}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -12,12 +12,17 @@
 //! * [`systems`] — one generated program per bug of Figure 9, with row and
 //!   column totals matching the paper;
 //! * [`synth`] — a seeded synthetic "Debian archive" whose population-level
-//!   statistics are calibrated to §6.5.
+//!   statistics are calibrated to §6.5;
+//! * [`archive`] — an overlap-heavy archive population (a fixed idiom pool
+//!   re-instantiated across packages) for the cross-run persistence
+//!   workload: repeated scans of it exercise the disk-backed query store.
 
+pub mod archive;
 pub mod patterns;
 pub mod synth;
 pub mod systems;
 
+pub use archive::{generate_archive, write_archive, ArchiveConfig, ArchiveFile};
 pub use patterns::{
     all_patterns, completeness_benchmark, CompletenessTest, Pattern, FIG10_POSTGRES_DIVISION,
     FIG11_STRCHR_NULL_CHECK, FIG12_FFMPEG_BOUNDS, FIG13_PLAN9_PDEC, FIG14_POSTGRES_TIMEBOMB,
@@ -25,4 +30,7 @@ pub use patterns::{
     STABLE_CONTROLS,
 };
 pub use synth::{generate, SynthConfig, SynthFile, SynthPackage};
-pub use systems::{bug_template, figure9_corpus, figure9_rows, BugInstance, SystemRow, UB_COLUMNS};
+pub use systems::{
+    bug_template, figure9_corpus, figure9_rows, table1_idioms, BugInstance, SystemIdiom, SystemRow,
+    UB_COLUMNS,
+};

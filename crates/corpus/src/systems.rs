@@ -158,6 +158,73 @@ pub fn bug_template(ub: UbLabel, function: &str, n: usize) -> String {
     }
 }
 
+/// A real-world unstable-code idiom from one of the paper's Table 1
+/// systems, transcribed as a mini-C program.
+#[derive(Clone, Copy, Debug)]
+pub struct SystemIdiom {
+    /// Stable identifier (usable as a file name).
+    pub id: &'static str,
+    /// The system the idiom was found in.
+    pub system: &'static str,
+    /// Where the paper discusses it.
+    pub paper_ref: &'static str,
+    /// The transcribed program.
+    pub source: &'static str,
+    /// The UB class a report must involve.
+    pub ub: UbLabel,
+}
+
+/// Real-world idioms from the paper's Table 1 systems, beyond the Figure 9
+/// cell templates: each is a distinct hand-transcribed shape (not a
+/// generated template instance) that the checker must flag with the given
+/// UB class.
+pub fn table1_idioms() -> Vec<SystemIdiom> {
+    vec![
+        SystemIdiom {
+            id: "libtool_null_check",
+            system: "libtool-2.4.2",
+            paper_ref: "Table 1: null check after dereference",
+            // lt__memdup-style helper: the entry length is read before the
+            // argument is validated, so the later null check is unstable.
+            source: "int lt_argz_insert(char *argz, char *entry) {\n\
+                       long len = *entry;\n\
+                       if (!entry) return -22;\n\
+                       if (!argz) return -22;\n\
+                       return (int)len;\n\
+                     }",
+            ub: "null",
+        },
+        SystemIdiom {
+            id: "e1000e_memset_null",
+            system: "Linux e1000e",
+            paper_ref: "Table 1: memset of possibly-null pointer",
+            // e1000_clean_rx_irq-style reset: the buffer is cleared with
+            // memset before the driver checks whether the allocation
+            // succeeded; memset's null-argument UB makes the check dead.
+            source: "int e1000_configure_rx(char *rx_ring, unsigned long size) {\n\
+                       memset(rx_ring, 0, size);\n\
+                       if (!rx_ring) return -12;\n\
+                       return 0;\n\
+                     }",
+            ub: "null",
+        },
+        SystemIdiom {
+            id: "ext2fs_rec_len_overflow",
+            system: "e2fsprogs",
+            paper_ref: "Table 1: signed offset-overflow check",
+            // Directory-entry iteration guard: `offset + rec_len < offset`
+            // relies on signed wraparound, which the compiler may assume
+            // never happens.
+            source: "int ext2fs_process_dir(int offset, int rec_len) {\n\
+                       if (offset + rec_len < offset) return -1;\n\
+                       if (rec_len < 8) return -1;\n\
+                       return offset + rec_len;\n\
+                     }",
+            ub: "integer",
+        },
+    ]
+}
+
 /// Instantiate the whole Figure 9 corpus: one program per reported bug.
 pub fn figure9_corpus() -> Vec<BugInstance> {
     let mut out = Vec::new();
@@ -212,6 +279,21 @@ mod tests {
         for bug in corpus.iter().step_by(13) {
             stack_minic::compile(&bug.source, &bug.file)
                 .unwrap_or_else(|e| panic!("{}: {e}\n{}", bug.file, bug.source));
+        }
+    }
+
+    #[test]
+    fn table1_idioms_compile_and_are_distinct() {
+        let idioms = table1_idioms();
+        assert!(idioms.len() >= 3);
+        let mut ids: Vec<&str> = idioms.iter().map(|i| i.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), idioms.len(), "idiom ids must be unique");
+        for idiom in &idioms {
+            stack_minic::compile(idiom.source, &format!("{}.c", idiom.id))
+                .unwrap_or_else(|e| panic!("{}: {e}\n{}", idiom.id, idiom.source));
+            assert!(UB_COLUMNS.contains(&idiom.ub), "{}", idiom.id);
         }
     }
 

@@ -124,6 +124,23 @@ impl QueryCache {
         }
     }
 
+    /// A copy of every stored entry, as `(key, decided result)` pairs, in
+    /// unspecified order. Used by the disk-backed store to persist the table
+    /// and by diagnostics; not a hot path.
+    pub fn entries_snapshot(&self) -> Vec<(CacheKey, QueryResult)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            for (key, value) in shard.lock().unwrap().iter() {
+                let result = match value {
+                    CachedResult::Sat(model) => QueryResult::Sat(model.clone()),
+                    CachedResult::Unsat => QueryResult::Unsat,
+                };
+                out.push((key.clone(), result));
+            }
+        }
+        out
+    }
+
     /// Counters accumulated so far.
     pub fn stats(&self) -> CacheStats {
         CacheStats {

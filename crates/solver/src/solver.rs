@@ -17,6 +17,7 @@ use crate::cache::{FingerprintMemo, QueryCache};
 use crate::incremental::SolverInstance;
 use crate::model::Model;
 use crate::sat::{Budget, SatResult, SatSolver};
+use crate::store::QueryStore;
 use crate::term::{Sort, TermId, TermKind, TermPool};
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -102,7 +103,7 @@ impl SolverStats {
 pub struct BvSolver {
     budget: Budget,
     stats: SolverStats,
-    cache: Option<Arc<QueryCache>>,
+    store: Option<Arc<dyn QueryStore>>,
     memo: FingerprintMemo,
     /// Whether cache misses are decided by a persistent [`SolverInstance`]
     /// (one per pool epoch) instead of a from-scratch bit-blast.
@@ -128,7 +129,7 @@ impl BvSolver {
         BvSolver {
             budget,
             stats: SolverStats::default(),
-            cache: None,
+            store: None,
             memo: FingerprintMemo::default(),
             incremental: false,
             instance: None,
@@ -181,20 +182,34 @@ impl BvSolver {
         self.instance.as_mut().expect("instance just ensured")
     }
 
-    /// Attach (or detach) a memoized query cache, typically shared between
-    /// several solvers via [`Arc`]. With a cache attached, [`check`]
-    /// consults it before bit-blasting and stores every decided result;
-    /// budget-exhausted `Unknown` results are never cached.
+    /// Attach (or detach) a memoized query store, typically shared between
+    /// several solvers via [`Arc`]. With a store attached, [`check`]
+    /// consults it before bit-blasting and inserts every decided result;
+    /// budget-exhausted `Unknown` results are never stored. Any
+    /// [`QueryStore`] works: the in-memory [`QueryCache`] or the disk-backed
+    /// [`DiskQueryStore`](crate::store::DiskQueryStore).
     ///
     /// [`check`]: BvSolver::check
+    pub fn set_store(&mut self, store: Option<Arc<dyn QueryStore>>) {
+        self.store = store;
+    }
+
+    /// Builder-style variant of [`BvSolver::set_store`].
+    pub fn with_store(mut self, store: Arc<dyn QueryStore>) -> BvSolver {
+        self.store = Some(store);
+        self
+    }
+
+    /// [`set_store`](BvSolver::set_store) specialized to the in-memory
+    /// [`QueryCache`] (the historical entry point; kept for call-site
+    /// compatibility).
     pub fn set_cache(&mut self, cache: Option<Arc<QueryCache>>) {
-        self.cache = cache;
+        self.store = cache.map(|c| c as Arc<dyn QueryStore>);
     }
 
     /// Builder-style variant of [`BvSolver::set_cache`].
-    pub fn with_cache(mut self, cache: Arc<QueryCache>) -> BvSolver {
-        self.cache = Some(cache);
-        self
+    pub fn with_cache(self, cache: Arc<QueryCache>) -> BvSolver {
+        self.with_store(cache)
     }
 
     /// Statistics accumulated so far.
@@ -245,9 +260,9 @@ impl BvSolver {
         // checker's `--no-incremental` escape hatch restores the strict
         // guarantee.
         let key = self.memo.canonicalize(pool, &mut simplified);
-        let key = self.cache.is_some().then_some(key);
-        if let (Some(cache), Some(key)) = (&self.cache, &key) {
-            if let Some(result) = cache.lookup(key) {
+        let key = self.store.is_some().then_some(key);
+        if let (Some(store), Some(key)) = (&self.store, &key) {
+            if let Some(result) = store.lookup(key) {
                 self.stats.cache_hits += 1;
                 match &result {
                     QueryResult::Sat(model) => {
@@ -286,8 +301,8 @@ impl BvSolver {
                 );
             }
         }
-        if let (Some(cache), Some(key)) = (&self.cache, key) {
-            cache.insert(key, &outcome);
+        if let (Some(store), Some(key)) = (&self.store, key) {
+            store.insert(key, &outcome);
         }
         outcome
     }

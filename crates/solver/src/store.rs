@@ -1,0 +1,420 @@
+//! Pluggable query stores: where decided solver answers live between queries
+//! — and, for the disk-backed store, between *processes*.
+//!
+//! The [`QueryStore`] trait abstracts the destination of memoized query
+//! results. [`BvSolver`](crate::solver::BvSolver) only ever talks to the
+//! trait: on every query it looks the canonical fingerprint key up, and on
+//! every decided (never `Unknown`) miss it inserts the result back. Two
+//! implementations exist:
+//!
+//! * [`QueryCache`] — the sharded in-memory table of `cache.rs`, shared
+//!   across the parallel checker's worker threads. Dies with the process.
+//! * [`DiskQueryStore`] — an in-memory table bracketed by [`open`] and
+//!   [`save`]: `open` loads every persisted fingerprint→result pair,
+//!   `save` writes the table back (atomically, via a temp file + rename),
+//!   so the next process — the next package of an archive scan, or the next
+//!   scan of the same archive entirely — starts warm. This is the §6.5
+//!   deployment mode: the paper's Debian-scale runs re-analyze thousands of
+//!   packages that instantiate the same unstable idioms, and a cross-run
+//!   store turns all but the first instance into a lookup.
+//!
+//! ## Persistence format
+//!
+//! The store file is line-oriented text. The first line is a header naming
+//! the format version *and* the encoding revision:
+//!
+//! ```text
+//! stack-query-store v1 enc1
+//! U <fp>,<fp>,...
+//! S <fp>,... m <name>=<value> <name>=<value>
+//! ```
+//!
+//! `U`/`S` lines carry one UNSAT/SAT entry: the canonical cache key (sorted
+//! 128-bit structural fingerprints, lower-case hex) and, for SAT, the
+//! witness model (variable names percent-escaped, values decimal `u64`).
+//! Entries are written sorted by key and models sorted by name, so saving
+//! the same logical store always produces byte-identical files.
+//!
+//! A header that does not match the running binary's
+//! [`STORE_FORMAT_VERSION`]/[`ENCODING_REVISION`] — or any malformed line —
+//! causes the whole file to be discarded and the store to start empty
+//! ([`DiskQueryStore::was_invalidated`] reports it). Fingerprints bake in
+//! the term encoding, so a stale cache produced by an older encoder or
+//! solver must self-invalidate rather than serve wrong answers. `Unknown`
+//! results are never inserted (a budget exhaustion is a property of the
+//! budget, not the formula), so they are never persisted either.
+//!
+//! [`open`]: DiskQueryStore::open
+//! [`save`]: DiskQueryStore::save
+
+use crate::cache::{CacheKey, CacheStats, QueryCache};
+use crate::model::Model;
+use crate::solver::QueryResult;
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// On-disk layout version of the store file. Bump when the file syntax
+/// changes.
+pub const STORE_FORMAT_VERSION: u32 = 1;
+
+/// Revision of everything a fingerprint's meaning depends on: the term
+/// encoding, the structural fingerprint function, and the solver's decided
+/// semantics. Bump whenever any of those change observably — persisted
+/// entries from a different revision are discarded at `open`, so stale
+/// caches self-invalidate instead of serving answers computed under
+/// different semantics.
+pub const ENCODING_REVISION: u32 = 1;
+
+/// Destination of memoized query results.
+///
+/// `lookup` returns a previously decided result for a canonical key (and
+/// counts a hit or miss); `insert` stores a decided result (`Unknown` must
+/// be ignored). Implementations are shared across worker threads through an
+/// `Arc`, so both methods take `&self`.
+pub trait QueryStore: Send + Sync + std::fmt::Debug {
+    /// Look up a decided result for `key`, updating hit/miss counters.
+    fn lookup(&self, key: &CacheKey) -> Option<QueryResult>;
+
+    /// Store a decided result. `Unknown` is silently ignored.
+    fn insert(&self, key: CacheKey, result: &QueryResult);
+
+    /// Counters accumulated so far.
+    fn stats(&self) -> CacheStats;
+}
+
+impl QueryStore for QueryCache {
+    fn lookup(&self, key: &CacheKey) -> Option<QueryResult> {
+        QueryCache::lookup(self, key)
+    }
+
+    fn insert(&self, key: CacheKey, result: &QueryResult) {
+        QueryCache::insert(self, key, result);
+    }
+
+    fn stats(&self) -> CacheStats {
+        QueryCache::stats(self)
+    }
+}
+
+/// A disk-backed query store: the in-memory sharded table plus load/save
+/// against one file. See the module docs for the format and invalidation
+/// rules.
+#[derive(Debug)]
+pub struct DiskQueryStore {
+    path: PathBuf,
+    mem: QueryCache,
+    loaded: u64,
+    invalidated: bool,
+}
+
+impl DiskQueryStore {
+    /// The header line a store written by this binary carries.
+    fn header() -> String {
+        format!("stack-query-store v{STORE_FORMAT_VERSION} enc{ENCODING_REVISION}")
+    }
+
+    /// Open a store backed by `path`, loading every persisted entry. A
+    /// missing file yields an empty store; a file with a mismatched header
+    /// (older format or encoding revision) or any malformed content is
+    /// discarded wholesale and [`was_invalidated`](Self::was_invalidated)
+    /// reports it. Only I/O failures are errors.
+    pub fn open(path: impl Into<PathBuf>) -> io::Result<DiskQueryStore> {
+        let path = path.into();
+        let mut store = DiskQueryStore {
+            path,
+            mem: QueryCache::new(),
+            loaded: 0,
+            invalidated: false,
+        };
+        let text = match std::fs::read_to_string(&store.path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(store),
+            Err(e) => return Err(e),
+        };
+        match parse_store(&text) {
+            Some(entries) => {
+                store.loaded = entries.len() as u64;
+                for (key, result) in entries {
+                    store.mem.insert(key, &result);
+                }
+            }
+            None => store.invalidated = true,
+        }
+        Ok(store)
+    }
+
+    /// Write every entry back to the backing file: serialize to a sibling
+    /// temp file, then rename over the target, so a crash mid-save never
+    /// leaves a truncated store behind. Returns the number of entries
+    /// written. Output is deterministic (entries sorted by key), so saving
+    /// the same logical store twice produces byte-identical files.
+    pub fn save(&self) -> io::Result<usize> {
+        let mut entries = self.mem.entries_snapshot();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut out = Self::header();
+        out.push('\n');
+        for (key, result) in &entries {
+            write_entry(&mut out, key, result);
+        }
+        // The temp name appends to the full path (never replaces an
+        // extension) and carries the pid, so concurrent savers of a shared
+        // store file — or sibling stores differing only in extension —
+        // never collide on it; the rename stays within one directory, so
+        // it is atomic.
+        let mut tmp = self.path.clone().into_os_string();
+        tmp.push(format!(".tmp.{}", std::process::id()));
+        let tmp = PathBuf::from(tmp);
+        std::fs::write(&tmp, &out)?;
+        std::fs::rename(&tmp, &self.path)?;
+        Ok(entries.len())
+    }
+
+    /// Number of entries loaded from disk at [`open`](Self::open) time.
+    pub fn loaded_entries(&self) -> u64 {
+        self.loaded
+    }
+
+    /// Whether `open` found a file it had to discard (mismatched header —
+    /// written by a different format or encoding revision — or malformed
+    /// content).
+    pub fn was_invalidated(&self) -> bool {
+        self.invalidated
+    }
+
+    /// The backing file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl QueryStore for DiskQueryStore {
+    fn lookup(&self, key: &CacheKey) -> Option<QueryResult> {
+        self.mem.lookup(key)
+    }
+
+    fn insert(&self, key: CacheKey, result: &QueryResult) {
+        self.mem.insert(key, result);
+    }
+
+    fn stats(&self) -> CacheStats {
+        self.mem.stats()
+    }
+}
+
+/// Serialize one entry as a `U`/`S` line. `Unknown` cannot appear: the
+/// in-memory table never stores it.
+fn write_entry(out: &mut String, key: &CacheKey, result: &QueryResult) {
+    let fps: Vec<String> = key.iter().map(|fp| format!("{fp:032x}")).collect();
+    match result {
+        QueryResult::Unsat => {
+            let _ = writeln!(out, "U {}", fps.join(","));
+        }
+        QueryResult::Sat(model) => {
+            let mut vars: Vec<(&String, &u64)> = model.iter().collect();
+            vars.sort();
+            let _ = write!(out, "S {} m", fps.join(","));
+            for (name, value) in vars {
+                let _ = write!(out, " {}={value}", escape(name));
+            }
+            out.push('\n');
+        }
+        QueryResult::Unknown => unreachable!("Unknown is never stored"),
+    }
+}
+
+/// Parse a whole store file. `None` means "discard everything": wrong
+/// header or any malformed line. (A cache is best-effort; a partially
+/// trusted file is worse than an empty one.)
+fn parse_store(text: &str) -> Option<Vec<(CacheKey, QueryResult)>> {
+    let mut lines = text.lines();
+    if lines.next()? != DiskQueryStore::header() {
+        return None;
+    }
+    let mut entries = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (kind, rest) = line.split_at_checked(2)?;
+        match kind {
+            "U " => entries.push((parse_key(rest)?, QueryResult::Unsat)),
+            "S " => {
+                let (key_text, model_text) = rest.split_once(" m")?;
+                let mut model = Model::new();
+                for pair in model_text.split_whitespace() {
+                    let (name, value) = pair.split_once('=')?;
+                    model.set(&unescape(name)?, value.parse().ok()?);
+                }
+                entries.push((parse_key(key_text)?, QueryResult::Sat(model)));
+            }
+            _ => return None,
+        }
+    }
+    Some(entries)
+}
+
+/// Parse a comma-separated list of 128-bit hex fingerprints.
+fn parse_key(text: &str) -> Option<CacheKey> {
+    if text.is_empty() {
+        return Some(Vec::new());
+    }
+    text.split(',')
+        .map(|fp| u128::from_str_radix(fp, 16).ok())
+        .collect()
+}
+
+/// Percent-escape a variable name so it never contains whitespace, `=`, or
+/// `%` (the characters the line format relies on). Encoder-generated names
+/// (`arg0_x`, `call3_memcpy`, …) pass through unchanged.
+fn escape(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for byte in name.bytes() {
+        match byte {
+            b'%' | b'=' | b',' => {
+                let _ = write!(out, "%{byte:02x}");
+            }
+            b if b.is_ascii_graphic() => out.push(b as char),
+            b => {
+                let _ = write!(out, "%{b:02x}");
+            }
+        }
+    }
+    out
+}
+
+/// Invert [`escape`]. `None` on malformed escapes or invalid UTF-8.
+fn unescape(text: &str) -> Option<String> {
+    let mut out = Vec::with_capacity(text.len());
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = bytes.get(i + 1..i + 3)?;
+            out.push(u8::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("stack-store-{tag}-{}.qs", std::process::id()))
+    }
+
+    fn sat(pairs: &[(&str, u64)]) -> QueryResult {
+        let mut model = Model::new();
+        for (name, value) in pairs {
+            model.set(name, *value);
+        }
+        QueryResult::Sat(model)
+    }
+
+    #[test]
+    fn roundtrip_preserves_entries_and_models() {
+        let path = temp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let store = DiskQueryStore::open(&path).unwrap();
+        store.insert(vec![1, 2, 3], &QueryResult::Unsat);
+        store.insert(vec![9], &sat(&[("arg0_x", 42), ("weird name=%,", 7)]));
+        store.insert(vec![5, 6], &sat(&[]));
+        store.insert(vec![7], &QueryResult::Unknown); // must not persist
+        assert_eq!(store.save().unwrap(), 3);
+
+        let reloaded = DiskQueryStore::open(&path).unwrap();
+        assert_eq!(reloaded.loaded_entries(), 3);
+        assert!(!reloaded.was_invalidated());
+        assert!(matches!(
+            reloaded.lookup(&vec![1, 2, 3]),
+            Some(QueryResult::Unsat)
+        ));
+        match reloaded.lookup(&vec![9]) {
+            Some(QueryResult::Sat(model)) => {
+                assert_eq!(model.get("arg0_x"), 42);
+                assert_eq!(model.get("weird name=%,"), 7);
+                assert_eq!(model.len(), 2);
+            }
+            other => panic!("expected SAT with model, got {other:?}"),
+        }
+        assert!(matches!(
+            reloaded.lookup(&vec![5, 6]),
+            Some(QueryResult::Sat(_))
+        ));
+        assert!(reloaded.lookup(&vec![7]).is_none());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn save_is_deterministic() {
+        let path = temp_path("deterministic");
+        let _ = std::fs::remove_file(&path);
+        let store = DiskQueryStore::open(&path).unwrap();
+        store.insert(vec![3, 4], &QueryResult::Unsat);
+        store.insert(vec![1], &sat(&[("b", 2), ("a", 1)]));
+        store.save().unwrap();
+        let first = std::fs::read_to_string(&path).unwrap();
+        // Re-open (different insertion order via load) and save again.
+        let reloaded = DiskQueryStore::open(&path).unwrap();
+        reloaded.save().unwrap();
+        let second = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(first, second);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn stale_revision_self_invalidates() {
+        let path = temp_path("stale");
+        std::fs::write(
+            &path,
+            format!(
+                "stack-query-store v{STORE_FORMAT_VERSION} enc{}\nU 1,2\n",
+                ENCODING_REVISION + 1
+            ),
+        )
+        .unwrap();
+        let store = DiskQueryStore::open(&path).unwrap();
+        assert!(store.was_invalidated());
+        assert_eq!(store.loaded_entries(), 0);
+        assert!(store.lookup(&vec![1, 2]).is_none());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn malformed_content_self_invalidates() {
+        for body in ["garbage\n", "U not-hex\n", "S 1 m broken\n", "X 1\n"] {
+            let path = temp_path("malformed");
+            std::fs::write(&path, format!("{}\n{body}", DiskQueryStore::header())).unwrap();
+            let store = DiskQueryStore::open(&path).unwrap();
+            assert!(store.was_invalidated(), "body {body:?}");
+            assert_eq!(store.loaded_entries(), 0);
+            std::fs::remove_file(&path).unwrap();
+        }
+    }
+
+    #[test]
+    fn missing_file_is_an_empty_store() {
+        let path = temp_path("missing");
+        let _ = std::fs::remove_file(&path);
+        let store = DiskQueryStore::open(&path).unwrap();
+        assert_eq!(store.loaded_entries(), 0);
+        assert!(!store.was_invalidated());
+        assert_eq!(store.stats().entries, 0);
+    }
+
+    #[test]
+    fn escape_roundtrip() {
+        for name in ["arg0_x", "call3_memcpy", "a b", "x=%y,", "héllo", ""] {
+            assert_eq!(unescape(&escape(name)).as_deref(), Some(name));
+        }
+        let escaped = escape("a b=c%");
+        assert!(!escaped.contains(' '));
+        assert!(!escaped.contains('='));
+    }
+}

@@ -1,0 +1,161 @@
+//! Property coverage for the disk-backed query store: a random population
+//! of fingerprint→result entries survives a save/open round trip exactly
+//! (same keys, same results, same witness models — including hostile
+//! variable names), saving is byte-deterministic, and a store-backed solver
+//! answers real queries identically before and after the round trip.
+
+use proptest::prelude::*;
+use stack_solver::{BvSolver, DiskQueryStore, Model, QueryResult, QueryStore, TermId, TermPool};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    static UNIQUE: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "stack-disk-store-{tag}-{}-{}.qs",
+        std::process::id(),
+        UNIQUE.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// A random canonical key: 1–4 distinct fingerprints, sorted (matching what
+/// `FingerprintMemo::canonicalize` produces).
+fn random_key(state: &mut u64) -> Vec<u128> {
+    let len = 1 + (lcg(state) % 4) as usize;
+    let mut key: Vec<u128> = (0..len)
+        .map(|_| (u128::from(lcg(state)) << 64) | u128::from(lcg(state)))
+        .collect();
+    key.sort_unstable();
+    key.dedup();
+    key
+}
+
+/// A random variable name, deliberately including characters the line
+/// format must escape (spaces, `=`, `%`, commas, non-ASCII).
+fn random_name(state: &mut u64) -> String {
+    const ALPHABET: &[&str] = &[
+        "a", "b", "x", "_", "0", " ", "=", "%", ",", "é", "arg0_", "call3_",
+    ];
+    let len = 1 + (lcg(state) % 6) as usize;
+    (0..len)
+        .map(|_| ALPHABET[(lcg(state) as usize) % ALPHABET.len()])
+        .collect()
+}
+
+/// A random decided result: UNSAT, or SAT with a small random model.
+fn random_result(state: &mut u64) -> QueryResult {
+    if lcg(state).is_multiple_of(2) {
+        return QueryResult::Unsat;
+    }
+    let mut model = Model::new();
+    for _ in 0..(lcg(state) % 4) {
+        let name = random_name(state);
+        let value = lcg(state);
+        model.set(&name, value);
+    }
+    QueryResult::Sat(model)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn random_population_roundtrips(seed in 0u64..1_000_000) {
+        let mut state = seed.wrapping_mul(0x9e37_79b9).wrapping_add(1);
+        let path = temp_path("roundtrip");
+        let store = DiskQueryStore::open(&path).unwrap();
+        let mut expected: Vec<(Vec<u128>, QueryResult)> = Vec::new();
+        for _ in 0..(1 + lcg(&mut state) % 24) {
+            let key = random_key(&mut state);
+            if expected.iter().any(|(k, _)| *k == key) {
+                continue; // first insert wins, mirroring the cache
+            }
+            let result = random_result(&mut state);
+            store.insert(key.clone(), &result);
+            expected.push((key, result));
+        }
+        let written = store.save().unwrap();
+        prop_assert_eq!(written, expected.len());
+        let first_bytes = std::fs::read_to_string(&path).unwrap();
+
+        let reloaded = DiskQueryStore::open(&path).unwrap();
+        prop_assert_eq!(reloaded.loaded_entries(), expected.len() as u64);
+        prop_assert!(!reloaded.was_invalidated());
+        for (key, result) in &expected {
+            let got = reloaded.lookup(key);
+            match (result, got) {
+                (QueryResult::Unsat, Some(QueryResult::Unsat)) => {}
+                (QueryResult::Sat(want), Some(QueryResult::Sat(have))) => {
+                    prop_assert_eq!(want, &have, "model mismatch");
+                }
+                (want, have) => prop_assert!(false, "want {:?}, got {:?}", want, have),
+            }
+        }
+        // Saving the reloaded store reproduces the file byte for byte.
+        reloaded.save().unwrap();
+        let second_bytes = std::fs::read_to_string(&path).unwrap();
+        prop_assert_eq!(first_bytes, second_bytes);
+        std::fs::remove_file(&path).unwrap();
+    }
+}
+
+/// End-to-end: drive real bit-vector queries through a disk-backed store,
+/// persist it, and check that a fresh solver answers every query from the
+/// reloaded store with results that still satisfy the original assertions.
+#[test]
+fn solver_answers_match_after_roundtrip() {
+    let path = temp_path("solver");
+    let mut pool = TermPool::new();
+    let x = pool.bv_var("x", 16);
+    let y = pool.bv_var("y", 16);
+    let c1 = pool.bv_const(16, 1);
+    let sum = pool.bv_add(x, c1);
+    let wrap = pool.bv_slt(sum, x);
+    let zero = pool.bv_const(16, 0);
+    let pos = pool.bv_sgt(x, zero);
+    let neg = pool.bv_slt(x, zero);
+    let xy = pool.bv_ult(x, y);
+    let queries: Vec<Vec<TermId>> = vec![
+        vec![wrap],
+        vec![wrap, pos],
+        vec![wrap, neg],
+        vec![pos, neg],
+        vec![xy, pos],
+    ];
+
+    let store = Arc::new(DiskQueryStore::open(&path).unwrap());
+    let mut cold = BvSolver::new().with_store(store.clone() as _);
+    let cold_answers: Vec<QueryResult> = queries.iter().map(|q| cold.check(&pool, q)).collect();
+    store.save().unwrap();
+
+    let reloaded = Arc::new(DiskQueryStore::open(&path).unwrap());
+    assert!(reloaded.loaded_entries() > 0);
+    let mut warm = BvSolver::new().with_store(reloaded.clone() as _);
+    for (q, cold_answer) in queries.iter().zip(&cold_answers) {
+        let warm_answer = warm.check(&pool, q);
+        assert_eq!(cold_answer.is_sat(), warm_answer.is_sat(), "query {q:?}");
+        assert_eq!(
+            cold_answer.is_unsat(),
+            warm_answer.is_unsat(),
+            "query {q:?}"
+        );
+        if let QueryResult::Sat(model) = &warm_answer {
+            for &a in q {
+                assert!(model.eval_bool(&pool, a), "reloaded model violates {a:?}");
+            }
+        }
+    }
+    // Every warm query was answered from disk: no misses.
+    let stats = warm.stats();
+    assert_eq!(stats.cache_misses, 0, "{stats:?}");
+    assert_eq!(stats.cache_hits, queries.len() as u64);
+    std::fs::remove_file(&path).unwrap();
+}

@@ -21,4 +21,7 @@ pub use stack_minic as minic;
 pub use stack_opt as opt;
 pub use stack_solver as solver;
 
-pub use stack_core::{Algorithm, BugReport, CheckResult, Checker, CheckerConfig, UbKind};
+pub use stack_core::{
+    Algorithm, AnalysisSession, BugReport, CheckResult, Checker, CheckerConfig, UbKind,
+};
+pub use stack_solver::{DiskQueryStore, QueryStore};

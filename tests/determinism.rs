@@ -4,10 +4,14 @@
 //! driver stitches per-function results back in function order, so even the
 //! raw report order must coincide; the assertions below compare origin-sorted
 //! sets first (the contract) and the raw order second (the implementation
-//! guarantee).
+//! guarantee). The same contract extends across *processes*: a warm run
+//! that answers its queries from a disk-backed store must produce
+//! byte-identical reports to the cold run that populated it.
 
-use stack_repro::core::{Checker, CheckerConfig};
-use stack_repro::corpus::{generate, SynthConfig};
+use stack_repro::core::{AnalysisSession, Checker, CheckerConfig};
+use stack_repro::corpus::{generate, generate_archive, ArchiveConfig, SynthConfig};
+use stack_repro::solver::DiskQueryStore;
+use std::sync::Arc;
 
 /// Render every report of a run as a stable string (Debug covers function,
 /// file, line, algorithm, description, and the minimal UB set).
@@ -63,4 +67,62 @@ fn cache_does_not_change_reports() {
     let cached = run(4, true);
     let uncached = run(4, false);
     assert_eq!(sorted(cached), sorted(uncached));
+}
+
+/// One archive pass through a session backed by the given cache file:
+/// every report rendered in order, plus the session's aggregate stats.
+fn archive_run(path: &std::path::Path) -> (Vec<String>, stack_repro::core::CheckStats) {
+    let archive_cfg = ArchiveConfig {
+        packages: 8,
+        seed: 0xD15C,
+        ..ArchiveConfig::default()
+    };
+    let store = Arc::new(DiskQueryStore::open(path).expect("open cache file"));
+    let session = AnalysisSession::with_store(
+        CheckerConfig {
+            threads: Some(4),
+            ..CheckerConfig::default()
+        },
+        store.clone() as _,
+    );
+    let mut reports = Vec::new();
+    for file in generate_archive(&archive_cfg) {
+        session
+            .check_source_streaming(&file.source, &file.name, &mut |r| {
+                reports.push(format!("{r:?}"));
+            })
+            .expect("archive files compile");
+    }
+    store.save().expect("save cache file");
+    (reports, session.stats())
+}
+
+#[test]
+fn warm_disk_store_run_matches_cold_run() {
+    let path =
+        std::env::temp_dir().join(format!("stack-determinism-warm-{}.qs", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    let (cold_reports, cold_stats) = archive_run(&path);
+    assert!(
+        !cold_reports.is_empty(),
+        "the archive population must produce reports"
+    );
+    let (warm_reports, warm_stats) = archive_run(&path);
+
+    // Byte-identical reports, in identical order: answering from the disk
+    // store must be indistinguishable from recomputing.
+    assert_eq!(cold_reports, warm_reports);
+    assert_eq!(cold_stats.queries, warm_stats.queries);
+
+    // The warm run answers at least 90% of its store lookups from disk —
+    // here all of them, since every decided query of the cold run was
+    // persisted and the archive produces no budget-exhausted queries.
+    assert_eq!(warm_stats.cache_misses, 0, "{warm_stats:?}");
+    assert!(
+        warm_stats.cache_hit_rate() >= 0.9,
+        "warm hit rate {} below the 90% bar ({warm_stats:?})",
+        warm_stats.cache_hit_rate()
+    );
+    std::fs::remove_file(&path).unwrap();
 }

@@ -73,6 +73,34 @@ fn figure10_and_figure14_are_both_flagged_but_classified_differently() {
 }
 
 #[test]
+fn table1_idioms_are_flagged_with_the_right_ub_class() {
+    // The hand-transcribed real-world idioms (libtool's post-dereference
+    // null check, e1000e's memset-of-null, e2fsprogs' signed offset
+    // overflow guard) must each yield a report involving the UB class the
+    // paper attributes to them.
+    let checker = Checker::new();
+    for idiom in corpus::table1_idioms() {
+        let result = checker
+            .check_source(idiom.source, &format!("{}.c", idiom.id))
+            .unwrap_or_else(|e| panic!("{}: {e}", idiom.id));
+        let expected = match idiom.ub {
+            "null" => UbKind::NullPointerDereference,
+            "integer" => UbKind::SignedIntegerOverflow,
+            "pointer" => UbKind::PointerOverflow,
+            other => panic!("unexpected UB label {other}"),
+        };
+        assert!(
+            result.reports.iter().any(|r| r.involves(expected)),
+            "{} ({}): expected a {:?} report, got {:?}",
+            idiom.id,
+            idiom.paper_ref,
+            expected,
+            result.reports
+        );
+    }
+}
+
+#[test]
 fn figure9_corpus_bugs_are_all_detected() {
     // Sample the per-system corpus (every 7th bug keeps the test fast) and
     // confirm each generated bug yields at least one report of a matching
