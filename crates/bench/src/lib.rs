@@ -6,10 +6,13 @@
 //! `EXPERIMENTS.md` records the comparison against the paper's numbers.
 
 use serde::Serialize;
-use stack_core::{Algorithm, AnalysisSession, Checker, CheckerConfig, UbKind};
+use stack_core::{
+    Algorithm, AnalysisSession, Checker, CheckerConfig, ScanEvent, ScanPipeline, ScanSource,
+    ScanStore, ScanTask, UbKind,
+};
 use stack_corpus::{
-    completeness_benchmark, figure9_corpus, generate, generate_archive, ArchiveConfig, SynthConfig,
-    UB_COLUMNS,
+    churn_archive, completeness_benchmark, figure9_corpus, generate, generate_archive,
+    ArchiveConfig, ArchiveFile, SynthConfig, UB_COLUMNS,
 };
 use stack_opt::{lowest_discarding_level, survey_compilers};
 use stack_solver::DiskQueryStore;
@@ -575,6 +578,230 @@ pub fn scan_persistence(cfg: &ScalingConfig) -> ScanPersistence {
     }
 }
 
+/// One measured configuration of the incremental-rescan benchmark (a row
+/// of the `rescan` section of `BENCH_checker.json`).
+#[derive(Clone, Debug, Serialize)]
+pub struct RescanRow {
+    /// Human-readable configuration label.
+    pub label: String,
+    /// Semantic churn the scanned archive carries, in percent of files.
+    pub churn_pct: u32,
+    /// Modules (files) scanned.
+    pub files: usize,
+    /// Modules replayed from the scan store without solver work.
+    pub modules_skipped: usize,
+    /// `modules_skipped / files`.
+    pub modules_skipped_rate: f64,
+    /// End-to-end scan wall clock, milliseconds (rounded).
+    pub wall_ms: u64,
+    /// End-to-end scan wall clock, microseconds (what speedups divide).
+    pub wall_us: u64,
+    /// Solver queries issued.
+    pub queries: u64,
+    /// Queries answered from the (disk-backed) query store.
+    pub store_hits: u64,
+    /// Reports produced.
+    pub reports: usize,
+}
+
+/// The incremental-rescan measurement: the same archive scanned after a
+/// simulated evolution step (0%, 5%, 20% of files semantically changed,
+/// plus comment/whitespace-only edits) under three configurations — cold
+/// (no persistence), warm query store (the PR 4 mode: every repeated query
+/// answered from disk, but every module still lowered, fingerprinted and
+/// driven through the checker), and incremental re-scan (query store plus
+/// the fingerprint-keyed scan store: unchanged modules are skipped
+/// entirely). This is the §6.5 deployment loop: the Debian archive
+/// re-scanned as it evolves, where between runs almost nothing changes.
+#[derive(Clone, Debug, Serialize)]
+pub struct IncrementalRescan {
+    /// Workload description.
+    pub archive: String,
+    /// Files per scan.
+    pub files: usize,
+    /// File-level pipeline workers used by every run.
+    pub jobs: usize,
+    /// Three rows (cold / warm store / incremental rescan) per churn level.
+    pub rows: Vec<RescanRow>,
+    /// Cold wall clock / incremental-rescan wall clock at 0% churn — the
+    /// headline number; must beat `speedup_warm_vs_cold`.
+    pub speedup_rescan_vs_cold: f64,
+    /// Warm-store wall clock / incremental-rescan wall clock at 0% churn
+    /// (what skipping modules buys *on top of* warm queries).
+    pub speedup_rescan_vs_warm: f64,
+    /// The 0%-churn rescan's skip rate (the acceptance bar is 1.0: every
+    /// module replayed, none analyzed).
+    pub modules_skipped_rate: f64,
+    /// Whether all three configurations produced byte-identical report
+    /// streams at every churn level (they must).
+    pub reports_identical: bool,
+}
+
+/// Scan an archive population through the file-parallel pipeline, returning
+/// the rendered report stream and the row measurements.
+fn rescan_run(
+    label: &str,
+    churn_pct: u32,
+    files: &[ArchiveFile],
+    config: CheckerConfig,
+    jobs: usize,
+    query_store_path: Option<&std::path::Path>,
+    scan_store_path: Option<&std::path::Path>,
+) -> (RescanRow, Vec<String>) {
+    let tasks: Vec<ScanTask> = files
+        .iter()
+        .map(|f| ScanTask {
+            name: f.name.clone(),
+            source: ScanSource::Inline(f.source.clone()),
+        })
+        .collect();
+    let session = match query_store_path {
+        Some(path) => {
+            let store = Arc::new(DiskQueryStore::open(path).expect("open rescan query store"));
+            AnalysisSession::with_store(config, store as _)
+        }
+        None => AnalysisSession::new(config),
+    };
+    let mut pipeline = ScanPipeline::new(&session, jobs);
+    if let Some(path) = scan_store_path {
+        let store = Arc::new(ScanStore::open(path).expect("open rescan scan store"));
+        pipeline = pipeline.with_scan_store(store);
+    }
+    let mut reports = Vec::new();
+    let start = Instant::now();
+    let outcome = pipeline.run(&tasks, &mut |event| {
+        if let ScanEvent::Report(report) = event {
+            reports.push(format!("{report:?}"));
+        }
+    });
+    let elapsed = start.elapsed();
+    // Measured runs never save: every configuration starts from the same
+    // primed store files.
+    let stats = session.stats();
+    let row = RescanRow {
+        label: label.to_string(),
+        churn_pct,
+        files: outcome.files,
+        modules_skipped: outcome.modules_skipped,
+        modules_skipped_rate: outcome.modules_skipped as f64 / outcome.files.max(1) as f64,
+        wall_ms: u64::try_from(elapsed.as_millis()).unwrap_or(u64::MAX),
+        wall_us: u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX),
+        queries: stats.queries,
+        store_hits: stats.cache_hits,
+        reports: reports.len(),
+    };
+    (row, reports)
+}
+
+/// Run the incremental-rescan measurement. One priming scan of the base
+/// archive populates the query store and the scan store (the "previous
+/// run"); each measured configuration then reopens those files read-only.
+pub fn incremental_rescan(cfg: &ScalingConfig) -> IncrementalRescan {
+    static INVOCATION: AtomicU64 = AtomicU64::new(0);
+    let tag = format!(
+        "stack-bench-rescan-{}-{}",
+        std::process::id(),
+        INVOCATION.fetch_add(1, Ordering::Relaxed)
+    );
+    let query_store_path = std::env::temp_dir().join(format!("{tag}.qs"));
+    let scan_store_path = std::env::temp_dir().join(format!("{tag}.ss"));
+    let _ = std::fs::remove_file(&query_store_path);
+    let _ = std::fs::remove_file(&scan_store_path);
+
+    let archive_cfg = ArchiveConfig {
+        packages: cfg.packages,
+        ..ArchiveConfig::default()
+    };
+    let base = generate_archive(&archive_cfg);
+    let jobs = cfg.threads.iter().copied().max().unwrap_or(1);
+    // One module thread per file-level worker: on archive workloads the
+    // file level is the scalable one (matches the CLI's `--jobs` default).
+    let config = CheckerConfig {
+        query_budget: cfg.query_budget,
+        threads: Some(1),
+        ..CheckerConfig::default()
+    };
+
+    // Prime both stores from the base archive, then persist them.
+    {
+        let query_store =
+            Arc::new(DiskQueryStore::open(&query_store_path).expect("open priming query store"));
+        let scan_store =
+            Arc::new(ScanStore::open(&scan_store_path).expect("open priming scan store"));
+        let session = AnalysisSession::with_store(config, query_store.clone() as _);
+        let tasks: Vec<ScanTask> = base
+            .iter()
+            .map(|f| ScanTask {
+                name: f.name.clone(),
+                source: ScanSource::Inline(f.source.clone()),
+            })
+            .collect();
+        ScanPipeline::new(&session, jobs)
+            .with_scan_store(scan_store.clone())
+            .run(&tasks, &mut |_| {});
+        query_store.save().expect("save priming query store");
+        scan_store.save().expect("save priming scan store");
+    }
+
+    let mut rows = Vec::new();
+    let mut reports_identical = true;
+    let mut speedup_rescan_vs_cold = 0.0;
+    let mut speedup_rescan_vs_warm = 0.0;
+    let mut modules_skipped_rate = 0.0;
+    for churn_pct in [0u32, 5, 20] {
+        let churned = churn_archive(&base, archive_cfg.seed, churn_pct as f64 / 100.0);
+        let (cold, cold_reports) = rescan_run(
+            &format!("{churn_pct}% churn, cold"),
+            churn_pct,
+            &churned.files,
+            config,
+            jobs,
+            None,
+            None,
+        );
+        let (warm, warm_reports) = rescan_run(
+            &format!("{churn_pct}% churn, warm query store"),
+            churn_pct,
+            &churned.files,
+            config,
+            jobs,
+            Some(&query_store_path),
+            None,
+        );
+        let (rescan, rescan_reports) = rescan_run(
+            &format!("{churn_pct}% churn, incremental rescan"),
+            churn_pct,
+            &churned.files,
+            config,
+            jobs,
+            Some(&query_store_path),
+            Some(&scan_store_path),
+        );
+        reports_identical &= cold_reports == warm_reports && cold_reports == rescan_reports;
+        if churn_pct == 0 {
+            speedup_rescan_vs_cold = cold.wall_us.max(1) as f64 / rescan.wall_us.max(1) as f64;
+            speedup_rescan_vs_warm = warm.wall_us.max(1) as f64 / rescan.wall_us.max(1) as f64;
+            modules_skipped_rate = rescan.modules_skipped_rate;
+        }
+        rows.extend([cold, warm, rescan]);
+    }
+    let _ = std::fs::remove_file(&query_store_path);
+    let _ = std::fs::remove_file(&scan_store_path);
+    IncrementalRescan {
+        archive: format!(
+            "overlap archive + churn (packages={}, seed={:#x})",
+            archive_cfg.packages, archive_cfg.seed
+        ),
+        files: base.len(),
+        jobs,
+        rows,
+        speedup_rescan_vs_cold,
+        speedup_rescan_vs_warm,
+        modules_skipped_rate,
+        reports_identical,
+    }
+}
+
 /// Results of the checker-scaling benchmark: the uncached sequential seed
 /// path as the baseline, then cached runs (the PR 2 configuration) and
 /// cached+incremental runs at each requested thread count.
@@ -605,6 +832,10 @@ pub struct CheckerScaling {
     /// The cold-vs-warm disk-store archive scan (`speedup_warm_vs_cold`
     /// lives here; CI fails the bench job if it goes missing).
     pub scan: ScanPersistence,
+    /// The incremental-rescan measurement over the churned archive
+    /// (`speedup_rescan_vs_cold` and `modules_skipped_rate` live here; CI
+    /// fails the bench job if the speedup goes missing).
+    pub rescan: IncrementalRescan,
 }
 
 /// Run the checker-scaling benchmark: analyze one synthetic population under
@@ -731,6 +962,7 @@ pub fn checker_scaling(cfg: &ScalingConfig) -> CheckerScaling {
         best_cached_label,
         best_incremental_label,
         scan: scan_persistence(cfg),
+        rescan: incremental_rescan(cfg),
     }
 }
 
@@ -793,6 +1025,27 @@ impl CheckerScaling {
             out,
             "  warm vs cold scan: {:.2}x (reports identical: {})",
             self.scan.speedup_warm_vs_cold, self.scan.reports_identical
+        );
+        let _ = writeln!(
+            out,
+            "Incremental re-scan over {} ({} files, {} jobs)",
+            self.rescan.archive, self.rescan.files, self.rescan.jobs
+        );
+        for r in &self.rescan.rows {
+            let _ = writeln!(
+                out,
+                "  {:<36} {:>8} {:>9} {:>9} {:>8}/{:<5} skipped",
+                r.label, r.wall_ms, r.queries, r.reports, r.modules_skipped, r.files
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  rescan vs cold (0% churn): {:.2}x; vs warm store: {:.2}x; skip rate {:.0}%; \
+             reports identical: {}",
+            self.rescan.speedup_rescan_vs_cold,
+            self.rescan.speedup_rescan_vs_warm,
+            100.0 * self.rescan.modules_skipped_rate,
+            self.rescan.reports_identical
         );
         out
     }
@@ -968,6 +1221,52 @@ mod tests {
         assert!(json.contains("\"speedup_incremental_vs_cached\""));
         assert!(json.contains("\"incremental\": true"));
         assert!(json.contains("\"speedup_warm_vs_cold\""));
+        assert!(json.contains("\"speedup_rescan_vs_cold\""));
+        assert!(json.contains("\"modules_skipped_rate\""));
+    }
+
+    #[test]
+    fn zero_churn_rescan_skips_everything_and_replays_identically() {
+        let cfg = ScalingConfig {
+            packages: 6,
+            seed: 13,
+            threads: vec![2],
+            query_budget: 500_000,
+        };
+        let rescan = incremental_rescan(&cfg);
+        assert_eq!(
+            rescan.rows.len(),
+            9,
+            "three configurations x three churn levels"
+        );
+        assert!(rescan.reports_identical);
+        // At 0% churn every module is unchanged: the rescan row skips all of
+        // them and issues no solver query.
+        let zero_rescan = &rescan.rows[2];
+        assert_eq!(zero_rescan.churn_pct, 0);
+        assert_eq!(zero_rescan.modules_skipped, zero_rescan.files);
+        assert_eq!(zero_rescan.queries, 0);
+        assert!((rescan.modules_skipped_rate - 1.0).abs() < 1e-9);
+        // Cold and warm rows never skip; churned rescans skip exactly the
+        // semantically unchanged remainder (cosmetic edits still hit).
+        for row in &rescan.rows {
+            if !row.label.contains("incremental rescan") {
+                assert_eq!(row.modules_skipped, 0, "{}", row.label);
+            } else {
+                assert!(
+                    row.queries < rescan.rows[0].queries,
+                    "a rescan must re-analyze strictly less than cold does ({})",
+                    row.label
+                );
+            }
+        }
+        let twenty_rescan = rescan.rows.last().unwrap();
+        assert_eq!(twenty_rescan.churn_pct, 20);
+        assert!(
+            twenty_rescan.modules_skipped < twenty_rescan.files,
+            "semantic churn must invalidate some modules"
+        );
+        assert!(twenty_rescan.modules_skipped > 0);
     }
 
     #[test]

@@ -24,13 +24,25 @@
 //! every solver query. A cache file written by a different encoder/solver
 //! revision is detected and discarded, never trusted.
 //!
+//! `scan`-only options: `--jobs N` runs `N` file-level workers (the outer
+//! level of the two-level pipeline; per-module `--threads` defaults to 1
+//! when `--jobs` > 1 so the levels don't oversubscribe), `--scan-cache
+//! <path>` persists per-module results keyed by canonical fingerprint so an
+//! unchanged module is *skipped entirely* on re-scan (its reports replay
+//! without a single solver query), and `--compact-store N` prunes
+//! query-store entries unused for `N` scans when the `--cache-file` is
+//! saved. Output order is deterministic regardless of `--jobs`.
+//!
 //! Exit codes: `check` exits 0 with no reports, 1 with reports, 2 on any
 //! error. `scan` is a batch driver: it exits 0 when every file was analyzed
 //! (reports or not) and 2 when any file failed to read or compile, or any
 //! I/O (cache-file, `--out`) operation failed.
 
 use serde::Serialize;
-use stack_core::{AnalysisSession, CheckStats, Checker, CheckerConfig};
+use stack_core::{
+    AnalysisSession, CheckStats, Checker, CheckerConfig, ScanEvent, ScanPipeline, ScanSource,
+    ScanStore, ScanTask,
+};
 use stack_opt::{lowest_discarding_level, survey_compilers};
 use stack_solver::DiskQueryStore;
 use std::path::{Path, PathBuf};
@@ -67,23 +79,56 @@ struct AnalysisOpts {
     cache_file: Option<PathBuf>,
     out: Option<PathBuf>,
     quiet: bool,
+    /// `scan` only: file-level workers of the two-level pipeline.
+    jobs: usize,
+    /// `scan` only: the persisted report cache behind incremental re-scan.
+    scan_cache: Option<PathBuf>,
+    /// `scan` only: compaction horizon for the `--cache-file` store.
+    compact_store: Option<u64>,
 }
 
 impl AnalysisOpts {
     fn parse(args: &[String]) -> Result<AnalysisOpts, String> {
+        let jobs = match parse_flag_value::<usize>(args, "--jobs")? {
+            Some(0) => return Err("--jobs needs a positive integer".to_string()),
+            other => other,
+        };
+        let threads = match parse_flag_value::<usize>(args, "--threads")? {
+            Some(0) => return Err("--threads needs a positive integer".to_string()),
+            other => other,
+        };
+        let cache_file = flag_value(args, "--cache-file")?.map(PathBuf::from);
+        let compact_store = match parse_flag_value::<u64>(args, "--compact-store")? {
+            Some(0) => return Err("--compact-store needs a positive integer".to_string()),
+            other => other,
+        };
+        if compact_store.is_some() && cache_file.is_none() {
+            return Err("--compact-store requires --cache-file (it prunes that store)".to_string());
+        }
         Ok(AnalysisOpts {
             json: has_flag(args, "--json"),
             include_macros: has_flag(args, "--include-macros"),
-            threads: match parse_flag_value::<usize>(args, "--threads")? {
-                Some(0) => return Err("--threads needs a positive integer".to_string()),
-                other => other,
-            },
+            threads,
             query_cache: !has_flag(args, "--no-cache"),
             incremental: !has_flag(args, "--no-incremental"),
-            cache_file: flag_value(args, "--cache-file")?.map(PathBuf::from),
+            cache_file,
             out: flag_value(args, "--out")?.map(PathBuf::from),
             quiet: has_flag(args, "--quiet"),
+            jobs: jobs.unwrap_or(1),
+            scan_cache: flag_value(args, "--scan-cache")?.map(PathBuf::from),
+            compact_store,
         })
+    }
+
+    /// `scan` only: with an explicit file-level width and no explicit
+    /// per-module width, pin modules to one thread — the file level is the
+    /// scalable one on archives, and two self-sizing pools would
+    /// oversubscribe the machine. `check` has no file level, so it never
+    /// applies this.
+    fn pin_module_threads_for_jobs(&mut self) {
+        if self.jobs > 1 && self.threads.is_none() {
+            self.threads = Some(1);
+        }
     }
 
     fn config(&self) -> CheckerConfig {
@@ -112,6 +157,7 @@ impl AnalysisOpts {
                         path.display()
                     );
                 }
+                store.set_compaction(self.compact_store);
                 Ok((
                     AnalysisSession::with_store(self.config(), store.clone() as _),
                     Some(store),
@@ -119,6 +165,24 @@ impl AnalysisOpts {
             }
             None => Ok((AnalysisSession::new(self.config()), None)),
         }
+    }
+
+    /// Open the persisted report cache when `--scan-cache` was given.
+    fn open_scan_store(&self) -> Result<Option<Arc<ScanStore>>, String> {
+        let Some(path) = &self.scan_cache else {
+            return Ok(None);
+        };
+        let store = Arc::new(
+            ScanStore::open(path)
+                .map_err(|e| format!("cannot open scan cache {}: {e}", path.display()))?,
+        );
+        if store.was_invalidated() {
+            eprintln!(
+                "stack: scan cache {} was written by a different revision; starting cold",
+                path.display()
+            );
+        }
+        Ok(Some(store))
     }
 }
 
@@ -252,6 +316,7 @@ fn cmd_check(args: &[String]) -> ExitCode {
 struct ScanSummary {
     files: usize,
     failures: usize,
+    modules_skipped: usize,
     functions: usize,
     reports: usize,
     queries: u64,
@@ -260,63 +325,54 @@ struct ScanSummary {
     store_misses: u64,
     store_hit_rate: f64,
     cache_file_loaded_entries: u64,
+    scan_cache_loaded_entries: u64,
+    jobs: usize,
     elapsed_ms: u64,
 }
 
 fn cmd_scan(args: &[String]) -> ExitCode {
-    let opts = match AnalysisOpts::parse(args) {
+    let mut opts = match AnalysisOpts::parse(args) {
         Ok(opts) => opts,
         Err(e) => return fail(&e),
     };
-    let sources = match gather_scan_sources(args) {
-        Ok(sources) => sources,
+    opts.pin_module_threads_for_jobs();
+    let tasks = match gather_scan_sources(args) {
+        Ok(tasks) => tasks,
         Err(e) => return fail(&e),
     };
-    if sources.is_empty() {
+    if tasks.is_empty() {
         return fail("nothing to scan (no .mc/.c files found)");
     }
     let (session, store) = match opts.open_session() {
         Ok(pair) => pair,
         Err(e) => return fail(&e),
     };
+    let scan_store = match opts.open_scan_store() {
+        Ok(scan_store) => scan_store,
+        Err(e) => return fail(&e),
+    };
     let start = Instant::now();
-    let mut failures = 0usize;
     let mut reports = 0usize;
-    for (name, input) in &sources {
-        // Read one file at a time, inside the loop: a scan's peak memory is
-        // one module's source plus its reports, never the whole archive.
-        let read;
-        let source: &str = match input {
-            ScanInput::Inline(source) => source,
-            ScanInput::File(path) => match std::fs::read_to_string(path) {
-                Ok(source) => {
-                    read = source;
-                    &read
-                }
-                Err(e) => {
-                    eprintln!("stack: cannot read {name}: {e}");
-                    failures += 1;
-                    continue;
-                }
-            },
-        };
-        let quiet = opts.quiet || opts.json;
-        let outcome = session.check_source_streaming(source, name, &mut |report| {
+    let quiet = opts.quiet || opts.json;
+    let mut pipeline = ScanPipeline::new(&session, opts.jobs);
+    if let Some(scan_store) = &scan_store {
+        pipeline = pipeline.with_scan_store(Arc::clone(scan_store));
+    }
+    let outcome = pipeline.run(&tasks, &mut |event| match event {
+        ScanEvent::Report(report) => {
             reports += 1;
             if !quiet {
                 print!("{report}");
             }
-        });
-        if let Err(e) = outcome {
-            eprintln!("stack: {name}: {e}");
-            failures += 1;
         }
-    }
+        ScanEvent::Failure { name, error } => eprintln!("stack: {name}: {error}"),
+    });
     let elapsed = start.elapsed();
     let stats = session.stats();
     let summary = ScanSummary {
-        files: sources.len(),
-        failures,
+        files: outcome.files,
+        failures: outcome.failures,
+        modules_skipped: outcome.modules_skipped,
         functions: stats.functions,
         reports,
         queries: stats.queries,
@@ -325,6 +381,8 @@ fn cmd_scan(args: &[String]) -> ExitCode {
         store_misses: stats.cache_misses,
         store_hit_rate: stats.cache_hit_rate(),
         cache_file_loaded_entries: store.as_ref().map_or(0, |s| s.loaded_entries()),
+        scan_cache_loaded_entries: scan_store.as_ref().map_or(0, |s| s.loaded_entries()),
+        jobs: opts.jobs,
         elapsed_ms: u64::try_from(elapsed.as_millis()).unwrap_or(u64::MAX),
     };
     let rendered = if opts.json {
@@ -333,7 +391,7 @@ fn cmd_scan(args: &[String]) -> ExitCode {
             Err(e) => return fail(&format!("cannot serialize summary: {e}")),
         }
     } else {
-        render_scan_summary(&summary, &stats)
+        render_scan_summary(&summary, &stats, scan_store.is_some())
     };
     match &opts.out {
         Some(out) => {
@@ -348,19 +406,29 @@ fn cmd_scan(args: &[String]) -> ExitCode {
             return fail(&e);
         }
     }
-    if failures > 0 {
+    if let Some(scan_store) = &scan_store {
+        match scan_store.save() {
+            Ok(entries) => {
+                if !opts.quiet {
+                    eprintln!(
+                        "stack: saved {entries} module records to {}",
+                        scan_store.path().display()
+                    );
+                }
+            }
+            Err(e) => {
+                return fail(&format!(
+                    "cannot save scan cache {}: {e}",
+                    scan_store.path().display()
+                ))
+            }
+        }
+    }
+    if outcome.failures > 0 {
         ExitCode::from(2)
     } else {
         ExitCode::SUCCESS
     }
-}
-
-/// One unit of scan work: a path to read when its turn comes (so the scan
-/// never holds the whole archive's text in memory), or source generated
-/// in-process (`--synth`).
-enum ScanInput {
-    File(PathBuf),
-    Inline(String),
 }
 
 /// Whether a path names a single source file `scan` should analyze directly
@@ -377,9 +445,9 @@ fn is_source_path(path: &Path) -> bool {
 /// so runs are deterministic); a single `.mc`/`.c` path is scanned as-is;
 /// any other path is read as a manifest listing one source path per line
 /// (`#` comments allowed). Sources are returned as paths and only read once
-/// the scan loop reaches them, so one unreadable file fails that file, not
-/// the scan.
-fn gather_scan_sources(args: &[String]) -> Result<Vec<(String, ScanInput)>, String> {
+/// a pipeline worker reaches them, so one unreadable file fails that file,
+/// not the scan.
+fn gather_scan_sources(args: &[String]) -> Result<Vec<ScanTask>, String> {
     if let Some(packages) = parse_flag_value::<usize>(args, "--synth")? {
         if packages == 0 {
             return Err("--synth needs a positive package count".to_string());
@@ -392,14 +460,17 @@ fn gather_scan_sources(args: &[String]) -> Result<Vec<(String, ScanInput)>, Stri
         };
         return Ok(stack_corpus::generate_archive(&cfg)
             .into_iter()
-            .map(|f| (f.name, ScanInput::Inline(f.source)))
+            .map(|f| ScanTask {
+                name: f.name,
+                source: ScanSource::Inline(f.source),
+            })
             .collect());
     }
     let Some(root) = args.first().filter(|a| !a.starts_with("--")) else {
         return Err(
             "usage: stack scan <dir|manifest|file.mc> | --synth N  [--seed S] [--cache-file F] \
-             [--threads N] [--no-cache] [--no-incremental] [--include-macros] [--json] \
-             [--out F] [--quiet]"
+             [--scan-cache F] [--jobs N] [--threads N] [--compact-store N] [--no-cache] \
+             [--no-incremental] [--include-macros] [--json] [--out F] [--quiet]"
                 .to_string(),
         );
     };
@@ -427,11 +498,18 @@ fn gather_scan_sources(args: &[String]) -> Result<Vec<(String, ScanInput)>, Stri
     };
     Ok(paths
         .into_iter()
-        .map(|p| (p.display().to_string(), ScanInput::File(p)))
+        .map(|p| ScanTask {
+            name: p.display().to_string(),
+            source: ScanSource::Path(p),
+        })
         .collect())
 }
 
-fn render_scan_summary(summary: &ScanSummary, stats: &CheckStats) -> String {
+fn render_scan_summary(
+    summary: &ScanSummary,
+    stats: &CheckStats,
+    incremental_scan: bool,
+) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     let _ = writeln!(out, "scan summary");
@@ -440,6 +518,15 @@ fn render_scan_summary(summary: &ScanSummary, stats: &CheckStats) -> String {
         "  files           {:>8}  ({} failed)",
         summary.files, summary.failures
     );
+    if incremental_scan {
+        let _ = writeln!(
+            out,
+            "  skipped {} unchanged modules ({:.1}% of {})",
+            summary.modules_skipped,
+            100.0 * summary.modules_skipped as f64 / summary.files.max(1) as f64,
+            summary.files
+        );
+    }
     let _ = writeln!(out, "  functions       {:>8}", summary.functions);
     let _ = writeln!(out, "  reports         {:>8}", summary.reports);
     let _ = writeln!(
@@ -463,8 +550,10 @@ fn render_scan_summary(summary: &ScanSummary, stats: &CheckStats) -> String {
     }
     let _ = writeln!(
         out,
-        "  elapsed         {:>8} ms  ({} thread(s))",
-        summary.elapsed_ms, stats.threads
+        "  elapsed         {:>8} ms  ({} job(s) x {} thread(s))",
+        summary.elapsed_ms,
+        summary.jobs,
+        stats.threads.max(1)
     );
     out.trim_end().to_string()
 }

@@ -80,6 +80,10 @@ pub struct CheckStats {
     /// `check_module` call; the number of modules checked so far for a
     /// session aggregate).
     pub modules: usize,
+    /// Modules whose results were replayed from a persisted scan store
+    /// (fingerprint hit) instead of analyzed — the incremental re-scan
+    /// counter. Always ≤ `modules`; 0 outside scan-store-backed pipelines.
+    pub modules_skipped: usize,
     /// Number of functions analyzed.
     pub functions: usize,
     /// Total solver queries issued (merged across worker threads).
@@ -121,6 +125,7 @@ impl CheckStats {
     /// per-algorithm report counts merge keywise.
     pub fn merge(&mut self, other: &CheckStats) {
         self.modules += other.modules;
+        self.modules_skipped += other.modules_skipped;
         self.functions += other.functions;
         self.queries += other.queries;
         self.timeouts += other.timeouts;

@@ -1,0 +1,230 @@
+//! Canonical module fingerprints: the "unchanged" test of incremental
+//! re-scan.
+//!
+//! The paper's flagship deployment (§6.5) re-scans the Debian archive as it
+//! evolves, and between runs almost nothing changes. Skipping unchanged
+//! modules entirely needs a key for "unchanged" — and raw source bytes are
+//! the wrong key: a comment, a reformatting, or a reordering of definitions
+//! changes the bytes without changing anything the checker could observe.
+//! Following the structural-operational-semantics tradition (a program's
+//! meaning is its derived transition structure, not its spelling), the
+//! fingerprint hashes the **verified, lowered IR** in its pool-independent
+//! canonical print instead:
+//!
+//! * formatting, comments, and macro-expansion spelling vanish during
+//!   lexing/lowering, so cosmetic edits keep the fingerprint stable;
+//! * function definition order is canonicalized away (per-function digests
+//!   are sorted before mixing), so moving a function within a file keeps the
+//!   fingerprint stable;
+//! * any instruction change — including a changed constant, type, or UB
+//!   condition carrier — changes the print and therefore the fingerprint.
+//!
+//! Two non-IR inputs are mixed in, because cached *reports* are only
+//! replayable when they would be re-derived identically:
+//!
+//! * [`ENCODING_REVISION`] — a new encoder/solver revision may decide
+//!   queries differently, so every fingerprint of the old revision dies;
+//! * the semantics-relevant [`CheckerConfig`] knobs (`query_budget`,
+//!   `report_compiler_generated`) — they change which reports a module
+//!   yields. Pure performance knobs (`threads`, `query_cache`,
+//!   `incremental`) deliberately do **not** participate: they change how a
+//!   result is computed, never what it is (see the determinism contract in
+//!   `session.rs`).
+//!
+//! The module *name* (its source path) participates too: reports embed the
+//! file name, so a byte-identical file under a different path must miss and
+//! re-analyze rather than replay reports naming the wrong file.
+//!
+//! One sharp edge is documented rather than fought: report line numbers come
+//! from instruction origins, which the canonical print excludes. A
+//! comment-only edit that shifts later lines therefore still *hits* — by
+//! design — and replays reports carrying the pre-edit line numbers. The
+//! churn generator (`stack_corpus::archive::churn_archive`) keeps its
+//! cosmetic edits line-preserving so end-to-end byte-identity holds; real
+//! deployments that care should treat replayed locations as "as of last
+//! analysis".
+
+use crate::checker::CheckerConfig;
+use stack_ir::Module;
+use stack_solver::ENCODING_REVISION;
+
+/// A canonical module fingerprint (128 bits).
+pub type ModuleFingerprint = u128;
+
+/// Revision of the fingerprint *scheme itself* (what is hashed and how).
+/// Bump when the canonicalization changes — e.g. new fields mixed in — so
+/// persisted scan stores from older schemes self-invalidate.
+pub const FINGERPRINT_REVISION: u32 = 1;
+
+/// Fingerprint a lowered (and analysis-optimized) module under a
+/// configuration. See the module docs for exactly what participates.
+pub fn module_fingerprint(module: &Module, config: &CheckerConfig) -> ModuleFingerprint {
+    let mut digests: Vec<u128> = module
+        .functions()
+        .iter()
+        .map(|f| hash_bytes(stack_ir::print_function(f).as_bytes()))
+        .collect();
+    // Sorting makes the fingerprint invariant under function reordering:
+    // functions are checked independently, so order affects only the order
+    // reports stream out in, which the scan store preserves per module.
+    digests.sort_unstable();
+
+    let mut h = hash_bytes(module.name.as_bytes());
+    h = mix(h, u128::from(ENCODING_REVISION));
+    h = mix(h, u128::from(FINGERPRINT_REVISION));
+    h = mix(h, u128::from(config.query_budget));
+    h = mix(h, u128::from(config.report_compiler_generated));
+    h = mix(h, digests.len() as u128);
+    for d in digests {
+        h = mix(h, d);
+    }
+    h
+}
+
+/// Fingerprint a mini-C source string: compile, run the analysis pre-pass,
+/// fingerprint. This is the exact preparation the checker performs, so a
+/// fingerprint hit guarantees the checker would see an identical module.
+pub fn source_fingerprint(
+    src: &str,
+    file: &str,
+    config: &CheckerConfig,
+) -> Result<ModuleFingerprint, stack_minic::Diag> {
+    let mut module = stack_minic::compile(src, file)?;
+    stack_opt::optimize_for_analysis(&mut module);
+    Ok(module_fingerprint(&module, config))
+}
+
+/// 128-bit mixing step: a splitmix-style finalizer over the two halves,
+/// cross-fed so both halves depend on all inputs. Stable across processes
+/// and platforms (no `RandomState`), which is what lets fingerprints live in
+/// a file between runs.
+#[inline]
+fn mix(acc: u128, value: u128) -> u128 {
+    let mut lo = (acc as u64) ^ (value as u64);
+    let mut hi = ((acc >> 64) as u64) ^ ((value >> 64) as u64);
+    lo = lo.wrapping_add(0x9e37_79b9_7f4a_7c15).rotate_left(27);
+    hi ^= lo.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    hi = hi.rotate_left(31).wrapping_mul(0x94d0_49bb_1331_11eb);
+    lo ^= hi >> 29;
+    ((hi as u128) << 64) | lo as u128
+}
+
+/// Stable 128-bit hash of a byte string (16-byte blocks through [`mix`],
+/// length-finalized so prefixes never collide with their extensions).
+fn hash_bytes(bytes: &[u8]) -> u128 {
+    let mut h = 0x5ca4_f1e6_0001_u128;
+    for chunk in bytes.chunks(16) {
+        let mut block = [0u8; 16];
+        block[..chunk.len()].copy_from_slice(chunk);
+        h = mix(h, u128::from_le_bytes(block));
+    }
+    mix(h, bytes.len() as u128)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(src: &str) -> ModuleFingerprint {
+        source_fingerprint(src, "test.c", &CheckerConfig::default()).unwrap()
+    }
+
+    const TWO_FUNCS: &str = "\
+        int f(int x) { if (x + 7 < x) return 1; return 0; }\n\
+        int g(int *p) { int v = *p; if (!p) return 1; return v; }\n";
+
+    #[test]
+    fn cosmetic_edits_keep_the_fingerprint() {
+        let base = fp(TWO_FUNCS);
+        // Extra whitespace between tokens.
+        assert_eq!(
+            base,
+            fp("int f(int x) {   if (x + 7 < x)   return 1;  return 0; }\n\
+                int g(int *p) { int v = *p; if (!p) return 1; return v; }\n")
+        );
+        // Comments, including line-shifting ones: the print has no origins.
+        assert_eq!(
+            base,
+            fp("// a comment\n\
+                int f(int x) { if (x + 7 < x) return 1; return 0; }\n\
+                /* block\n comment */\n\
+                int g(int *p) { int v = *p; if (!p) return 1; return v; }\n")
+        );
+    }
+
+    #[test]
+    fn function_reordering_keeps_the_fingerprint() {
+        let reordered = "\
+            int g(int *p) { int v = *p; if (!p) return 1; return v; }\n\
+            int f(int x) { if (x + 7 < x) return 1; return 0; }\n";
+        assert_eq!(fp(TWO_FUNCS), fp(reordered));
+    }
+
+    #[test]
+    fn semantic_edits_change_the_fingerprint() {
+        let base = fp(TWO_FUNCS);
+        // A changed constant.
+        assert_ne!(
+            base,
+            fp("int f(int x) { if (x + 8 < x) return 1; return 0; }\n\
+                int g(int *p) { int v = *p; if (!p) return 1; return v; }\n")
+        );
+        // A changed type (removes the signed-overflow UB condition).
+        assert_ne!(
+            base,
+            fp(
+                "int f(unsigned int x) { if (x + 7 < x) return 1; return 0; }\n\
+                int g(int *p) { int v = *p; if (!p) return 1; return v; }\n"
+            )
+        );
+        // A renamed function (reports embed the name).
+        assert_ne!(
+            base,
+            fp("int f2(int x) { if (x + 7 < x) return 1; return 0; }\n\
+                int g(int *p) { int v = *p; if (!p) return 1; return v; }\n")
+        );
+        // An added function.
+        assert_ne!(
+            base,
+            fp(&format!("{TWO_FUNCS}int h(int x) {{ return x; }}\n"))
+        );
+    }
+
+    #[test]
+    fn module_name_and_config_knobs_participate() {
+        let base = fp(TWO_FUNCS);
+        let cfg = CheckerConfig::default();
+        assert_ne!(
+            base,
+            source_fingerprint(TWO_FUNCS, "other.c", &cfg).unwrap(),
+            "same bytes under a different path must not replay the other file's reports"
+        );
+        let budget = CheckerConfig {
+            query_budget: cfg.query_budget + 1,
+            ..cfg
+        };
+        assert_ne!(
+            base,
+            source_fingerprint(TWO_FUNCS, "test.c", &budget).unwrap()
+        );
+        let macros = CheckerConfig {
+            report_compiler_generated: true,
+            ..cfg
+        };
+        assert_ne!(
+            base,
+            source_fingerprint(TWO_FUNCS, "test.c", &macros).unwrap()
+        );
+        // Performance knobs never change results, so they never change keys.
+        let perf = CheckerConfig {
+            threads: Some(7),
+            query_cache: false,
+            incremental: false,
+            ..cfg
+        };
+        assert_eq!(
+            base,
+            source_fingerprint(TWO_FUNCS, "test.c", &perf).unwrap()
+        );
+    }
+}

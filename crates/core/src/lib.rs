@@ -33,13 +33,19 @@
 pub mod checker;
 pub mod classify;
 pub mod encoder;
+pub mod fingerprint;
 pub mod report;
+pub mod scan;
+pub mod scanstore;
 pub mod session;
 pub mod ubcond;
 
 pub use checker::{CheckResult, CheckStats, Checker, CheckerConfig};
 pub use classify::{classify_source, BugClass};
 pub use encoder::FunctionEncoder;
+pub use fingerprint::{module_fingerprint, source_fingerprint, ModuleFingerprint};
 pub use report::{Algorithm, BugReport, UbSource};
+pub use scan::{ScanEvent, ScanOutcome, ScanPipeline, ScanSource, ScanTask};
+pub use scanstore::{ModuleRecord, ScanStore, ScanStoreStats};
 pub use session::AnalysisSession;
 pub use ubcond::{collect_ub_conditions, UbCondition, UbKind};

@@ -37,7 +37,7 @@ pub struct UbSource {
 }
 
 /// A report of unstable code.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, Serialize, PartialEq)]
 pub struct BugReport {
     /// Function containing the unstable fragment.
     pub function: String,

@@ -1,0 +1,423 @@
+//! The file-parallel scan pipeline: the archive-scale driver above
+//! [`AnalysisSession`].
+//!
+//! An archive scan has two levels of available parallelism: *within* a
+//! module (the per-function worker pool of
+//! [`AnalysisSession::check_module_streaming`]) and *across* modules. The
+//! session exploits the first; [`ScanPipeline`] adds the second — `jobs`
+//! scoped worker threads draw file indices from a shared atomic counter
+//! (the same dynamic self-scheduling the per-function driver uses), so a
+//! worker that drew cheap files steals the remaining work of slower ones.
+//! Both levels compose: each file-level worker drives the shared session,
+//! whose per-module thread knob still applies (the CLI defaults it to 1
+//! when `--jobs` > 1 so the two levels don't oversubscribe).
+//!
+//! **Determinism.** Workers finish out of order, but results are emitted in
+//! task order through a small reorder buffer: a finishing worker parks its
+//! result and flushes every consecutive ready result from the head. The
+//! event stream — reports, failures — is therefore byte-identical to a
+//! sequential scan's regardless of `jobs` or scheduling, and the buffer
+//! holds only the out-of-order window, preserving the scan's
+//! bounded-memory property.
+//!
+//! **Incremental re-scan.** With a [`ScanStore`] attached, every compiled
+//! module is fingerprinted
+//! ([`module_fingerprint`]) before
+//! any solver work: a hit replays the stored reports without touching the
+//! solver and counts the module as skipped
+//! ([`CheckStats::modules_skipped`]); a miss analyzes normally and records
+//! the result for the next run. Replayed output is byte-identical to
+//! re-analysis by construction — the fingerprint guarantees the checker
+//! would have seen an identical module under identical semantics.
+
+use crate::checker::CheckStats;
+use crate::fingerprint::module_fingerprint;
+use crate::report::BugReport;
+use crate::scanstore::{ModuleRecord, ScanStore};
+use crate::session::AnalysisSession;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Where one scan task's source comes from. Paths are read only when their
+/// turn comes, so one unreadable file fails that task, not the scan — and a
+/// scan never holds the whole archive's text in memory.
+#[derive(Clone, Debug)]
+pub enum ScanSource {
+    /// Read from disk when the task is picked up.
+    Path(PathBuf),
+    /// Source generated in-process (synthetic archives).
+    Inline(String),
+}
+
+/// One unit of scan work.
+#[derive(Clone, Debug)]
+pub struct ScanTask {
+    /// The module name reports will carry (usually the source path).
+    pub name: String,
+    /// Where the source text comes from.
+    pub source: ScanSource,
+}
+
+/// One event of the (deterministically ordered) scan output stream.
+#[derive(Debug)]
+pub enum ScanEvent {
+    /// A surviving report of the task named. Reports of task *i* are always
+    /// emitted before any event of task *i + 1*.
+    Report(BugReport),
+    /// The named task failed to read or compile; the scan continues.
+    Failure { name: String, error: String },
+}
+
+/// Aggregate outcome of one pipeline run (per-module statistics are merged
+/// into the session as usual; this is the scan-level layer on top).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ScanOutcome {
+    /// Tasks attempted.
+    pub files: usize,
+    /// Tasks that failed to read or compile.
+    pub failures: usize,
+    /// Modules replayed from the scan store without solver work.
+    pub modules_skipped: usize,
+}
+
+/// The file-parallel scan driver. See the module docs for the pipeline
+/// shape and the determinism contract.
+pub struct ScanPipeline<'s> {
+    session: &'s AnalysisSession,
+    scan_store: Option<Arc<ScanStore>>,
+    jobs: usize,
+}
+
+/// What one worker produced for one task, parked until its turn to emit.
+enum TaskResult {
+    Analyzed { reports: Vec<BugReport> },
+    Skipped { reports: Vec<BugReport> },
+    Failed { error: String },
+}
+
+impl<'s> ScanPipeline<'s> {
+    /// A pipeline over `session` with `jobs` file-level workers (clamped to
+    /// at least 1).
+    pub fn new(session: &'s AnalysisSession, jobs: usize) -> ScanPipeline<'s> {
+        ScanPipeline {
+            session,
+            scan_store: None,
+            jobs: jobs.max(1),
+        }
+    }
+
+    /// Attach a persisted report cache: fingerprint hits replay their
+    /// recorded reports instead of re-analyzing, misses are recorded.
+    pub fn with_scan_store(mut self, store: Arc<ScanStore>) -> ScanPipeline<'s> {
+        self.scan_store = Some(store);
+        self
+    }
+
+    /// Run the pipeline over `tasks`, handing every event to `sink` in task
+    /// order. `sink` must be `Send` because out-of-order workers take turns
+    /// flushing the reorder buffer; it is never called concurrently.
+    pub fn run(&self, tasks: &[ScanTask], sink: &mut (dyn FnMut(ScanEvent) + Send)) -> ScanOutcome {
+        let outcome = Mutex::new(ScanOutcome {
+            files: tasks.len(),
+            ..ScanOutcome::default()
+        });
+        let emitter = Mutex::new(Emitter {
+            next: 0,
+            pending: HashMap::new(),
+            sink,
+        });
+        let next_task = AtomicUsize::new(0);
+        let workers = self.jobs.min(tasks.len()).max(1);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next_task.fetch_add(1, Ordering::Relaxed);
+                    let Some(task) = tasks.get(i) else { break };
+                    let result = self.run_task(task);
+                    {
+                        let mut outcome = outcome.lock().unwrap();
+                        match &result {
+                            TaskResult::Failed { .. } => outcome.failures += 1,
+                            TaskResult::Skipped { .. } => outcome.modules_skipped += 1,
+                            TaskResult::Analyzed { .. } => {}
+                        }
+                    }
+                    emitter.lock().unwrap().emit(i, result, tasks);
+                });
+            }
+        });
+        let outcome = outcome.into_inner().unwrap();
+        debug_assert_eq!(emitter.into_inner().unwrap().next, tasks.len());
+        outcome
+    }
+
+    /// Process one task end to end: load, compile, fingerprint, replay or
+    /// analyze.
+    fn run_task(&self, task: &ScanTask) -> TaskResult {
+        let read;
+        let source: &str = match &task.source {
+            ScanSource::Inline(source) => source,
+            ScanSource::Path(path) => match std::fs::read_to_string(path) {
+                Ok(text) => {
+                    read = text;
+                    &read
+                }
+                Err(e) => {
+                    return TaskResult::Failed {
+                        error: format!("cannot read: {e}"),
+                    }
+                }
+            },
+        };
+        let mut module = match stack_minic::compile(source, &task.name) {
+            Ok(module) => module,
+            Err(e) => {
+                return TaskResult::Failed {
+                    error: e.to_string(),
+                }
+            }
+        };
+        stack_opt::optimize_for_analysis(&mut module);
+
+        let fp = self
+            .scan_store
+            .as_ref()
+            .map(|_| module_fingerprint(&module, self.session.config()));
+        if let (Some(store), Some(fp)) = (&self.scan_store, fp) {
+            if let Some(record) = store.lookup(fp) {
+                self.session.absorb_stats(&replayed_stats(&record));
+                return TaskResult::Skipped {
+                    reports: record.reports,
+                };
+            }
+        }
+
+        let mut reports = Vec::new();
+        self.session
+            .check_module_streaming(&module, &mut |r| reports.push(r));
+        if let (Some(store), Some(fp)) = (&self.scan_store, fp) {
+            store.insert(
+                fp,
+                ModuleRecord {
+                    functions: module.len(),
+                    reports: reports.clone(),
+                },
+            );
+        }
+        TaskResult::Analyzed { reports }
+    }
+}
+
+/// The statistics a replayed module contributes to the session aggregate:
+/// its functions and reports count as covered, `modules_skipped` marks it,
+/// and every solver-side counter is zero — no query was issued. Stored
+/// reports are the post-suppression stream of the run that recorded them,
+/// and the fingerprint bakes in `report_compiler_generated`, so every
+/// replayed report counts — no re-filtering.
+fn replayed_stats(record: &ModuleRecord) -> CheckStats {
+    let start = Instant::now();
+    let mut by_algorithm = HashMap::new();
+    for report in &record.reports {
+        *by_algorithm.entry(report.algorithm).or_insert(0) += 1;
+    }
+    CheckStats {
+        modules: 1,
+        modules_skipped: 1,
+        functions: record.functions,
+        by_algorithm,
+        elapsed: start.elapsed(),
+        ..CheckStats::default()
+    }
+}
+
+/// The reorder buffer: workers park finished results under their task index
+/// and whoever holds the lock flushes the consecutive ready prefix, so the
+/// sink sees events in task order no matter which worker finished first.
+struct Emitter<'a> {
+    next: usize,
+    pending: HashMap<usize, TaskResult>,
+    sink: &'a mut (dyn FnMut(ScanEvent) + Send),
+}
+
+impl Emitter<'_> {
+    fn emit(&mut self, index: usize, result: TaskResult, tasks: &[ScanTask]) {
+        self.pending.insert(index, result);
+        while let Some(result) = self.pending.remove(&self.next) {
+            let name = &tasks[self.next].name;
+            match result {
+                TaskResult::Analyzed { reports } | TaskResult::Skipped { reports } => {
+                    for report in reports {
+                        (self.sink)(ScanEvent::Report(report));
+                    }
+                }
+                TaskResult::Failed { error } => (self.sink)(ScanEvent::Failure {
+                    name: name.clone(),
+                    error,
+                }),
+            }
+            self.next += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::CheckerConfig;
+    use std::sync::atomic::AtomicU64;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        static UNIQUE: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "stack-scan-pipeline-{tag}-{}-{}.ss",
+            std::process::id(),
+            UNIQUE.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    /// A small mixed task list: unstable, stable, and broken modules.
+    fn tasks() -> Vec<ScanTask> {
+        let mut out = Vec::new();
+        for i in 0..6 {
+            out.push(ScanTask {
+                name: format!("mod{i}.c"),
+                source: ScanSource::Inline(format!(
+                    "int f{i}(int x) {{ if (x + {} < x) return 1; return 0; }}\n\
+                     int g{i}(int a, int b) {{ if (b == 0) return -1; return a / b; }}\n",
+                    i + 1
+                )),
+            });
+        }
+        out.push(ScanTask {
+            name: "broken.c".to_string(),
+            source: ScanSource::Inline("int (((".to_string()),
+        });
+        out
+    }
+
+    fn events_to_strings(
+        session: &AnalysisSession,
+        jobs: usize,
+        tasks: &[ScanTask],
+    ) -> Vec<String> {
+        let mut events = Vec::new();
+        ScanPipeline::new(session, jobs).run(tasks, &mut |e| events.push(format!("{e:?}")));
+        events
+    }
+
+    #[test]
+    fn parallel_jobs_emit_the_sequential_event_stream() {
+        let tasks = tasks();
+        let sequential = events_to_strings(&AnalysisSession::default(), 1, &tasks);
+        assert!(sequential.iter().any(|e| e.starts_with("Report")));
+        assert!(sequential.iter().any(|e| e.starts_with("Failure")));
+        for jobs in [2, 4, 8] {
+            let parallel = events_to_strings(&AnalysisSession::default(), jobs, &tasks);
+            assert_eq!(sequential, parallel, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn rescan_with_scan_store_skips_every_module_and_replays_reports() {
+        let path = temp_path("rescan");
+        let tasks = tasks();
+        let config = CheckerConfig::default();
+
+        let store = Arc::new(ScanStore::open(&path).unwrap());
+        let cold_session = AnalysisSession::new(config);
+        let mut cold = Vec::new();
+        let outcome = ScanPipeline::new(&cold_session, 2)
+            .with_scan_store(store.clone())
+            .run(&tasks, &mut |e| cold.push(format!("{e:?}")));
+        assert_eq!(outcome.modules_skipped, 0);
+        assert_eq!(outcome.failures, 1);
+        assert!(store.save().unwrap() > 0);
+
+        let rescan_store = Arc::new(ScanStore::open(&path).unwrap());
+        let warm_session = AnalysisSession::new(config);
+        let mut warm = Vec::new();
+        let outcome = ScanPipeline::new(&warm_session, 2)
+            .with_scan_store(rescan_store)
+            .run(&tasks, &mut |e| warm.push(format!("{e:?}")));
+        assert_eq!(cold, warm, "replayed stream must be byte-identical");
+        // Every compiling module is skipped; the broken file still fails.
+        assert_eq!(outcome.modules_skipped, tasks.len() - 1);
+        assert_eq!(outcome.failures, 1);
+        let stats = warm_session.stats();
+        assert_eq!(stats.modules_skipped, tasks.len() - 1);
+        assert_eq!(
+            stats.queries, 0,
+            "a full-skip re-scan never touches the solver"
+        );
+        assert_eq!(stats.functions, 2 * (tasks.len() - 1));
+        assert!(stats.by_algorithm.values().sum::<usize>() > 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn changed_modules_miss_and_reanalyze() {
+        let path = temp_path("changed");
+        let config = CheckerConfig::default();
+        let store = Arc::new(ScanStore::open(&path).unwrap());
+        let before = vec![ScanTask {
+            name: "m.c".to_string(),
+            source: ScanSource::Inline(
+                "int f(int x) { if (x + 1 < x) return 1; return 0; }\n".to_string(),
+            ),
+        }];
+        let session = AnalysisSession::new(config);
+        ScanPipeline::new(&session, 1)
+            .with_scan_store(store.clone())
+            .run(&before, &mut |_| {});
+        store.save().unwrap();
+
+        // A semantic edit (changed constant) must miss; a cosmetic one hits.
+        let edited = |src: &str| {
+            vec![ScanTask {
+                name: "m.c".to_string(),
+                source: ScanSource::Inline(src.to_string()),
+            }]
+        };
+        let store2 = Arc::new(ScanStore::open(&path).unwrap());
+        let session2 = AnalysisSession::new(config);
+        let outcome = ScanPipeline::new(&session2, 1)
+            .with_scan_store(store2.clone())
+            .run(
+                &edited("int f(int x) { if (x + 2 < x) return 1; return 0; }\n"),
+                &mut |_| {},
+            );
+        assert_eq!(outcome.modules_skipped, 0);
+        let outcome = ScanPipeline::new(&session2, 1).with_scan_store(store2).run(
+            &edited("int f(int x) {  /* note */ if (x + 1 < x) return 1; return 0; }\n"),
+            &mut |_| {},
+        );
+        assert_eq!(outcome.modules_skipped, 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn unreadable_path_fails_only_that_task() {
+        let tasks = vec![
+            ScanTask {
+                name: "missing.mc".to_string(),
+                source: ScanSource::Path(PathBuf::from("/nonexistent/missing.mc")),
+            },
+            ScanTask {
+                name: "ok.c".to_string(),
+                source: ScanSource::Inline("int f(int x) { return x; }\n".to_string()),
+            },
+        ];
+        let session = AnalysisSession::default();
+        let mut events = Vec::new();
+        let outcome = ScanPipeline::new(&session, 2).run(&tasks, &mut |e| events.push(e));
+        assert_eq!(outcome.failures, 1);
+        assert_eq!(outcome.files, 2);
+        assert!(matches!(
+            &events[0],
+            ScanEvent::Failure { name, .. } if name == "missing.mc"
+        ));
+    }
+}

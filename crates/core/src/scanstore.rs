@@ -1,0 +1,506 @@
+//! The persisted report cache: fingerprint → replayable module results.
+//!
+//! [`ScanStore`] is the second persistence layer of incremental re-scan,
+//! sibling to the query-level
+//! [`DiskQueryStore`](stack_solver::DiskQueryStore). Where the query store
+//! makes a repeated *query* free, the scan store makes a repeated *module*
+//! free: a module whose canonical fingerprint
+//! ([`module_fingerprint`](crate::fingerprint::module_fingerprint)) is
+//! already recorded replays its saved [`BugReport`]s — in their original
+//! stream order — without issuing a single solver query, and is counted as
+//! skipped ([`CheckStats::modules_skipped`](crate::CheckStats)).
+//!
+//! The file discipline is the one the query store established:
+//!
+//! * **versioned header** — format version,
+//!   [`ENCODING_REVISION`](stack_solver::ENCODING_REVISION), and
+//!   [`FINGERPRINT_REVISION`]; any mismatch (or any malformed line)
+//!   discards the whole file and [`was_invalidated`] reports it. The
+//!   fingerprints additionally bake both revisions and the
+//!   semantics-relevant config knobs into their own bits, so even a
+//!   same-format file can never replay reports computed under different
+//!   semantics.
+//! * **atomic saves** — serialize to a pid-suffixed temp file, rename over
+//!   the target; a crash mid-save never leaves a truncated store.
+//! * **byte-determinism** — entries sorted by fingerprint, reports kept in
+//!   their recorded stream order; saving the same logical store twice
+//!   produces byte-identical files.
+//!
+//! ## Format
+//!
+//! ```text
+//! stack-scan-store v1 enc1 fpr1
+//! M <fp> f<functions> r<reports>
+//! R <alg> <line> <cg> <function> <file> <description> u <kind>@<loc> ...
+//! ```
+//!
+//! `M` opens one module entry (fingerprint in lower-case hex, function
+//! count, report count); exactly `r` `R` lines follow, one per report in
+//! stream order. String fields are percent-escaped so they never contain
+//! whitespace or `%`.
+//!
+//! [`was_invalidated`]: ScanStore::was_invalidated
+
+use crate::fingerprint::{ModuleFingerprint, FINGERPRINT_REVISION};
+use crate::report::{Algorithm, BugReport, UbSource};
+use crate::ubcond::UbKind;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// On-disk layout version of the scan-store file. Bump when the syntax
+/// changes.
+pub const SCAN_STORE_FORMAT_VERSION: u32 = 1;
+
+/// The replayable record of one analyzed module.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ModuleRecord {
+    /// Functions the module contained when analyzed (replayed into
+    /// [`CheckStats::functions`](crate::CheckStats)).
+    pub functions: usize,
+    /// The module's surviving reports, in stream order.
+    pub reports: Vec<BugReport>,
+}
+
+/// Hit/miss counters of a scan store (lifetime of this instance).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ScanStoreStats {
+    /// Lookups answered from the store (modules skipped).
+    pub hits: u64,
+    /// Lookups that missed (modules analyzed and recorded).
+    pub misses: u64,
+    /// Module records currently stored.
+    pub entries: u64,
+}
+
+/// A disk-backed fingerprint → module-record table. Shared across the scan
+/// pipeline's file-level workers through an `Arc`, so all methods take
+/// `&self`.
+#[derive(Debug)]
+pub struct ScanStore {
+    path: PathBuf,
+    records: Mutex<HashMap<ModuleFingerprint, ModuleRecord>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    loaded: u64,
+    invalidated: bool,
+}
+
+impl ScanStore {
+    /// The header line a store written by this binary carries.
+    fn header() -> String {
+        format!(
+            "stack-scan-store v{SCAN_STORE_FORMAT_VERSION} enc{} fpr{FINGERPRINT_REVISION}",
+            stack_solver::ENCODING_REVISION
+        )
+    }
+
+    /// Open a store backed by `path`, loading every persisted record. A
+    /// missing file yields an empty store; a mismatched header or any
+    /// malformed content discards the file wholesale
+    /// ([`was_invalidated`](Self::was_invalidated) reports it). Only I/O
+    /// failures are errors.
+    pub fn open(path: impl Into<PathBuf>) -> io::Result<ScanStore> {
+        let path = path.into();
+        let mut store = ScanStore {
+            path,
+            records: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            loaded: 0,
+            invalidated: false,
+        };
+        let text = match std::fs::read_to_string(&store.path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(store),
+            Err(e) => return Err(e),
+        };
+        match parse_store(&text) {
+            Some(records) => {
+                store.loaded = records.len() as u64;
+                *store.records.get_mut().unwrap() = records;
+            }
+            None => store.invalidated = true,
+        }
+        Ok(store)
+    }
+
+    /// Look up the record for a fingerprint, counting a hit or miss.
+    pub fn lookup(&self, fp: ModuleFingerprint) -> Option<ModuleRecord> {
+        let found = self.records.lock().unwrap().get(&fp).cloned();
+        match found {
+            Some(record) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(record)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Record a freshly analyzed module. First insert wins (records for one
+    /// fingerprint are interchangeable by construction).
+    pub fn insert(&self, fp: ModuleFingerprint, record: ModuleRecord) {
+        self.records.lock().unwrap().entry(fp).or_insert(record);
+    }
+
+    /// Write every record back to the backing file (temp file + rename, so a
+    /// crash never truncates the store; entries sorted by fingerprint, so
+    /// saving the same logical store twice is byte-identical). Returns the
+    /// number of module records written.
+    pub fn save(&self) -> io::Result<usize> {
+        let mut entries: Vec<(ModuleFingerprint, ModuleRecord)> = self
+            .records
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (*k, v.clone()))
+            .collect();
+        entries.sort_by_key(|(fp, _)| *fp);
+        let mut out = Self::header();
+        out.push('\n');
+        for (fp, record) in &entries {
+            let _ = writeln!(
+                out,
+                "M {fp:032x} f{} r{}",
+                record.functions,
+                record.reports.len()
+            );
+            for report in &record.reports {
+                write_report(&mut out, report);
+            }
+        }
+        let mut tmp = self.path.clone().into_os_string();
+        tmp.push(format!(".tmp.{}", std::process::id()));
+        let tmp = PathBuf::from(tmp);
+        std::fs::write(&tmp, &out)?;
+        std::fs::rename(&tmp, &self.path)?;
+        Ok(entries.len())
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> ScanStoreStats {
+        ScanStoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.records.lock().unwrap().len() as u64,
+        }
+    }
+
+    /// Number of module records loaded from disk at [`open`](Self::open).
+    pub fn loaded_entries(&self) -> u64 {
+        self.loaded
+    }
+
+    /// Whether `open` found a file it had to discard (written by a different
+    /// format/encoding/fingerprint revision, or malformed).
+    pub fn was_invalidated(&self) -> bool {
+        self.invalidated
+    }
+
+    /// The backing file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Serialize one report as an `R` line.
+fn write_report(out: &mut String, report: &BugReport) {
+    let _ = write!(
+        out,
+        "R {} {} {} {} {} {}",
+        algorithm_tag(report.algorithm),
+        report.line,
+        u8::from(report.compiler_generated),
+        escape(&report.function),
+        escape(&report.file),
+        escape(&report.description)
+    );
+    for src in &report.ub_sources {
+        let _ = write!(
+            out,
+            " u {}@{}",
+            src.kind.short_name(),
+            escape(&src.location)
+        );
+    }
+    out.push('\n');
+}
+
+/// Parse a whole store file. `None` means "discard everything": wrong
+/// header or any malformed line (a partially trusted cache is worse than an
+/// empty one).
+fn parse_store(text: &str) -> Option<HashMap<ModuleFingerprint, ModuleRecord>> {
+    let mut lines = text.lines();
+    if lines.next()? != ScanStore::header() {
+        return None;
+    }
+    let mut records = HashMap::new();
+    while let Some(line) = lines.next() {
+        if line.is_empty() {
+            continue;
+        }
+        let rest = line.strip_prefix("M ")?;
+        let mut parts = rest.split(' ');
+        let fp = u128::from_str_radix(parts.next()?, 16).ok()?;
+        let functions: usize = parts.next()?.strip_prefix('f')?.parse().ok()?;
+        let nreports: usize = parts.next()?.strip_prefix('r')?.parse().ok()?;
+        if parts.next().is_some() {
+            return None;
+        }
+        let mut reports = Vec::with_capacity(nreports);
+        for _ in 0..nreports {
+            reports.push(parse_report(lines.next()?)?);
+        }
+        records.insert(fp, ModuleRecord { functions, reports });
+    }
+    Some(records)
+}
+
+/// Parse one `R` line back into a report.
+fn parse_report(line: &str) -> Option<BugReport> {
+    let rest = line.strip_prefix("R ")?;
+    let mut parts = rest.split(' ');
+    let algorithm = parse_algorithm(parts.next()?)?;
+    let line_no: u32 = parts.next()?.parse().ok()?;
+    let compiler_generated = match parts.next()? {
+        "0" => false,
+        "1" => true,
+        _ => return None,
+    };
+    let function = unescape(parts.next()?)?;
+    let file = unescape(parts.next()?)?;
+    let description = unescape(parts.next()?)?;
+    let mut ub_sources = Vec::new();
+    while let Some(marker) = parts.next() {
+        if marker != "u" {
+            return None;
+        }
+        let (kind_text, loc_text) = parts.next()?.split_once('@')?;
+        let kind = parse_ub_kind(kind_text)?;
+        ub_sources.push(UbSource {
+            kind,
+            location: unescape(loc_text)?,
+        });
+    }
+    Some(BugReport {
+        function,
+        file,
+        line: line_no,
+        algorithm,
+        description,
+        ub_sources,
+        compiler_generated,
+    })
+}
+
+/// Stable one-word tag per algorithm (round-tripped by
+/// [`parse_algorithm`]).
+fn algorithm_tag(algorithm: Algorithm) -> &'static str {
+    match algorithm {
+        Algorithm::Elimination => "elim",
+        Algorithm::SimplifyBoolean => "bool",
+        Algorithm::SimplifyAlgebra => "algebra",
+    }
+}
+
+fn parse_algorithm(tag: &str) -> Option<Algorithm> {
+    match tag {
+        "elim" => Some(Algorithm::Elimination),
+        "bool" => Some(Algorithm::SimplifyBoolean),
+        "algebra" => Some(Algorithm::SimplifyAlgebra),
+        _ => None,
+    }
+}
+
+/// Invert [`UbKind::short_name`] (the Figure 9 column labels, already
+/// unique).
+fn parse_ub_kind(tag: &str) -> Option<UbKind> {
+    UbKind::all()
+        .iter()
+        .copied()
+        .find(|k| k.short_name() == tag)
+}
+
+/// Percent-escape a string so it never contains whitespace, `@`, or `%`
+/// (the characters the line format relies on).
+fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for byte in text.bytes() {
+        match byte {
+            b'%' | b'@' => {
+                let _ = write!(out, "%{byte:02x}");
+            }
+            b if b.is_ascii_graphic() => out.push(b as char),
+            b => {
+                let _ = write!(out, "%{b:02x}");
+            }
+        }
+    }
+    out
+}
+
+/// Invert [`escape`]. `None` on malformed escapes or invalid UTF-8.
+fn unescape(text: &str) -> Option<String> {
+    let mut out = Vec::with_capacity(text.len());
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = bytes.get(i + 1..i + 3)?;
+            out.push(u8::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        static UNIQUE: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "stack-scan-store-{tag}-{}-{}.ss",
+            std::process::id(),
+            UNIQUE.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    fn sample_report(line: u32) -> BugReport {
+        BugReport {
+            function: "tun chr/poll".to_string(), // space + slash exercise escaping
+            file: "drivers/net@tun.c".to_string(),
+            line,
+            algorithm: Algorithm::Elimination,
+            description: "code is reachable only by inputs that trigger UB; 100% gone".to_string(),
+            ub_sources: vec![
+                UbSource {
+                    kind: UbKind::NullPointerDereference,
+                    location: "tun.c:3".to_string(),
+                },
+                UbSource {
+                    kind: UbKind::SignedIntegerOverflow,
+                    location: "tun.c:9".to_string(),
+                },
+            ],
+            compiler_generated: line.is_multiple_of(2),
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_records_and_report_order() {
+        let path = temp_path("roundtrip");
+        let store = ScanStore::open(&path).unwrap();
+        store.insert(
+            7,
+            ModuleRecord {
+                functions: 3,
+                reports: vec![sample_report(5), sample_report(2)],
+            },
+        );
+        store.insert(
+            u128::MAX,
+            ModuleRecord {
+                functions: 1,
+                reports: Vec::new(),
+            },
+        );
+        assert_eq!(store.save().unwrap(), 2);
+
+        let reloaded = ScanStore::open(&path).unwrap();
+        assert_eq!(reloaded.loaded_entries(), 2);
+        assert!(!reloaded.was_invalidated());
+        let record = reloaded.lookup(7).expect("record survives");
+        assert_eq!(record.functions, 3);
+        assert_eq!(
+            record.reports,
+            vec![sample_report(5), sample_report(2)],
+            "reports replay in their recorded stream order"
+        );
+        assert_eq!(reloaded.lookup(u128::MAX).unwrap().reports.len(), 0);
+        assert!(reloaded.lookup(8).is_none());
+        let stats = reloaded.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (2, 1, 2));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn save_is_byte_deterministic() {
+        let path = temp_path("deterministic");
+        let store = ScanStore::open(&path).unwrap();
+        for fp in [9u128, 1, 4] {
+            store.insert(
+                fp,
+                ModuleRecord {
+                    functions: fp as usize,
+                    reports: vec![sample_report(fp as u32)],
+                },
+            );
+        }
+        store.save().unwrap();
+        let first = std::fs::read_to_string(&path).unwrap();
+        let reloaded = ScanStore::open(&path).unwrap();
+        reloaded.save().unwrap();
+        let second = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(first, second);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mismatched_revision_and_malformed_content_self_invalidate() {
+        let bad_headers = [
+            "stack-scan-store v0 enc1 fpr1\n".to_string(),
+            format!(
+                "stack-scan-store v{SCAN_STORE_FORMAT_VERSION} enc999 fpr{FINGERPRINT_REVISION}\n"
+            ),
+        ];
+        for header in &bad_headers {
+            let path = temp_path("stale");
+            std::fs::write(&path, format!("{header}M 1 f1 r0\n")).unwrap();
+            let store = ScanStore::open(&path).unwrap();
+            assert!(store.was_invalidated(), "header {header:?}");
+            assert_eq!(store.loaded_entries(), 0);
+            std::fs::remove_file(&path).unwrap();
+        }
+        for body in [
+            "garbage\n",
+            "M nothex f1 r0\n",
+            "M 1 f1 r1\n", // missing R line
+            "M 1 f1 r1\nR wat 1 0 f g d\n",
+        ] {
+            let path = temp_path("malformed");
+            std::fs::write(&path, format!("{}\n{body}", ScanStore::header())).unwrap();
+            let store = ScanStore::open(&path).unwrap();
+            assert!(store.was_invalidated(), "body {body:?}");
+            std::fs::remove_file(&path).unwrap();
+        }
+    }
+
+    #[test]
+    fn missing_file_is_an_empty_store() {
+        let path = temp_path("missing");
+        let store = ScanStore::open(&path).unwrap();
+        assert_eq!(store.loaded_entries(), 0);
+        assert!(!store.was_invalidated());
+    }
+
+    #[test]
+    fn escape_roundtrip() {
+        for text in ["plain", "a b@c%d", "héllo\nworld", ""] {
+            assert_eq!(unescape(&escape(text)).as_deref(), Some(text));
+        }
+        let escaped = escape("a b@c");
+        assert!(!escaped.contains(' '));
+        assert!(!escaped.contains('@'));
+    }
+}

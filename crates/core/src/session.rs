@@ -95,6 +95,13 @@ impl AnalysisSession {
         self.aggregate.lock().unwrap().clone()
     }
 
+    /// Fold externally produced per-module statistics into the session
+    /// aggregate — how the scan pipeline accounts for modules it replayed
+    /// from the scan store without driving the checker.
+    pub(crate) fn absorb_stats(&self, stats: &CheckStats) {
+        self.aggregate.lock().unwrap().merge(stats);
+    }
+
     /// A solver wired to this session's budget, (if enabled) query store,
     /// and (if enabled) incremental solving mode.
     fn make_solver(&self) -> BvSolver {
@@ -199,6 +206,7 @@ impl AnalysisSession {
         }
         let stats = CheckStats {
             modules: 1,
+            modules_skipped: 0,
             functions: functions.len(),
             queries: solver_stats.queries,
             timeouts: solver_stats.timeouts,

@@ -164,6 +164,99 @@ pub fn generate_archive(config: &ArchiveConfig) -> Vec<ArchiveFile> {
     files
 }
 
+/// One churned archive: the edited file population plus the ground truth of
+/// what was edited, so incremental-rescan measurements know exactly how
+/// many modules a perfect fingerprint should skip.
+#[derive(Clone, Debug)]
+pub struct ChurnedArchive {
+    /// The edited copy of the population, in the original file order.
+    pub files: Vec<ArchiveFile>,
+    /// Files whose *semantics* changed (a function was added): a correct
+    /// fingerprint must re-analyze exactly these.
+    pub semantic_edits: usize,
+    /// Files that received only comment/whitespace edits: a correct
+    /// fingerprint must still skip these.
+    pub cosmetic_edits: usize,
+}
+
+impl ChurnedArchive {
+    /// The fraction of modules an incremental re-scan should skip:
+    /// everything except the semantic edits.
+    pub fn expected_skip_rate(&self) -> f64 {
+        if self.files.is_empty() {
+            return 0.0;
+        }
+        (self.files.len() - self.semantic_edits) as f64 / self.files.len() as f64
+    }
+}
+
+/// Produce an edited copy of `base`, the "archive evolved between scans"
+/// workload of incremental re-scan: exactly `round(pct * len)` files change
+/// semantically (a new unstable function is appended, so both the
+/// fingerprint and the report set must change), and a quarter of the
+/// untouched remainder receives comment/whitespace-only edits (which the
+/// canonical fingerprint must see through). Deterministic given `seed`.
+///
+/// Cosmetic edits are deliberately line-preserving (appended trailing
+/// comment lines, doubled inter-token spacing on existing lines) so the
+/// replayed reports' line numbers stay exact and end-to-end byte-identity
+/// between a re-scan and a fresh scan holds even for edited files.
+pub fn churn_archive(base: &[ArchiveFile], seed: u64, pct: f64) -> ChurnedArchive {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC4_B217);
+    // Exact counts, not per-file coin flips: a "5% churn" measurement over a
+    // small archive must actually contain round(0.05 * n) changed files.
+    // Fisher–Yates over the index set picks which files change.
+    let n = base.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        order.swap(i, rng.gen_range(0..=i));
+    }
+    let semantic_count = ((pct.clamp(0.0, 1.0) * n as f64).round() as usize).min(n);
+    let cosmetic_count = (n - semantic_count).div_ceil(4).min(n - semantic_count);
+    let semantic: std::collections::HashSet<usize> =
+        order[..semantic_count].iter().copied().collect();
+    let cosmetic: std::collections::HashSet<usize> = order[semantic_count..]
+        .iter()
+        .take(cosmetic_count)
+        .copied()
+        .collect();
+    let mut files = Vec::with_capacity(n);
+    let mut semantic_edits = 0usize;
+    let mut cosmetic_edits = 0usize;
+    for (i, file) in base.iter().enumerate() {
+        let mut edited = file.clone();
+        if semantic.contains(&i) {
+            // Semantic churn: a fresh unstable function with a constant no
+            // generated variant uses, so the module gains a report and a
+            // first-sighting solver query.
+            let k = 1_000 + i as u64;
+            edited.source.push_str(&format!(
+                "int churn_{i}(int x) {{ if (x + {k} < x) return 1; return x; }}\n"
+            ));
+            edited.injected += 1;
+            semantic_edits += 1;
+        } else if cosmetic.contains(&i) {
+            // Cosmetic churn: double some spacing on the first line and
+            // append comment lines; the lowered IR — and every origin line
+            // number — is unchanged.
+            if let Some(nl) = edited.source.find('\n') {
+                let (head, tail) = edited.source.split_at(nl);
+                edited.source = format!("{}{tail}", head.replace(" { ", "  {  "));
+            }
+            edited
+                .source
+                .push_str("// churn: comment-only edit\n/* second\n   line */\n");
+            cosmetic_edits += 1;
+        }
+        files.push(edited);
+    }
+    ChurnedArchive {
+        files,
+        semantic_edits,
+        cosmetic_edits,
+    }
+}
+
 /// Materialize the archive population as `.mc` files under `dir` (created
 /// if needed), returning the written paths in generation order. This is
 /// what `stack gen-archive` uses to give the `scan` subcommand a real
@@ -259,6 +352,60 @@ mod tests {
             "expected ~{} unstable, got {fraction}",
             cfg.unstable_fraction
         );
+    }
+
+    #[test]
+    fn churn_is_deterministic_and_honors_the_rate() {
+        let base = generate_archive(&ArchiveConfig::default());
+        let a = churn_archive(&base, 7, 0.2);
+        let b = churn_archive(&base, 7, 0.2);
+        assert_eq!(a.semantic_edits, b.semantic_edits);
+        assert_eq!(a.cosmetic_edits, b.cosmetic_edits);
+        for (x, y) in a.files.iter().zip(b.files.iter()) {
+            assert_eq!(x.source, y.source);
+        }
+        // Roughly the configured fraction changes semantically.
+        let rate = a.semantic_edits as f64 / base.len() as f64;
+        assert!((0.05..0.45).contains(&rate), "semantic rate {rate}");
+        assert!(a.cosmetic_edits > 0, "some cosmetic edits expected");
+        assert!((a.expected_skip_rate() - (1.0 - rate)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_churn_means_no_semantic_edits() {
+        let base = generate_archive(&ArchiveConfig::default());
+        let churned = churn_archive(&base, 3, 0.0);
+        assert_eq!(churned.semantic_edits, 0);
+        assert!((churned.expected_skip_rate() - 1.0).abs() < 1e-9);
+        // Cosmetic edits still happen — that is the point of a 0%-churn
+        // measurement: the fingerprint must see through them.
+        assert!(churned.cosmetic_edits > 0);
+    }
+
+    #[test]
+    fn churned_files_compile_and_cosmetic_edits_preserve_lines() {
+        let base = generate_archive(&ArchiveConfig {
+            packages: 6,
+            ..ArchiveConfig::default()
+        });
+        let churned = churn_archive(&base, 11, 0.3);
+        for (before, after) in base.iter().zip(churned.files.iter()) {
+            stack_minic::compile(&after.source, &after.name)
+                .unwrap_or_else(|e| panic!("{}: {e}\n{}", after.name, after.source));
+            if after.injected == before.injected && after.source != before.source {
+                // Cosmetic edit: every original code line keeps its line
+                // number (edits only append or stay within a line).
+                for (i, line) in before.source.lines().enumerate() {
+                    let edited = after.source.lines().nth(i).unwrap();
+                    assert_eq!(
+                        edited.split_whitespace().collect::<Vec<_>>(),
+                        line.split_whitespace().collect::<Vec<_>>(),
+                        "{}: line {i} changed beyond whitespace",
+                        after.name
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -22,7 +22,9 @@ pub mod patterns;
 pub mod synth;
 pub mod systems;
 
-pub use archive::{generate_archive, write_archive, ArchiveConfig, ArchiveFile};
+pub use archive::{
+    churn_archive, generate_archive, write_archive, ArchiveConfig, ArchiveFile, ChurnedArchive,
+};
 pub use patterns::{
     all_patterns, completeness_benchmark, CompletenessTest, Pattern, FIG10_POSTGRES_DIVISION,
     FIG11_STRCHR_NULL_CHECK, FIG12_FFMPEG_BOUNDS, FIG13_PLAN9_PDEC, FIG14_POSTGRES_TIMEBOMB,

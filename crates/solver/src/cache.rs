@@ -66,6 +66,22 @@ pub struct CacheStats {
     pub entries: u64,
 }
 
+/// Fold the (already well-mixed) fingerprints of a key into a shard index.
+/// Shared with the disk store's last-used-generation side table so both
+/// structures split contention identically.
+pub(crate) fn shard_index(key: &CacheKey) -> usize {
+    let mut acc = 0xcbf2_9ce4_8422_2325u64;
+    for fp in key {
+        acc ^= (*fp as u64) ^ ((*fp >> 64) as u64);
+        acc = acc.wrapping_mul(0x100_0000_01b3);
+    }
+    (acc as usize) % SHARDS
+}
+
+/// Number of shards [`shard_index`] distributes over (the cache's own
+/// shard count).
+pub(crate) const STAMP_SHARDS: usize = SHARDS;
+
 /// A sharded, thread-safe memoization table for solver queries.
 #[derive(Debug, Default)]
 pub struct QueryCache {
@@ -82,13 +98,7 @@ impl QueryCache {
     }
 
     fn shard(&self, key: &CacheKey) -> &Mutex<HashMap<CacheKey, CachedResult>> {
-        // Fold the (already well-mixed) fingerprints into a shard index.
-        let mut acc = 0xcbf2_9ce4_8422_2325u64;
-        for fp in key {
-            acc ^= (*fp as u64) ^ ((*fp >> 64) as u64);
-            acc = acc.wrapping_mul(0x100_0000_01b3);
-        }
-        &self.shards[(acc as usize) % SHARDS]
+        &self.shards[shard_index(key)]
     }
 
     /// Look up a decided result for `key`, updating hit/miss counters.

@@ -2,7 +2,7 @@
 //!
 //! [`BvSolver::check`] decides the conjunction of the given boolean terms:
 //! cheap pre-solve simplification, then a lookup in the attached
-//! [`QueryCache`] (if any), and on a miss a bit-blast + CDCL run under a
+//! [`QueryCache`](crate::cache::QueryCache) (if any), and on a miss a bit-blast + CDCL run under a
 //! deterministic resource budget. The budget plays the role of the per-query
 //! wall-clock timeout the paper uses (5 seconds per Boolector query, §6.4)
 //! while keeping results reproducible across machines. How a miss is solved
@@ -13,7 +13,7 @@
 //! near-identical Figure 8 queries.
 
 use crate::blast::BitBlaster;
-use crate::cache::{FingerprintMemo, QueryCache};
+use crate::cache::FingerprintMemo;
 use crate::incremental::SolverInstance;
 use crate::model::Model;
 use crate::sat::{Budget, SatResult, SatSolver};
@@ -66,7 +66,7 @@ pub struct SolverStats {
     pub propagations: u64,
     /// Total conflicts across all queries.
     pub conflicts: u64,
-    /// Queries answered from the shared [`QueryCache`] without bit-blasting.
+    /// Queries answered from the shared [`QueryCache`](crate::cache::QueryCache) without bit-blasting.
     pub cache_hits: u64,
     /// Queries that consulted the cache and missed.
     pub cache_misses: u64,
@@ -186,7 +186,7 @@ impl BvSolver {
     /// several solvers via [`Arc`]. With a store attached, [`check`]
     /// consults it before bit-blasting and inserts every decided result;
     /// budget-exhausted `Unknown` results are never stored. Any
-    /// [`QueryStore`] works: the in-memory [`QueryCache`] or the disk-backed
+    /// [`QueryStore`] works: the in-memory [`QueryCache`](crate::cache::QueryCache) or the disk-backed
     /// [`DiskQueryStore`](crate::store::DiskQueryStore).
     ///
     /// [`check`]: BvSolver::check
@@ -198,18 +198,6 @@ impl BvSolver {
     pub fn with_store(mut self, store: Arc<dyn QueryStore>) -> BvSolver {
         self.store = Some(store);
         self
-    }
-
-    /// [`set_store`](BvSolver::set_store) specialized to the in-memory
-    /// [`QueryCache`] (the historical entry point; kept for call-site
-    /// compatibility).
-    pub fn set_cache(&mut self, cache: Option<Arc<QueryCache>>) {
-        self.store = cache.map(|c| c as Arc<dyn QueryStore>);
-    }
-
-    /// Builder-style variant of [`BvSolver::set_cache`].
-    pub fn with_cache(self, cache: Arc<QueryCache>) -> BvSolver {
-        self.with_store(cache)
     }
 
     /// Statistics accumulated so far.
@@ -226,7 +214,7 @@ impl BvSolver {
     ///
     /// The query pipeline is: cheap pre-solve simplification (conjunction
     /// flattening, constant folding, complementary-literal propagation),
-    /// then a lookup in the attached [`QueryCache`] (if any), and only on a
+    /// then a lookup in the attached [`QueryCache`](crate::cache::QueryCache) (if any), and only on a
     /// miss the full bit-blast + CDCL run. Decided results of full runs are
     /// stored back into the cache.
     pub fn check(&mut self, pool: &TermPool, assertions: &[TermId]) -> QueryResult {

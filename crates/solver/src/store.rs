@@ -21,19 +21,31 @@
 //! ## Persistence format
 //!
 //! The store file is line-oriented text. The first line is a header naming
-//! the format version *and* the encoding revision:
+//! the format version, the encoding revision, and the **generation** the
+//! file was saved at:
 //!
 //! ```text
-//! stack-query-store v1 enc1
-//! U <fp>,<fp>,...
-//! S <fp>,... m <name>=<value> <name>=<value>
+//! stack-query-store v2 enc1 gen7
+//! U g<gen> <fp>,<fp>,...
+//! S g<gen> <fp>,... m <name>=<value> <name>=<value>
 //! ```
 //!
-//! `U`/`S` lines carry one UNSAT/SAT entry: the canonical cache key (sorted
-//! 128-bit structural fingerprints, lower-case hex) and, for SAT, the
-//! witness model (variable names percent-escaped, values decimal `u64`).
-//! Entries are written sorted by key and models sorted by name, so saving
-//! the same logical store always produces byte-identical files.
+//! `U`/`S` lines carry one UNSAT/SAT entry: a last-used generation stamp,
+//! the canonical cache key (sorted 128-bit structural fingerprints,
+//! lower-case hex) and, for SAT, the witness model (variable names
+//! percent-escaped, values decimal `u64`). Entries are written sorted by
+//! key and models sorted by name, so saving the same logical store at the
+//! same generation always produces byte-identical files.
+//!
+//! ## Generations and compaction
+//!
+//! Every `open` starts a new generation (the persisted `gen` plus one);
+//! every entry the run touches — a lookup hit or a fresh insert — is
+//! stamped with it, and `save` writes the stamps back. The stamp is how an
+//! otherwise monotonically growing archive-scale store ages out dead
+//! weight: with [`set_compaction`](DiskQueryStore::set_compaction)`(Some(n))`
+//! (the CLI's `--compact-store n`), `save` drops every entry whose last use
+//! is `n` or more generations old. Entries used this run are never dropped.
 //!
 //! A header that does not match the running binary's
 //! [`STORE_FORMAT_VERSION`]/[`ENCODING_REVISION`] — or any malformed line —
@@ -47,16 +59,20 @@
 //! [`open`]: DiskQueryStore::open
 //! [`save`]: DiskQueryStore::save
 
-use crate::cache::{CacheKey, CacheStats, QueryCache};
+use crate::cache::{shard_index, CacheKey, CacheStats, QueryCache, STAMP_SHARDS};
 use crate::model::Model;
 use crate::solver::QueryResult;
+use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// On-disk layout version of the store file. Bump when the file syntax
-/// changes.
-pub const STORE_FORMAT_VERSION: u32 = 1;
+/// changes. (v2 added the header generation and per-entry last-used
+/// stamps; v1 files self-invalidate, as any stale cache does.)
+pub const STORE_FORMAT_VERSION: u32 = 2;
 
 /// Revision of everything a fingerprint's meaning depends on: the term
 /// encoding, the structural fingerprint function, and the solver's decided
@@ -104,26 +120,40 @@ impl QueryStore for QueryCache {
 pub struct DiskQueryStore {
     path: PathBuf,
     mem: QueryCache,
+    /// This run's generation: the persisted header generation plus one.
+    generation: u64,
+    /// Last-used generation per key (loaded stamps, overwritten with
+    /// `generation` on every hit or insert this run). Sharded with the
+    /// cache's own shard function so the stamp refresh on the parallel
+    /// hot path contends exactly like the cache itself, never globally.
+    last_used: [Mutex<HashMap<CacheKey, u64>>; STAMP_SHARDS],
+    /// Compaction horizon: entries unused for this many generations are
+    /// dropped at `save`. 0 means compaction is off.
+    compact_after: AtomicU64,
     loaded: u64,
     invalidated: bool,
 }
 
 impl DiskQueryStore {
-    /// The header line a store written by this binary carries.
-    fn header() -> String {
-        format!("stack-query-store v{STORE_FORMAT_VERSION} enc{ENCODING_REVISION}")
+    /// The header line a store saved at `generation` carries.
+    fn header(generation: u64) -> String {
+        format!("stack-query-store v{STORE_FORMAT_VERSION} enc{ENCODING_REVISION} gen{generation}")
     }
 
-    /// Open a store backed by `path`, loading every persisted entry. A
-    /// missing file yields an empty store; a file with a mismatched header
-    /// (older format or encoding revision) or any malformed content is
-    /// discarded wholesale and [`was_invalidated`](Self::was_invalidated)
-    /// reports it. Only I/O failures are errors.
+    /// Open a store backed by `path`, loading every persisted entry and
+    /// starting the next generation. A missing file yields an empty store
+    /// at generation 1; a file with a mismatched header (older format or
+    /// encoding revision) or any malformed content is discarded wholesale
+    /// and [`was_invalidated`](Self::was_invalidated) reports it. Only I/O
+    /// failures are errors.
     pub fn open(path: impl Into<PathBuf>) -> io::Result<DiskQueryStore> {
         let path = path.into();
         let mut store = DiskQueryStore {
             path,
             mem: QueryCache::new(),
+            generation: 1,
+            last_used: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            compact_after: AtomicU64::new(0),
             loaded: 0,
             invalidated: false,
         };
@@ -133,9 +163,14 @@ impl DiskQueryStore {
             Err(e) => return Err(e),
         };
         match parse_store(&text) {
-            Some(entries) => {
+            Some((file_generation, entries)) => {
+                store.generation = file_generation + 1;
                 store.loaded = entries.len() as u64;
-                for (key, result) in entries {
+                for (key, result, stamp) in entries {
+                    store.last_used[shard_index(&key)]
+                        .get_mut()
+                        .unwrap()
+                        .insert(key.clone(), stamp);
                     store.mem.insert(key, &result);
                 }
             }
@@ -146,16 +181,37 @@ impl DiskQueryStore {
 
     /// Write every entry back to the backing file: serialize to a sibling
     /// temp file, then rename over the target, so a crash mid-save never
-    /// leaves a truncated store behind. Returns the number of entries
-    /// written. Output is deterministic (entries sorted by key), so saving
-    /// the same logical store twice produces byte-identical files.
+    /// leaves a truncated store behind. With a compaction horizon set
+    /// ([`set_compaction`](Self::set_compaction)), entries unused for that
+    /// many generations are dropped. Returns the number of entries
+    /// written. Output is deterministic (entries sorted by key, this run's
+    /// generation in the header), so saving the same logical store twice
+    /// within one run produces byte-identical files.
     pub fn save(&self) -> io::Result<usize> {
-        let mut entries = self.mem.entries_snapshot();
+        let compact_after = self.compact_after.load(Ordering::Relaxed);
+        let mut entries: Vec<(CacheKey, QueryResult, u64)> = self
+            .mem
+            .entries_snapshot()
+            .into_iter()
+            .map(|(key, result)| {
+                // Entries inserted through the QueryStore interface are
+                // always stamped; `loaded` default covers direct test
+                // populations of the inner cache.
+                let stamp = self.last_used[shard_index(&key)]
+                    .lock()
+                    .unwrap()
+                    .get(&key)
+                    .copied()
+                    .unwrap_or(self.generation);
+                (key, result, stamp)
+            })
+            .filter(|(_, _, stamp)| compact_after == 0 || self.generation - stamp < compact_after)
+            .collect();
         entries.sort_by(|a, b| a.0.cmp(&b.0));
-        let mut out = Self::header();
+        let mut out = Self::header(self.generation);
         out.push('\n');
-        for (key, result) in &entries {
-            write_entry(&mut out, key, result);
+        for (key, result, stamp) in &entries {
+            write_entry(&mut out, key, result, *stamp);
         }
         // The temp name appends to the full path (never replaces an
         // extension) and carries the pid, so concurrent savers of a shared
@@ -175,6 +231,20 @@ impl DiskQueryStore {
         self.loaded
     }
 
+    /// This run's generation: the persisted one plus one (1 for a fresh
+    /// store). Every save stamps the header — and every entry this run
+    /// touched — with it.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Set (or clear) the compaction horizon: at [`save`](Self::save),
+    /// entries whose last-used stamp is `n` or more generations old are
+    /// pruned. `None` (the default) keeps everything forever.
+    pub fn set_compaction(&self, n: Option<u64>) {
+        self.compact_after.store(n.unwrap_or(0), Ordering::Relaxed);
+    }
+
     /// Whether `open` found a file it had to discard (mismatched header —
     /// written by a different format or encoding revision — or malformed
     /// content).
@@ -190,10 +260,30 @@ impl DiskQueryStore {
 
 impl QueryStore for DiskQueryStore {
     fn lookup(&self, key: &CacheKey) -> Option<QueryResult> {
-        self.mem.lookup(key)
+        let result = self.mem.lookup(key)?;
+        // A hit refreshes the entry's last-used generation, which is what
+        // keeps live entries out of compaction's reach. Idempotent within
+        // a run, so a key already stamped this generation skips the
+        // key-clone insert entirely (the common case on warm scans).
+        let mut stamps = self.last_used[shard_index(key)].lock().unwrap();
+        match stamps.get(key) {
+            Some(&g) if g == self.generation => {}
+            _ => {
+                stamps.insert(key.clone(), self.generation);
+            }
+        }
+        drop(stamps);
+        Some(result)
     }
 
     fn insert(&self, key: CacheKey, result: &QueryResult) {
+        if matches!(result, QueryResult::Unknown) {
+            return; // mirror the cache: never stored, so never stamped
+        }
+        self.last_used[shard_index(&key)]
+            .lock()
+            .unwrap()
+            .insert(key.clone(), self.generation);
         self.mem.insert(key, result);
     }
 
@@ -202,18 +292,18 @@ impl QueryStore for DiskQueryStore {
     }
 }
 
-/// Serialize one entry as a `U`/`S` line. `Unknown` cannot appear: the
-/// in-memory table never stores it.
-fn write_entry(out: &mut String, key: &CacheKey, result: &QueryResult) {
+/// Serialize one entry as a `U`/`S` line with its last-used generation
+/// stamp. `Unknown` cannot appear: the in-memory table never stores it.
+fn write_entry(out: &mut String, key: &CacheKey, result: &QueryResult, stamp: u64) {
     let fps: Vec<String> = key.iter().map(|fp| format!("{fp:032x}")).collect();
     match result {
         QueryResult::Unsat => {
-            let _ = writeln!(out, "U {}", fps.join(","));
+            let _ = writeln!(out, "U g{stamp} {}", fps.join(","));
         }
         QueryResult::Sat(model) => {
             let mut vars: Vec<(&String, &u64)> = model.iter().collect();
             vars.sort();
-            let _ = write!(out, "S {} m", fps.join(","));
+            let _ = write!(out, "S g{stamp} {} m", fps.join(","));
             for (name, value) in vars {
                 let _ = write!(out, " {}={value}", escape(name));
             }
@@ -223,22 +313,33 @@ fn write_entry(out: &mut String, key: &CacheKey, result: &QueryResult) {
     }
 }
 
-/// Parse a whole store file. `None` means "discard everything": wrong
-/// header or any malformed line. (A cache is best-effort; a partially
-/// trusted file is worse than an empty one.)
-fn parse_store(text: &str) -> Option<Vec<(CacheKey, QueryResult)>> {
+/// Parse a whole store file into its header generation and entries. `None`
+/// means "discard everything": wrong header or any malformed line. (A
+/// cache is best-effort; a partially trusted file is worse than an empty
+/// one.)
+#[allow(clippy::type_complexity)]
+fn parse_store(text: &str) -> Option<(u64, Vec<(CacheKey, QueryResult, u64)>)> {
     let mut lines = text.lines();
-    if lines.next()? != DiskQueryStore::header() {
-        return None;
-    }
+    let generation: u64 = lines
+        .next()?
+        .strip_prefix(&format!(
+            "stack-query-store v{STORE_FORMAT_VERSION} enc{ENCODING_REVISION} gen"
+        ))?
+        .parse()
+        .ok()?;
     let mut entries = Vec::new();
     for line in lines {
         if line.is_empty() {
             continue;
         }
         let (kind, rest) = line.split_at_checked(2)?;
+        let (stamp_text, rest) = rest.split_once(' ')?;
+        let stamp: u64 = stamp_text.strip_prefix('g')?.parse().ok()?;
+        if stamp > generation {
+            return None;
+        }
         match kind {
-            "U " => entries.push((parse_key(rest)?, QueryResult::Unsat)),
+            "U " => entries.push((parse_key(rest)?, QueryResult::Unsat, stamp)),
             "S " => {
                 let (key_text, model_text) = rest.split_once(" m")?;
                 let mut model = Model::new();
@@ -246,12 +347,12 @@ fn parse_store(text: &str) -> Option<Vec<(CacheKey, QueryResult)>> {
                     let (name, value) = pair.split_once('=')?;
                     model.set(&unescape(name)?, value.parse().ok()?);
                 }
-                entries.push((parse_key(key_text)?, QueryResult::Sat(model)));
+                entries.push((parse_key(key_text)?, QueryResult::Sat(model), stamp));
             }
             _ => return None,
         }
     }
-    Some(entries)
+    Some((generation, entries))
 }
 
 /// Parse a comma-separated list of 128-bit hex fingerprints.
@@ -352,7 +453,7 @@ mod tests {
     }
 
     #[test]
-    fn save_is_deterministic() {
+    fn save_is_deterministic_within_a_generation() {
         let path = temp_path("deterministic");
         let _ = std::fs::remove_file(&path);
         let store = DiskQueryStore::open(&path).unwrap();
@@ -360,11 +461,23 @@ mod tests {
         store.insert(vec![1], &sat(&[("b", 2), ("a", 1)]));
         store.save().unwrap();
         let first = std::fs::read_to_string(&path).unwrap();
-        // Re-open (different insertion order via load) and save again.
-        let reloaded = DiskQueryStore::open(&path).unwrap();
-        reloaded.save().unwrap();
+        // Saving the same store again (same run, same generation) is
+        // byte-identical.
+        store.save().unwrap();
         let second = std::fs::read_to_string(&path).unwrap();
         assert_eq!(first, second);
+        // A re-open starts the next generation: an untouched store differs
+        // from the previous file only in the header's generation.
+        let reloaded = DiskQueryStore::open(&path).unwrap();
+        assert_eq!(reloaded.generation(), store.generation() + 1);
+        reloaded.save().unwrap();
+        let third = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            first.split_once('\n').unwrap().1,
+            third.split_once('\n').unwrap().1,
+            "entry lines (incl. last-used stamps) unchanged when nothing was touched"
+        );
+        assert!(third.starts_with(&DiskQueryStore::header(reloaded.generation())));
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -374,7 +487,7 @@ mod tests {
         std::fs::write(
             &path,
             format!(
-                "stack-query-store v{STORE_FORMAT_VERSION} enc{}\nU 1,2\n",
+                "stack-query-store v{STORE_FORMAT_VERSION} enc{} gen1\nU g1 1,2\n",
                 ENCODING_REVISION + 1
             ),
         )
@@ -387,15 +500,68 @@ mod tests {
     }
 
     #[test]
+    fn old_format_version_self_invalidates() {
+        let path = temp_path("v1");
+        std::fs::write(
+            &path,
+            format!("stack-query-store v1 enc{ENCODING_REVISION}\nU 1,2\n"),
+        )
+        .unwrap();
+        let store = DiskQueryStore::open(&path).unwrap();
+        assert!(store.was_invalidated());
+        assert_eq!(store.generation(), 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
     fn malformed_content_self_invalidates() {
-        for body in ["garbage\n", "U not-hex\n", "S 1 m broken\n", "X 1\n"] {
+        for body in [
+            "garbage\n",
+            "U g1 not-hex\n",
+            "S g1 1 m broken\n",
+            "X g1 1\n",
+            "U 1,2\n",    // missing stamp
+            "U g9 1,2\n", // stamp from the future
+        ] {
             let path = temp_path("malformed");
-            std::fs::write(&path, format!("{}\n{body}", DiskQueryStore::header())).unwrap();
+            std::fs::write(&path, format!("{}\n{body}", DiskQueryStore::header(1))).unwrap();
             let store = DiskQueryStore::open(&path).unwrap();
             assert!(store.was_invalidated(), "body {body:?}");
             assert_eq!(store.loaded_entries(), 0);
             std::fs::remove_file(&path).unwrap();
         }
+    }
+
+    #[test]
+    fn compaction_prunes_only_entries_unused_for_n_generations() {
+        let path = temp_path("compaction");
+        let _ = std::fs::remove_file(&path);
+        // Generation 1: two entries.
+        let store = DiskQueryStore::open(&path).unwrap();
+        assert_eq!(store.generation(), 1);
+        store.insert(vec![1], &QueryResult::Unsat);
+        store.insert(vec![2], &sat(&[("x", 5)]));
+        store.save().unwrap();
+        // Generations 2 and 3: only entry [1] is ever looked up.
+        for expected_gen in [2, 3] {
+            let store = DiskQueryStore::open(&path).unwrap();
+            assert_eq!(store.generation(), expected_gen);
+            assert!(store.lookup(&vec![1]).is_some());
+            store.save().unwrap();
+        }
+        // Generation 4, compaction horizon 2: entry [2] was last used at
+        // generation 1 (3 generations ago) and is pruned; entry [1] (used at
+        // 3) survives, as does a fresh insert.
+        let store = DiskQueryStore::open(&path).unwrap();
+        store.set_compaction(Some(2));
+        store.insert(vec![3], &QueryResult::Unsat);
+        assert_eq!(store.save().unwrap(), 2);
+        let reloaded = DiskQueryStore::open(&path).unwrap();
+        assert_eq!(reloaded.loaded_entries(), 2);
+        assert!(reloaded.lookup(&vec![1]).is_some());
+        assert!(reloaded.lookup(&vec![3]).is_some());
+        assert!(reloaded.lookup(&vec![2]).is_none(), "aged-out entry pruned");
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

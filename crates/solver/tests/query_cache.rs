@@ -79,7 +79,7 @@ proptest! {
     fn cached_and_uncached_check_agree(seed in any::<u64>()) {
         let (pool, assertions) = random_assertions(seed);
         let mut plain = BvSolver::new();
-        let mut cached = BvSolver::new().with_cache(Arc::new(QueryCache::new()));
+        let mut cached = BvSolver::new().with_store(Arc::new(QueryCache::new()));
         let expected = plain.check(&pool, &assertions);
         let first = cached.check(&pool, &assertions);
         prop_assert_eq!(&expected, &first, "first cached query must agree");
@@ -122,8 +122,8 @@ proptest! {
         let cache = Arc::new(QueryCache::new());
         let (pool_a, asserts_a) = random_assertions(seed);
         let (pool_b, asserts_b) = random_assertions(seed);
-        let mut solver_a = BvSolver::new().with_cache(Arc::clone(&cache));
-        let mut solver_b = BvSolver::new().with_cache(Arc::clone(&cache));
+        let mut solver_a = BvSolver::new().with_store(Arc::clone(&cache) as _);
+        let mut solver_b = BvSolver::new().with_store(Arc::clone(&cache) as _);
         let ra = solver_a.check(&pool_a, &asserts_a);
         let rb = solver_b.check(&pool_b, &asserts_b);
         prop_assert_eq!(&ra, &rb, "same construction recipe, same answer");
@@ -140,7 +140,7 @@ proptest! {
 fn known_query_hits_after_reorder() {
     let cache = Arc::new(QueryCache::new());
     let mut pool = TermPool::new();
-    let mut solver = BvSolver::new().with_cache(Arc::clone(&cache));
+    let mut solver = BvSolver::new().with_store(Arc::clone(&cache) as _);
     let x = pool.bv_var("x", 16);
     let y = pool.bv_var("y", 16);
     let sum = pool.bv_add(x, y);

@@ -8,8 +8,11 @@
 //! that answers its queries from a disk-backed store must produce
 //! byte-identical reports to the cold run that populated it.
 
-use stack_repro::core::{AnalysisSession, Checker, CheckerConfig};
-use stack_repro::corpus::{generate, generate_archive, ArchiveConfig, SynthConfig};
+use stack_repro::core::{
+    AnalysisSession, Checker, CheckerConfig, ScanEvent, ScanPipeline, ScanSource, ScanStore,
+    ScanTask,
+};
+use stack_repro::corpus::{churn_archive, generate, generate_archive, ArchiveConfig, SynthConfig};
 use stack_repro::solver::DiskQueryStore;
 use std::sync::Arc;
 
@@ -124,5 +127,93 @@ fn warm_disk_store_run_matches_cold_run() {
         "warm hit rate {} below the 90% bar ({warm_stats:?})",
         warm_stats.cache_hit_rate()
     );
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// One archive pass through the file-parallel scan pipeline, optionally
+/// backed by a persisted scan store: the ordered event stream plus the
+/// session's aggregate stats.
+fn pipeline_run(
+    files: &[stack_repro::corpus::ArchiveFile],
+    jobs: usize,
+    scan_store: Option<&std::path::Path>,
+) -> (Vec<String>, stack_repro::core::CheckStats) {
+    let tasks: Vec<ScanTask> = files
+        .iter()
+        .map(|f| ScanTask {
+            name: f.name.clone(),
+            source: ScanSource::Inline(f.source.clone()),
+        })
+        .collect();
+    let session = AnalysisSession::new(CheckerConfig {
+        threads: Some(1),
+        ..CheckerConfig::default()
+    });
+    let mut pipeline = ScanPipeline::new(&session, jobs);
+    let store = scan_store.map(|p| Arc::new(ScanStore::open(p).expect("open scan store")));
+    if let Some(store) = &store {
+        pipeline = pipeline.with_scan_store(Arc::clone(store));
+    }
+    let mut events = Vec::new();
+    pipeline.run(&tasks, &mut |event| {
+        if let ScanEvent::Report(r) = event {
+            events.push(format!("{r:?}"));
+        }
+    });
+    if let Some(store) = &store {
+        store.save().expect("save scan store");
+    }
+    (events, session.stats())
+}
+
+/// The incremental-rescan acceptance contract: a 0%-churn re-scan (only
+/// comment/whitespace edits between runs) skips 100% of modules, issues no
+/// solver queries, and produces a byte-identical report stream — at every
+/// file-level parallelism width.
+#[test]
+fn zero_churn_rescan_skips_every_module_with_identical_output() {
+    let archive_cfg = ArchiveConfig {
+        packages: 8,
+        seed: 0xF1D0,
+        ..ArchiveConfig::default()
+    };
+    let base = generate_archive(&archive_cfg);
+    let churned = churn_archive(&base, archive_cfg.seed, 0.0);
+    assert_eq!(churned.semantic_edits, 0);
+    assert!(
+        churned.cosmetic_edits > 0,
+        "cosmetic churn must be exercised"
+    );
+
+    let path = std::env::temp_dir().join(format!(
+        "stack-determinism-rescan-{}.ss",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+
+    // Cold: analyze the base archive, recording every module.
+    let (cold_reports, cold_stats) = pipeline_run(&base, 4, Some(&path));
+    assert!(!cold_reports.is_empty());
+    assert_eq!(cold_stats.modules_skipped, 0);
+
+    // Plain reference run over the *churned* copy (no store at all).
+    let (reference_reports, _) = pipeline_run(&churned.files, 1, None);
+    assert_eq!(
+        cold_reports, reference_reports,
+        "comment/whitespace edits must not change any report"
+    );
+
+    // Re-scan the churned copy against the recorded store.
+    for jobs in [1, 4] {
+        let (warm_reports, warm_stats) = pipeline_run(&churned.files, jobs, Some(&path));
+        assert_eq!(cold_reports, warm_reports, "jobs={jobs}");
+        assert_eq!(
+            warm_stats.modules_skipped, warm_stats.modules,
+            "every module must be skipped (jobs={jobs}): {warm_stats:?}"
+        );
+        assert_eq!(warm_stats.modules_skipped, base.len());
+        assert_eq!(warm_stats.queries, 0, "jobs={jobs}: {warm_stats:?}");
+        assert_eq!(warm_stats.functions, cold_stats.functions);
+    }
     std::fs::remove_file(&path).unwrap();
 }
