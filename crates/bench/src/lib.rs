@@ -638,7 +638,11 @@ pub struct IncrementalRescan {
 }
 
 /// Scan an archive population through the file-parallel pipeline, returning
-/// the rendered report stream and the row measurements.
+/// the rendered report stream and the row measurements. With `save_stores`
+/// the (possibly grown) stores are persisted after the run — the fan-out
+/// half of a sharded scan; measured re-scan runs pass `false` so every
+/// configuration starts from the same primed files.
+#[allow(clippy::too_many_arguments)]
 fn rescan_run(
     label: &str,
     churn_pct: u32,
@@ -647,6 +651,7 @@ fn rescan_run(
     jobs: usize,
     query_store_path: Option<&std::path::Path>,
     scan_store_path: Option<&std::path::Path>,
+    save_stores: bool,
 ) -> (RescanRow, Vec<String>) {
     let tasks: Vec<ScanTask> = files
         .iter()
@@ -655,17 +660,17 @@ fn rescan_run(
             source: ScanSource::Inline(f.source.clone()),
         })
         .collect();
-    let session = match query_store_path {
-        Some(path) => {
-            let store = Arc::new(DiskQueryStore::open(path).expect("open rescan query store"));
-            AnalysisSession::with_store(config, store as _)
-        }
+    let query_store = query_store_path
+        .map(|path| Arc::new(DiskQueryStore::open(path).expect("open rescan query store")));
+    let session = match &query_store {
+        Some(store) => AnalysisSession::with_store(config, store.clone() as _),
         None => AnalysisSession::new(config),
     };
     let mut pipeline = ScanPipeline::new(&session, jobs);
-    if let Some(path) = scan_store_path {
-        let store = Arc::new(ScanStore::open(path).expect("open rescan scan store"));
-        pipeline = pipeline.with_scan_store(store);
+    let scan_store = scan_store_path
+        .map(|path| Arc::new(ScanStore::open(path).expect("open rescan scan store")));
+    if let Some(store) = &scan_store {
+        pipeline = pipeline.with_scan_store(store.clone());
     }
     let mut reports = Vec::new();
     let start = Instant::now();
@@ -675,8 +680,14 @@ fn rescan_run(
         }
     });
     let elapsed = start.elapsed();
-    // Measured runs never save: every configuration starts from the same
-    // primed store files.
+    if save_stores {
+        if let Some(store) = &query_store {
+            store.save().expect("save rescan query store");
+        }
+        if let Some(store) = &scan_store {
+            store.save().expect("save rescan scan store");
+        }
+    }
     let stats = session.stats();
     let row = RescanRow {
         label: label.to_string(),
@@ -758,6 +769,7 @@ pub fn incremental_rescan(cfg: &ScalingConfig) -> IncrementalRescan {
             jobs,
             None,
             None,
+            false,
         );
         let (warm, warm_reports) = rescan_run(
             &format!("{churn_pct}% churn, warm query store"),
@@ -767,6 +779,7 @@ pub fn incremental_rescan(cfg: &ScalingConfig) -> IncrementalRescan {
             jobs,
             Some(&query_store_path),
             None,
+            false,
         );
         let (rescan, rescan_reports) = rescan_run(
             &format!("{churn_pct}% churn, incremental rescan"),
@@ -776,6 +789,7 @@ pub fn incremental_rescan(cfg: &ScalingConfig) -> IncrementalRescan {
             jobs,
             Some(&query_store_path),
             Some(&scan_store_path),
+            false,
         );
         reports_identical &= cold_reports == warm_reports && cold_reports == rescan_reports;
         if churn_pct == 0 {
@@ -799,6 +813,161 @@ pub fn incremental_rescan(cfg: &ScalingConfig) -> IncrementalRescan {
         speedup_rescan_vs_warm,
         modules_skipped_rate,
         reports_identical,
+    }
+}
+
+/// The distributed-scan measurement: the same archive scanned cold and
+/// unsharded (the baseline), then fanned out across four content-keyed
+/// shards — each shard saving its own query store and scan store — then
+/// folded back with `DiskQueryStore::merge`/`ScanStore::merge`, and finally
+/// re-scanned in full, warm from the merged stores. The merged-warm run
+/// must skip every module and stream byte-identical reports to the cold
+/// unsharded scan; its speedup is the fleet payoff the ROADMAP's
+/// distributed-scan item is after.
+#[derive(Clone, Debug, Serialize)]
+pub struct ShardedScan {
+    /// Workload description.
+    pub archive: String,
+    /// Files in the full archive.
+    pub files: usize,
+    /// Fan-out width.
+    pub shards: usize,
+    /// File-level pipeline workers used by every run.
+    pub jobs: usize,
+    /// Rows: cold unsharded, one per shard (fan-out), merged warm
+    /// (fan-in). `churn_pct` is always 0 here.
+    pub rows: Vec<RescanRow>,
+    /// Entries in the merged query store.
+    pub merged_query_entries: u64,
+    /// Module records in the merged scan store.
+    pub merged_scan_entries: u64,
+    /// Query-store entries that appeared in more than one shard (their
+    /// value equality was asserted during the merge).
+    pub merged_query_duplicates: u64,
+    /// Cold unsharded wall clock / merged-warm wall clock — must be at
+    /// least `speedup_warm_vs_cold`, since a fan-in that loses to a plain
+    /// warm store would defeat the point of sharding.
+    pub speedup_merged_warm_vs_cold: f64,
+    /// The merged-warm run's module skip rate (the acceptance bar is 1.0).
+    pub merged_warm_skip_rate: f64,
+    /// Whether the merged-warm run's report stream is byte-identical to
+    /// the cold unsharded scan's (it must be).
+    pub merge_reports_identical: bool,
+}
+
+/// Run the distributed-scan measurement. Store files live in the system
+/// temp directory (unique per process and invocation) and are removed
+/// afterwards.
+pub fn sharded_scan(cfg: &ScalingConfig) -> ShardedScan {
+    static INVOCATION: AtomicU64 = AtomicU64::new(0);
+    const SHARDS: usize = 4;
+    let tag = format!(
+        "stack-bench-shard-{}-{}",
+        std::process::id(),
+        INVOCATION.fetch_add(1, Ordering::Relaxed)
+    );
+    let shard_qs = |i: usize| std::env::temp_dir().join(format!("{tag}-{i}.qs"));
+    let shard_ss = |i: usize| std::env::temp_dir().join(format!("{tag}-{i}.ss"));
+    let merged_qs = std::env::temp_dir().join(format!("{tag}-merged.qs"));
+    let merged_ss = std::env::temp_dir().join(format!("{tag}-merged.ss"));
+
+    let archive_cfg = ArchiveConfig {
+        packages: cfg.packages,
+        ..ArchiveConfig::default()
+    };
+    let archive = generate_archive(&archive_cfg);
+    let jobs = cfg.threads.iter().copied().max().unwrap_or(1);
+    let config = CheckerConfig {
+        query_budget: cfg.query_budget,
+        threads: Some(1),
+        ..CheckerConfig::default()
+    };
+
+    // The same content-keyed partition `stack scan --shard i/n` applies.
+    let shard_files: Vec<Vec<ArchiveFile>> = (0..SHARDS)
+        .map(|shard| {
+            archive
+                .iter()
+                .filter(|f| {
+                    stack_core::shard_assignment(
+                        stack_core::content_key(f.source.as_bytes()),
+                        SHARDS,
+                    ) == shard
+                })
+                .cloned()
+                .collect()
+        })
+        .collect();
+
+    let mut rows = Vec::new();
+    let (cold, cold_reports) = rescan_run(
+        "unsharded, cold (baseline)",
+        0,
+        &archive,
+        config,
+        jobs,
+        None,
+        None,
+        false,
+    );
+    rows.push(cold.clone());
+    for (shard, files) in shard_files.iter().enumerate() {
+        let (row, _) = rescan_run(
+            &format!("shard {}/{SHARDS}, cold fan-out", shard + 1),
+            0,
+            files,
+            config,
+            jobs,
+            Some(&shard_qs(shard)),
+            Some(&shard_ss(shard)),
+            true,
+        );
+        rows.push(row);
+    }
+
+    let qs_inputs: Vec<std::path::PathBuf> = (0..SHARDS).map(shard_qs).collect();
+    let ss_inputs: Vec<std::path::PathBuf> = (0..SHARDS).map(shard_ss).collect();
+    let query_stats =
+        DiskQueryStore::merge(&merged_qs, &qs_inputs, None).expect("merge shard query stores");
+    let scan_stats =
+        ScanStore::merge(&merged_ss, &ss_inputs, None).expect("merge shard scan stores");
+
+    let (warm, warm_reports) = rescan_run(
+        "unsharded, warm from merged stores",
+        0,
+        &archive,
+        config,
+        jobs,
+        Some(&merged_qs),
+        Some(&merged_ss),
+        false,
+    );
+    let speedup = cold.wall_us.max(1) as f64 / warm.wall_us.max(1) as f64;
+    let skip_rate = warm.modules_skipped_rate;
+    let identical = cold_reports == warm_reports;
+    rows.push(warm);
+
+    for path in qs_inputs.iter().chain(ss_inputs.iter()) {
+        let _ = std::fs::remove_file(path);
+    }
+    let _ = std::fs::remove_file(&merged_qs);
+    let _ = std::fs::remove_file(&merged_ss);
+
+    ShardedScan {
+        archive: format!(
+            "overlap archive (packages={}, seed={:#x})",
+            archive_cfg.packages, archive_cfg.seed
+        ),
+        files: archive.len(),
+        shards: SHARDS,
+        jobs,
+        rows,
+        merged_query_entries: query_stats.entries_out,
+        merged_scan_entries: scan_stats.entries_out,
+        merged_query_duplicates: query_stats.duplicates,
+        speedup_merged_warm_vs_cold: speedup,
+        merged_warm_skip_rate: skip_rate,
+        merge_reports_identical: identical,
     }
 }
 
@@ -836,6 +1005,10 @@ pub struct CheckerScaling {
     /// (`speedup_rescan_vs_cold` and `modules_skipped_rate` live here; CI
     /// fails the bench job if the speedup goes missing).
     pub rescan: IncrementalRescan,
+    /// The distributed-scan measurement (`speedup_merged_warm_vs_cold` and
+    /// `merge_reports_identical` live here; CI fails the bench job if
+    /// either goes missing).
+    pub sharded_scan: ShardedScan,
 }
 
 /// Run the checker-scaling benchmark: analyze one synthetic population under
@@ -963,6 +1136,7 @@ pub fn checker_scaling(cfg: &ScalingConfig) -> CheckerScaling {
         best_incremental_label,
         scan: scan_persistence(cfg),
         rescan: incremental_rescan(cfg),
+        sharded_scan: sharded_scan(cfg),
     }
 }
 
@@ -1046,6 +1220,35 @@ impl CheckerScaling {
             self.rescan.speedup_rescan_vs_warm,
             100.0 * self.rescan.modules_skipped_rate,
             self.rescan.reports_identical
+        );
+        let _ = writeln!(
+            out,
+            "Distributed scan over {} ({} files, {} shards, {} jobs)",
+            self.sharded_scan.archive,
+            self.sharded_scan.files,
+            self.sharded_scan.shards,
+            self.sharded_scan.jobs
+        );
+        for r in &self.sharded_scan.rows {
+            let _ = writeln!(
+                out,
+                "  {:<36} {:>8} {:>9} {:>9} {:>8}/{:<5} skipped",
+                r.label, r.wall_ms, r.queries, r.reports, r.modules_skipped, r.files
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  merged stores: {} query entries ({} shard duplicates), {} module records",
+            self.sharded_scan.merged_query_entries,
+            self.sharded_scan.merged_query_duplicates,
+            self.sharded_scan.merged_scan_entries
+        );
+        let _ = writeln!(
+            out,
+            "  merged-warm vs cold: {:.2}x; skip rate {:.0}%; reports identical: {}",
+            self.sharded_scan.speedup_merged_warm_vs_cold,
+            100.0 * self.sharded_scan.merged_warm_skip_rate,
+            self.sharded_scan.merge_reports_identical
         );
         out
     }
@@ -1223,6 +1426,39 @@ mod tests {
         assert!(json.contains("\"speedup_warm_vs_cold\""));
         assert!(json.contains("\"speedup_rescan_vs_cold\""));
         assert!(json.contains("\"modules_skipped_rate\""));
+        assert!(json.contains("\"speedup_merged_warm_vs_cold\""));
+        assert!(json.contains("\"merge_reports_identical\""));
+    }
+
+    #[test]
+    fn sharded_scan_folds_back_into_one_warm_store() {
+        let cfg = ScalingConfig {
+            packages: 6,
+            seed: 13,
+            threads: vec![2],
+            query_budget: 500_000,
+        };
+        let sharded = sharded_scan(&cfg);
+        assert_eq!(sharded.shards, 4);
+        assert_eq!(
+            sharded.rows.len(),
+            6,
+            "cold baseline + four shards + merged warm"
+        );
+        // The shards partition the archive: fan-out files sum to the total.
+        let fan_out_files: usize = sharded.rows[1..5].iter().map(|r| r.files).sum();
+        assert_eq!(fan_out_files, sharded.files);
+        // The merged-warm run replays every module without solver work and
+        // streams byte-identical reports to the cold unsharded baseline.
+        let warm = sharded.rows.last().unwrap();
+        assert_eq!(warm.modules_skipped, warm.files);
+        assert_eq!(warm.queries, 0, "{warm:?}");
+        assert!((sharded.merged_warm_skip_rate - 1.0).abs() < 1e-9);
+        assert!(sharded.merge_reports_identical);
+        assert_eq!(warm.reports, sharded.rows[0].reports);
+        // The merged stores hold every shard's state.
+        assert_eq!(sharded.merged_scan_entries, sharded.files as u64);
+        assert!(sharded.merged_query_entries > 0);
     }
 
     #[test]

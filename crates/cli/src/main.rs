@@ -6,6 +6,8 @@
 //! stack check <file.mc> [options]                # analyze one file
 //! stack scan  <dir|manifest> [options]           # batch-analyze many files
 //! stack scan  --synth N [--seed S] [options]     # scan a generated archive
+//! stack store merge <out> <in...> [--compact N] [--json]   # fold stores into one
+//! stack store inspect <file> [--json]            # header/generation/entry report
 //! stack bench [--out <path>] [--fast]            # checker-scaling benchmark
 //! stack gen-archive <dir> [--packages N] [--seed S]
 //! stack demo  <pattern-id>                       # analyze a built-in paper example
@@ -29,9 +31,15 @@
 //! when `--jobs` > 1 so the levels don't oversubscribe), `--scan-cache
 //! <path>` persists per-module results keyed by canonical fingerprint so an
 //! unchanged module is *skipped entirely* on re-scan (its reports replay
-//! without a single solver query), and `--compact-store N` prunes
+//! without a single solver query), `--compact-store N` prunes
 //! query-store entries unused for `N` scans when the `--cache-file` is
-//! saved. Output order is deterministic regardless of `--jobs`.
+//! saved, and `--shard i/n` (1-based) analyzes only the modules a stable
+//! hash of each input's *content* assigns to shard `i` of `n` — the
+//! fan-out half of a distributed scan whose per-shard stores
+//! `stack store merge` later folds back into one. Output order is
+//! deterministic regardless of `--jobs`. Flag combinations are validated
+//! before any work starts: scan-only flags are rejected by `check`, and
+//! `--compact-store` without `--cache-file` is an immediate usage error.
 //!
 //! Exit codes: `check` exits 0 with no reports, 1 with reports, 2 on any
 //! error. `scan` is a batch driver: it exits 0 when every file was analyzed
@@ -55,13 +63,14 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("check") => cmd_check(&args[1..]),
         Some("scan") => cmd_scan(&args[1..]),
+        Some("store") => cmd_store(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("gen-archive") => cmd_gen_archive(&args[1..]),
         Some("demo") => cmd_demo(&args[1..]),
         Some("list") => cmd_list(),
         Some("survey") => cmd_survey(),
         _ => {
-            eprintln!("usage: stack <check|scan|bench|gen-archive|demo|list|survey> ...");
+            eprintln!("usage: stack <check|scan|store|bench|gen-archive|demo|list|survey> ...");
             ExitCode::from(2)
         }
     }
@@ -69,7 +78,20 @@ fn main() -> ExitCode {
 
 // ---- shared option parsing --------------------------------------------------
 
+/// Which command is parsing — `check` rejects scan-only flags up front
+/// instead of silently ignoring them (or, worse, erroring after the
+/// analysis already ran).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Check,
+    Scan,
+}
+
+/// The flags only `scan` understands, rejected by `check` at parse time.
+const SCAN_ONLY_FLAGS: [&str; 5] = ["--jobs", "--scan-cache", "--shard", "--synth", "--seed"];
+
 /// Options shared by `check` and `scan`.
+#[derive(Debug)]
 struct AnalysisOpts {
     json: bool,
     include_macros: bool,
@@ -85,10 +107,20 @@ struct AnalysisOpts {
     scan_cache: Option<PathBuf>,
     /// `scan` only: compaction horizon for the `--cache-file` store.
     compact_store: Option<u64>,
+    /// `scan` only: `--shard i/n` as (1-based index, count).
+    shard: Option<(usize, usize)>,
 }
 
 impl AnalysisOpts {
-    fn parse(args: &[String]) -> Result<AnalysisOpts, String> {
+    /// Parse and validate every flag combination before any work starts:
+    /// a bad invocation must exit 2 with a usage message immediately, not
+    /// after a long scan already ran.
+    fn parse(args: &[String], mode: Mode) -> Result<AnalysisOpts, String> {
+        if mode == Mode::Check {
+            if let Some(flag) = SCAN_ONLY_FLAGS.iter().find(|f| has_flag(args, f)) {
+                return Err(format!("{flag} is a scan-only flag (use `stack scan`)"));
+            }
+        }
         let jobs = match parse_flag_value::<usize>(args, "--jobs")? {
             Some(0) => return Err("--jobs needs a positive integer".to_string()),
             other => other,
@@ -105,6 +137,10 @@ impl AnalysisOpts {
         if compact_store.is_some() && cache_file.is_none() {
             return Err("--compact-store requires --cache-file (it prunes that store)".to_string());
         }
+        let shard = match flag_value(args, "--shard")? {
+            Some(text) => Some(parse_shard(text)?),
+            None => None,
+        };
         Ok(AnalysisOpts {
             json: has_flag(args, "--json"),
             include_macros: has_flag(args, "--include-macros"),
@@ -117,6 +153,7 @@ impl AnalysisOpts {
             jobs: jobs.unwrap_or(1),
             scan_cache: flag_value(args, "--scan-cache")?.map(PathBuf::from),
             compact_store,
+            shard,
         })
     }
 
@@ -190,6 +227,43 @@ fn has_flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
 }
 
+/// Parse `--shard i/n` (1-based): `2/4` means "analyze the second of four
+/// deterministic content-keyed partitions".
+fn parse_shard(text: &str) -> Result<(usize, usize), String> {
+    let parsed = text
+        .split_once('/')
+        .and_then(|(i, n)| Some((i.parse::<usize>().ok()?, n.parse::<usize>().ok()?)));
+    match parsed {
+        Some((index, count)) if count > 0 && (1..=count).contains(&index) => Ok((index, count)),
+        _ => Err(format!(
+            "--shard: expected i/n with 1 <= i <= n (e.g. 2/4), got `{text}`"
+        )),
+    }
+}
+
+/// Keep only the tasks the content-keyed partition assigns to `index` (of
+/// `count`). The key hashes each input's raw bytes — never its position in
+/// the list — so shard membership survives the archive growing or files
+/// moving, and every shard of a fan-out computes the same partition
+/// without coordination. An unreadable path falls back to hashing the task
+/// name, so the file still belongs to exactly one shard and exactly one
+/// shard reports its failure.
+fn shard_tasks(tasks: Vec<ScanTask>, index: usize, count: usize) -> Vec<ScanTask> {
+    tasks
+        .into_iter()
+        .filter(|task| {
+            let key = match &task.source {
+                ScanSource::Inline(source) => stack_core::content_key(source.as_bytes()),
+                ScanSource::Path(path) => match std::fs::read(path) {
+                    Ok(bytes) => stack_core::content_key(&bytes),
+                    Err(_) => stack_core::content_key(task.name.as_bytes()),
+                },
+            };
+            stack_core::shard_assignment(key, count) == index - 1
+        })
+        .collect()
+}
+
 /// The value following a `--flag value` pair, if the flag is present.
 fn flag_value<'a>(args: &'a [String], name: &str) -> Result<Option<&'a str>, String> {
     match args.iter().position(|a| a == name) {
@@ -248,7 +322,7 @@ fn cmd_check(args: &[String]) -> ExitCode {
         );
         return ExitCode::from(2);
     };
-    let opts = match AnalysisOpts::parse(args) {
+    let opts = match AnalysisOpts::parse(args, Mode::Check) {
         Ok(opts) => opts,
         Err(e) => return fail(&e),
     };
@@ -327,21 +401,35 @@ struct ScanSummary {
     cache_file_loaded_entries: u64,
     scan_cache_loaded_entries: u64,
     jobs: usize,
+    /// Which content-keyed shard this scan analyzed (1-based; `1` of `1`
+    /// when unsharded).
+    shard_index: usize,
+    shard_count: usize,
     elapsed_ms: u64,
 }
 
 fn cmd_scan(args: &[String]) -> ExitCode {
-    let mut opts = match AnalysisOpts::parse(args) {
+    let mut opts = match AnalysisOpts::parse(args, Mode::Scan) {
         Ok(opts) => opts,
         Err(e) => return fail(&e),
     };
     opts.pin_module_threads_for_jobs();
-    let tasks = match gather_scan_sources(args) {
+    let mut tasks = match gather_scan_sources(args) {
         Ok(tasks) => tasks,
         Err(e) => return fail(&e),
     };
+    if let Some((index, count)) = opts.shard {
+        let before = tasks.len();
+        tasks = shard_tasks(tasks, index, count);
+        if !opts.quiet && !opts.json {
+            eprintln!(
+                "stack: shard {index}/{count} owns {} of {before} modules",
+                tasks.len()
+            );
+        }
+    }
     if tasks.is_empty() {
-        return fail("nothing to scan (no .mc/.c files found)");
+        return fail("nothing to scan (no .mc/.c files found, or the shard is empty)");
     }
     let (session, store) = match opts.open_session() {
         Ok(pair) => pair,
@@ -383,6 +471,8 @@ fn cmd_scan(args: &[String]) -> ExitCode {
         cache_file_loaded_entries: store.as_ref().map_or(0, |s| s.loaded_entries()),
         scan_cache_loaded_entries: scan_store.as_ref().map_or(0, |s| s.loaded_entries()),
         jobs: opts.jobs,
+        shard_index: opts.shard.map_or(1, |(i, _)| i),
+        shard_count: opts.shard.map_or(1, |(_, n)| n),
         elapsed_ms: u64::try_from(elapsed.as_millis()).unwrap_or(u64::MAX),
     };
     let rendered = if opts.json {
@@ -469,8 +559,8 @@ fn gather_scan_sources(args: &[String]) -> Result<Vec<ScanTask>, String> {
     let Some(root) = args.first().filter(|a| !a.starts_with("--")) else {
         return Err(
             "usage: stack scan <dir|manifest|file.mc> | --synth N  [--seed S] [--cache-file F] \
-             [--scan-cache F] [--jobs N] [--threads N] [--compact-store N] [--no-cache] \
-             [--no-incremental] [--include-macros] [--json] [--out F] [--quiet]"
+             [--scan-cache F] [--jobs N] [--threads N] [--compact-store N] [--shard i/n] \
+             [--no-cache] [--no-incremental] [--include-macros] [--json] [--out F] [--quiet]"
                 .to_string(),
         );
     };
@@ -513,6 +603,13 @@ fn render_scan_summary(
     use std::fmt::Write as _;
     let mut out = String::new();
     let _ = writeln!(out, "scan summary");
+    if summary.shard_count > 1 {
+        let _ = writeln!(
+            out,
+            "  shard           {:>8}  (of {})",
+            summary.shard_index, summary.shard_count
+        );
+    }
     let _ = writeln!(
         out,
         "  files           {:>8}  ({} failed)",
@@ -556,6 +653,201 @@ fn render_scan_summary(
         stats.threads.max(1)
     );
     out.trim_end().to_string()
+}
+
+// ---- store ------------------------------------------------------------------
+
+/// Which persisted store a file holds, detected from its header line so
+/// `store merge`/`store inspect` work on both kinds without a flag.
+enum StoreKind {
+    Query,
+    Scan,
+}
+
+fn detect_store_kind(path: &Path) -> Result<StoreKind, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let first = text.lines().next().unwrap_or("");
+    if first.starts_with("stack-query-store") {
+        Ok(StoreKind::Query)
+    } else if first.starts_with("stack-scan-store") {
+        Ok(StoreKind::Scan)
+    } else {
+        Err(format!(
+            "{}: not a stack store file (header `{first}`)",
+            path.display()
+        ))
+    }
+}
+
+/// The positional (non-flag) arguments, skipping the values of
+/// `value_flags`.
+fn positionals(args: &[String], value_flags: &[&str]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        if arg.starts_with("--") {
+            i += if value_flags.contains(&arg.as_str()) {
+                2
+            } else {
+                1
+            };
+        } else {
+            out.push(arg.clone());
+            i += 1;
+        }
+    }
+    out
+}
+
+/// `MergeStats` in the shape `--json` emits (the vendored serde has no
+/// map/foreign-type support, so the stats are restated locally).
+#[derive(Serialize)]
+struct MergeStatsJson {
+    inputs: usize,
+    entries_in: u64,
+    entries_out: u64,
+    duplicates: u64,
+    pruned: u64,
+    generation: u64,
+}
+
+fn cmd_store(args: &[String]) -> ExitCode {
+    match args.first().map(String::as_str) {
+        Some("merge") => cmd_store_merge(&args[1..]),
+        Some("inspect") => cmd_store_inspect(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: stack store merge <out> <in...> [--compact N] [--json]\n\
+                 usage: stack store inspect <file> [--json]"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_store_merge(args: &[String]) -> ExitCode {
+    let compact = match parse_flag_value::<u64>(args, "--compact") {
+        Ok(Some(0)) => return fail("--compact needs a positive integer"),
+        Ok(other) => other,
+        Err(e) => return fail(&e),
+    };
+    let json = has_flag(args, "--json");
+    let mut paths = positionals(args, &["--compact"]);
+    if paths.len() < 2 {
+        eprintln!("usage: stack store merge <out> <in...> [--compact N] [--json]");
+        return ExitCode::from(2);
+    }
+    let out = PathBuf::from(paths.remove(0));
+    let inputs: Vec<PathBuf> = paths.into_iter().map(PathBuf::from).collect();
+    // Every input must be the kind the first one is; a mixed set trips the
+    // merge's own header check with a found-vs-expected message.
+    let stats = match detect_store_kind(&inputs[0]).and_then(|kind| {
+        match kind {
+            StoreKind::Query => DiskQueryStore::merge(&out, &inputs, compact),
+            StoreKind::Scan => ScanStore::merge(&out, &inputs, compact),
+        }
+        .map_err(|e| e.to_string())
+    }) {
+        Ok(stats) => stats,
+        Err(e) => return fail(&e),
+    };
+    if json {
+        let stats = MergeStatsJson {
+            inputs: stats.inputs,
+            entries_in: stats.entries_in,
+            entries_out: stats.entries_out,
+            duplicates: stats.duplicates,
+            pruned: stats.pruned,
+            generation: stats.generation,
+        };
+        match serde_json::to_string_pretty(&stats) {
+            Ok(json) => println!("{json}"),
+            Err(e) => return fail(&format!("cannot serialize merge stats: {e}")),
+        }
+    } else {
+        println!(
+            "stack: merged {} stores into {}: {} entries in, {} out \
+             ({} duplicates, {} pruned; generation {})",
+            stats.inputs,
+            out.display(),
+            stats.entries_in,
+            stats.entries_out,
+            stats.duplicates,
+            stats.pruned,
+            stats.generation
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+/// One `last_used` histogram bucket of the `--json` inspection shape.
+#[derive(Serialize)]
+struct LastUsedJson {
+    generation: u64,
+    entries: u64,
+}
+
+/// `StoreInspection` in the shape `--json` emits.
+#[derive(Serialize)]
+struct InspectionJson {
+    kind: String,
+    format_version: u64,
+    encoding_revision: u64,
+    fingerprint_revision: Option<u64>,
+    generation: u64,
+    compatible: bool,
+    malformed: bool,
+    entries: u64,
+    last_used: Vec<LastUsedJson>,
+}
+
+fn cmd_store_inspect(args: &[String]) -> ExitCode {
+    let json = has_flag(args, "--json");
+    let paths = positionals(args, &[]);
+    let [path] = paths.as_slice() else {
+        eprintln!("usage: stack store inspect <file> [--json]");
+        return ExitCode::from(2);
+    };
+    let path = PathBuf::from(path);
+    let info = match detect_store_kind(&path).and_then(|kind| {
+        match kind {
+            StoreKind::Query => DiskQueryStore::inspect(&path),
+            StoreKind::Scan => ScanStore::inspect(&path),
+        }
+        .map_err(|e| e.to_string())
+    }) {
+        Ok(info) => info,
+        Err(e) => return fail(&e),
+    };
+    if json {
+        let info = InspectionJson {
+            kind: info.kind.to_string(),
+            format_version: info.format_version,
+            encoding_revision: info.encoding_revision,
+            fingerprint_revision: info.fingerprint_revision,
+            generation: info.generation,
+            compatible: info.compatible,
+            malformed: info.malformed,
+            entries: info.entries,
+            last_used: info
+                .last_used
+                .iter()
+                .map(|(&generation, &entries)| LastUsedJson {
+                    generation,
+                    entries,
+                })
+                .collect(),
+        };
+        match serde_json::to_string_pretty(&info) {
+            Ok(json) => println!("{json}"),
+            Err(e) => return fail(&format!("cannot serialize inspection: {e}")),
+        }
+    } else {
+        println!("{}", info.render());
+    }
+    ExitCode::SUCCESS
 }
 
 // ---- bench ------------------------------------------------------------------
@@ -660,4 +952,114 @@ fn cmd_survey() -> ExitCode {
         );
     }
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flag_combinations_are_validated_before_any_work() {
+        // The bug this guards: --compact-store without --cache-file used to
+        // surface only after the scan completed.
+        let err = AnalysisOpts::parse(&args(&["dir", "--compact-store", "3"]), Mode::Scan)
+            .expect_err("must reject up front");
+        assert!(err.contains("--cache-file"), "{err}");
+
+        for flag in SCAN_ONLY_FLAGS {
+            let err = AnalysisOpts::parse(&args(&["f.mc", flag, "1"]), Mode::Check)
+                .expect_err("check must reject scan-only flags");
+            assert!(err.contains(flag), "{err}");
+            assert!(err.contains("scan-only"), "{err}");
+        }
+        // The same flags parse fine under scan (with a cache file where
+        // required).
+        assert!(AnalysisOpts::parse(
+            &args(&[
+                "dir",
+                "--jobs",
+                "4",
+                "--shard",
+                "2/4",
+                "--scan-cache",
+                "s.ss"
+            ]),
+            Mode::Scan
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn shard_flag_parses_and_rejects() {
+        assert_eq!(parse_shard("1/1").unwrap(), (1, 1));
+        assert_eq!(parse_shard("2/4").unwrap(), (2, 4));
+        for bad in ["0/4", "5/4", "2", "a/b", "2/0", "/", ""] {
+            assert!(parse_shard(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn shards_partition_the_task_list() {
+        let tasks: Vec<ScanTask> = (0..32)
+            .map(|i| ScanTask {
+                name: format!("m{i}.mc"),
+                source: ScanSource::Inline(format!("int f{i}(void) {{ return {i}; }}\n")),
+            })
+            .collect();
+        let count = 4;
+        let mut seen = Vec::new();
+        for index in 1..=count {
+            let shard = shard_tasks(tasks.clone(), index, count);
+            // Shard assignment is deterministic: re-sharding agrees.
+            let again = shard_tasks(tasks.clone(), index, count);
+            assert_eq!(
+                shard.iter().map(|t| &t.name).collect::<Vec<_>>(),
+                again.iter().map(|t| &t.name).collect::<Vec<_>>()
+            );
+            seen.extend(shard.into_iter().map(|t| t.name));
+        }
+        // Together the shards cover every task exactly once.
+        seen.sort();
+        let mut all: Vec<String> = tasks.iter().map(|t| t.name.clone()).collect();
+        all.sort();
+        assert_eq!(seen, all);
+    }
+
+    #[test]
+    fn shard_assignment_ignores_task_position() {
+        let tasks: Vec<ScanTask> = (0..8)
+            .map(|i| ScanTask {
+                name: format!("m{i}.mc"),
+                source: ScanSource::Inline(format!("int f{i}(void) {{ return {i}; }}\n")),
+            })
+            .collect();
+        let mut reversed = tasks.clone();
+        reversed.reverse();
+        for index in 1..=4 {
+            let mut a: Vec<String> = shard_tasks(tasks.clone(), index, 4)
+                .into_iter()
+                .map(|t| t.name)
+                .collect();
+            let mut b: Vec<String> = shard_tasks(reversed.clone(), index, 4)
+                .into_iter()
+                .map(|t| t.name)
+                .collect();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "membership is keyed by content, not position");
+        }
+    }
+
+    #[test]
+    fn positionals_skip_flag_values() {
+        let list = args(&["out.qs", "--compact", "3", "a.qs", "--json", "b.qs"]);
+        assert_eq!(
+            positionals(&list, &["--compact"]),
+            vec!["out.qs", "a.qs", "b.qs"]
+        );
+    }
 }

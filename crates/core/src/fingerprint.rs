@@ -94,6 +94,27 @@ pub fn source_fingerprint(
     Ok(module_fingerprint(&module, config))
 }
 
+/// The distributed-scan partition key of one scan input: a stable hash of
+/// the raw source **content** only. Deliberately path-independent and
+/// config-independent — unlike [`module_fingerprint`], which must miss
+/// when a file moves, the shard key must stay put when the archive around
+/// the file grows, shrinks, or renames siblings, so a re-sharded scan
+/// reassigns as few modules as possible (the consistent-hashing rationale
+/// applied to scan partitioning).
+pub fn content_key(source: &[u8]) -> u128 {
+    hash_bytes(source)
+}
+
+/// Which shard (0-based, `< shard_count`) owns the input with the given
+/// [`content_key`]. Deterministic in the key alone — never the position in
+/// the module list — so every worker of a fan-out computes the same
+/// partition without coordination.
+pub fn shard_assignment(key: u128, shard_count: usize) -> usize {
+    assert!(shard_count > 0, "shard_count must be positive");
+    // Fold both halves so the assignment uses all 128 bits.
+    (((key >> 64) as u64 ^ key as u64) % shard_count as u64) as usize
+}
+
 /// 128-bit mixing step: a splitmix-style finalizer over the two halves,
 /// cross-fed so both halves depend on all inputs. Stable across processes
 /// and platforms (no `RandomState`), which is what lets fingerprints live in
@@ -226,5 +247,38 @@ mod tests {
             base,
             source_fingerprint(TWO_FUNCS, "test.c", &perf).unwrap()
         );
+    }
+
+    #[test]
+    fn content_key_depends_on_bytes_alone() {
+        let a = content_key(TWO_FUNCS.as_bytes());
+        assert_eq!(a, content_key(TWO_FUNCS.as_bytes()), "stable");
+        assert_ne!(a, content_key(b"int f(void) { return 0; }\n"));
+        // Unlike module fingerprints, even a comment changes the key — the
+        // shard key partitions *inputs*, not *meanings*, and must be
+        // computable without compiling.
+        assert_ne!(a, content_key(format!("// c\n{TWO_FUNCS}").as_bytes()));
+    }
+
+    #[test]
+    fn shard_assignment_is_deterministic_and_in_range() {
+        let keys: Vec<u128> = (0u32..64)
+            .map(|i| content_key(format!("int f{i}(void) {{ return {i}; }}\n").as_bytes()))
+            .collect();
+        for n in [1usize, 2, 4, 7] {
+            let mut seen = vec![0usize; n];
+            for &k in &keys {
+                let s = shard_assignment(k, n);
+                assert!(s < n);
+                assert_eq!(s, shard_assignment(k, n), "deterministic");
+                seen[s] += 1;
+            }
+            if n > 1 {
+                assert!(
+                    seen.iter().filter(|&&c| c > 0).count() > 1,
+                    "64 keys must not all land in one of {n} shards: {seen:?}"
+                );
+            }
+        }
     }
 }

@@ -43,7 +43,9 @@ pub mod ubcond;
 pub use checker::{CheckResult, CheckStats, Checker, CheckerConfig};
 pub use classify::{classify_source, BugClass};
 pub use encoder::FunctionEncoder;
-pub use fingerprint::{module_fingerprint, source_fingerprint, ModuleFingerprint};
+pub use fingerprint::{
+    content_key, module_fingerprint, shard_assignment, source_fingerprint, ModuleFingerprint,
+};
 pub use report::{Algorithm, BugReport, UbSource};
 pub use scan::{ScanEvent, ScanOutcome, ScanPipeline, ScanSource, ScanTask};
 pub use scanstore::{ModuleRecord, ScanStore, ScanStoreStats};

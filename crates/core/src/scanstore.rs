@@ -25,25 +25,46 @@
 //! * **byte-determinism** — entries sorted by fingerprint, reports kept in
 //!   their recorded stream order; saving the same logical store twice
 //!   produces byte-identical files.
+//! * **generations and compaction** — every [`open`](ScanStore::open)
+//!   starts a new generation (the persisted one plus one); a lookup hit or
+//!   an insert stamps its record with it, and with
+//!   [`set_compaction`](ScanStore::set_compaction)`(Some(n))` a save drops
+//!   records unused for `n` or more generations. Without compaction a
+//!   long-lived shared store accumulates the fingerprint of every module
+//!   version it ever saw; with it, dead fingerprints age out exactly like
+//!   the query store's dead entries.
 //!
 //! ## Format
 //!
 //! ```text
-//! stack-scan-store v1 enc1 fpr1
-//! M <fp> f<functions> r<reports>
+//! stack-scan-store v2 enc1 fpr1 gen3
+//! M g<gen> <fp> f<functions> r<reports>
 //! R <alg> <line> <cg> <function> <file> <description> u <kind>@<loc> ...
 //! ```
 //!
-//! `M` opens one module entry (fingerprint in lower-case hex, function
-//! count, report count); exactly `r` `R` lines follow, one per report in
-//! stream order. String fields are percent-escaped so they never contain
-//! whitespace or `%`.
+//! `M` opens one module entry (last-used generation stamp, fingerprint in
+//! lower-case hex, function count, report count); exactly `r` `R` lines
+//! follow, one per report in stream order. String fields are
+//! percent-escaped so they never contain whitespace or `%`.
+//!
+//! ## Merging
+//!
+//! [`merge`](ScanStore::merge) folds several scan-store files into one —
+//! the distributed-scan fan-in: shard scans record disjoint (or, for
+//! identical modules, byte-identical) module sets, and the merged store
+//! warm-starts the next full scan. Merge semantics match the query
+//! store's: strict header compatibility (a revision mismatch is a loud
+//! [`MergeError::Incompatible`], never a silent discard), duplicate
+//! fingerprints assert record equality, stamps take the max, and the
+//! output is saved through the same atomic byte-deterministic path.
 //!
 //! [`was_invalidated`]: ScanStore::was_invalidated
 
 use crate::fingerprint::{ModuleFingerprint, FINGERPRINT_REVISION};
 use crate::report::{Algorithm, BugReport, UbSource};
 use crate::ubcond::UbKind;
+use stack_solver::store::{check_header_compatible, inspect_text};
+use stack_solver::{MergeError, MergeStats, StoreInspection};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::io;
@@ -52,8 +73,22 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// On-disk layout version of the scan-store file. Bump when the syntax
-/// changes.
-pub const SCAN_STORE_FORMAT_VERSION: u32 = 1;
+/// changes. (v2 added the header generation and per-record last-used
+/// stamps; v1 files self-invalidate, as any stale cache does.)
+pub const SCAN_STORE_FORMAT_VERSION: u32 = 2;
+
+/// The first token of every scan-store header line.
+const SCAN_STORE_HEADER_PREFIX: &str = "stack-scan-store";
+
+/// The header fields (beyond the format version) that must match the
+/// running binary for a file to be loaded or merged.
+fn expected_header_fields() -> [(&'static str, u64); 3] {
+    [
+        ("v", u64::from(SCAN_STORE_FORMAT_VERSION)),
+        ("enc", u64::from(stack_solver::ENCODING_REVISION)),
+        ("fpr", u64::from(FINGERPRINT_REVISION)),
+    ]
+}
 
 /// The replayable record of one analyzed module.
 #[derive(Clone, Debug, PartialEq)]
@@ -78,11 +113,13 @@ pub struct ScanStoreStats {
 
 /// A disk-backed fingerprint → module-record table. Shared across the scan
 /// pipeline's file-level workers through an `Arc`, so all methods take
-/// `&self`.
+/// `&self`. Each record carries its last-used generation stamp.
 #[derive(Debug)]
 pub struct ScanStore {
     path: PathBuf,
-    records: Mutex<HashMap<ModuleFingerprint, ModuleRecord>>,
+    records: Mutex<HashMap<ModuleFingerprint, (ModuleRecord, u64)>>,
+    generation: u64,
+    compact_after: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     loaded: u64,
@@ -90,17 +127,19 @@ pub struct ScanStore {
 }
 
 impl ScanStore {
-    /// The header line a store written by this binary carries.
-    fn header() -> String {
+    /// The header line a store written by this binary carries, stamped
+    /// with the saving run's generation.
+    fn header(generation: u64) -> String {
         format!(
-            "stack-scan-store v{SCAN_STORE_FORMAT_VERSION} enc{} fpr{FINGERPRINT_REVISION}",
+            "stack-scan-store v{SCAN_STORE_FORMAT_VERSION} enc{} fpr{FINGERPRINT_REVISION} gen{generation}",
             stack_solver::ENCODING_REVISION
         )
     }
 
-    /// Open a store backed by `path`, loading every persisted record. A
-    /// missing file yields an empty store; a mismatched header or any
-    /// malformed content discards the file wholesale
+    /// Open a store backed by `path`, loading every persisted record and
+    /// starting a new generation (the persisted one plus one; 1 for a
+    /// fresh store). A missing file yields an empty store; a mismatched
+    /// header or any malformed content discards the file wholesale
     /// ([`was_invalidated`](Self::was_invalidated) reports it). Only I/O
     /// failures are errors.
     pub fn open(path: impl Into<PathBuf>) -> io::Result<ScanStore> {
@@ -108,6 +147,8 @@ impl ScanStore {
         let mut store = ScanStore {
             path,
             records: Mutex::new(HashMap::new()),
+            generation: 1,
+            compact_after: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             loaded: 0,
@@ -119,7 +160,8 @@ impl ScanStore {
             Err(e) => return Err(e),
         };
         match parse_store(&text) {
-            Some(records) => {
+            Some((file_generation, records)) => {
+                store.generation = file_generation + 1;
                 store.loaded = records.len() as u64;
                 *store.records.get_mut().unwrap() = records;
             }
@@ -128,9 +170,16 @@ impl ScanStore {
         Ok(store)
     }
 
-    /// Look up the record for a fingerprint, counting a hit or miss.
+    /// Look up the record for a fingerprint, counting a hit or miss. A hit
+    /// refreshes the record's last-used stamp to this run's generation.
     pub fn lookup(&self, fp: ModuleFingerprint) -> Option<ModuleRecord> {
-        let found = self.records.lock().unwrap().get(&fp).cloned();
+        let found = match self.records.lock().unwrap().get_mut(&fp) {
+            Some(slot) => {
+                slot.1 = self.generation;
+                Some(slot.0.clone())
+            }
+            None => None,
+        };
         match found {
             Some(record) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -143,44 +192,148 @@ impl ScanStore {
         }
     }
 
-    /// Record a freshly analyzed module. First insert wins (records for one
-    /// fingerprint are interchangeable by construction).
+    /// Record a freshly analyzed module, stamped with this run's
+    /// generation. First insert wins for the record itself (records for
+    /// one fingerprint are interchangeable by construction).
     pub fn insert(&self, fp: ModuleFingerprint, record: ModuleRecord) {
-        self.records.lock().unwrap().entry(fp).or_insert(record);
+        match self.records.lock().unwrap().entry(fp) {
+            std::collections::hash_map::Entry::Occupied(mut occupied) => {
+                occupied.get_mut().1 = self.generation;
+            }
+            std::collections::hash_map::Entry::Vacant(vacant) => {
+                vacant.insert((record, self.generation));
+            }
+        }
     }
 
     /// Write every record back to the backing file (temp file + rename, so a
     /// crash never truncates the store; entries sorted by fingerprint, so
-    /// saving the same logical store twice is byte-identical). Returns the
+    /// saving the same logical store twice is byte-identical). When a
+    /// compaction horizon is set ([`set_compaction`](Self::set_compaction)),
+    /// records unused for that many generations are dropped. Returns the
     /// number of module records written.
     pub fn save(&self) -> io::Result<usize> {
-        let mut entries: Vec<(ModuleFingerprint, ModuleRecord)> = self
+        let compact = self.compact_after.load(Ordering::Relaxed);
+        let mut entries: Vec<(ModuleFingerprint, ModuleRecord, u64)> = self
             .records
             .lock()
             .unwrap()
             .iter()
-            .map(|(k, v)| (*k, v.clone()))
+            .filter(|(_, (_, stamp))| compact == 0 || self.generation - stamp < compact)
+            .map(|(fp, (record, stamp))| (*fp, record.clone(), *stamp))
             .collect();
-        entries.sort_by_key(|(fp, _)| *fp);
-        let mut out = Self::header();
-        out.push('\n');
-        for (fp, record) in &entries {
-            let _ = writeln!(
-                out,
-                "M {fp:032x} f{} r{}",
-                record.functions,
-                record.reports.len()
-            );
-            for report in &record.reports {
-                write_report(&mut out, report);
+        entries.sort_by_key(|(fp, _, _)| *fp);
+        write_scan_store_file(&self.path, self.generation, &entries)?;
+        Ok(entries.len())
+    }
+
+    /// Merge several scan-store files into one at `out` — the
+    /// distributed-scan fan-in. Strict where [`open`](Self::open) is
+    /// forgiving: a revision-mismatched or malformed input is a loud
+    /// error, duplicate fingerprints must carry byte-identical records
+    /// (their stamps take the max), and the output header's generation is
+    /// the max across inputs. With `compact_after = Some(n)`, merged
+    /// records unused for `n` or more generations are pruned. The output
+    /// is written through the same atomic byte-deterministic path as
+    /// [`save`](Self::save).
+    pub fn merge(
+        out: impl AsRef<Path>,
+        inputs: &[PathBuf],
+        compact_after: Option<u64>,
+    ) -> Result<MergeStats, MergeError> {
+        let mut merged: HashMap<ModuleFingerprint, (ModuleRecord, u64)> = HashMap::new();
+        let mut stats = MergeStats {
+            inputs: inputs.len(),
+            ..MergeStats::default()
+        };
+        for path in inputs {
+            let text = std::fs::read_to_string(path).map_err(|error| MergeError::Io {
+                path: path.clone(),
+                error,
+            })?;
+            check_header_compatible(
+                text.lines().next().unwrap_or(""),
+                SCAN_STORE_HEADER_PREFIX,
+                &expected_header_fields(),
+            )
+            .map_err(|reason| MergeError::Incompatible {
+                path: path.clone(),
+                reason,
+            })?;
+            let (file_generation, records) =
+                parse_store(&text).ok_or_else(|| MergeError::Incompatible {
+                    path: path.clone(),
+                    reason: "malformed store content".to_string(),
+                })?;
+            stats.generation = stats.generation.max(file_generation);
+            stats.entries_in += records.len() as u64;
+            for (fp, (record, stamp)) in records {
+                match merged.entry(fp) {
+                    std::collections::hash_map::Entry::Occupied(mut occupied) => {
+                        stats.duplicates += 1;
+                        if occupied.get().0 != record {
+                            return Err(MergeError::Conflict {
+                                path: path.clone(),
+                                key: format!("{fp:032x}"),
+                            });
+                        }
+                        let slot = occupied.get_mut();
+                        slot.1 = slot.1.max(stamp);
+                    }
+                    std::collections::hash_map::Entry::Vacant(vacant) => {
+                        vacant.insert((record, stamp));
+                    }
+                }
             }
         }
-        let mut tmp = self.path.clone().into_os_string();
-        tmp.push(format!(".tmp.{}", std::process::id()));
-        let tmp = PathBuf::from(tmp);
-        std::fs::write(&tmp, &out)?;
-        std::fs::rename(&tmp, &self.path)?;
-        Ok(entries.len())
+        let compact = compact_after.unwrap_or(0);
+        let generation = stats.generation.max(1);
+        stats.generation = generation;
+        let mut entries: Vec<(ModuleFingerprint, ModuleRecord, u64)> = merged
+            .into_iter()
+            .filter(|(_, (_, stamp))| compact == 0 || generation - stamp < compact)
+            .map(|(fp, (record, stamp))| (fp, record, stamp))
+            .collect();
+        entries.sort_by_key(|(fp, _, _)| *fp);
+        stats.entries_out = entries.len() as u64;
+        stats.pruned = stats.entries_in - stats.duplicates - stats.entries_out;
+        write_scan_store_file(out.as_ref(), generation, &entries).map_err(|error| {
+            MergeError::Io {
+                path: out.as_ref().to_path_buf(),
+                error,
+            }
+        })?;
+        Ok(stats)
+    }
+
+    /// Read the store file at `path` for debugging: header revisions,
+    /// generation, entry count, and a last-used-stamp histogram — without
+    /// the all-or-nothing discard [`open`](Self::open) applies, so a store
+    /// a merge rejected can still be examined. Only the header must parse;
+    /// a body in an unknown line format reports `malformed` instead of
+    /// failing.
+    pub fn inspect(path: impl AsRef<Path>) -> Result<StoreInspection, MergeError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path).map_err(|error| MergeError::Io {
+            path: path.to_path_buf(),
+            error,
+        })?;
+        inspect_text(
+            &text,
+            "scan",
+            SCAN_STORE_HEADER_PREFIX,
+            &expected_header_fields(),
+            |text, generation| {
+                let mut lines = text.lines();
+                lines.next();
+                parse_body(lines, generation)
+                    .map(|entries| entries.into_iter().map(|(_, _, stamp)| stamp).collect())
+            },
+        )
+        .ok_or_else(|| MergeError::Incompatible {
+            path: path.to_path_buf(),
+            reason: format!("not a {SCAN_STORE_HEADER_PREFIX} file"),
+        })
     }
 
     /// Counters accumulated so far.
@@ -197,6 +350,20 @@ impl ScanStore {
         self.loaded
     }
 
+    /// This run's generation: the persisted one plus one (1 for a fresh
+    /// store). Every save stamps the header — and every record this run
+    /// looked up or inserted — with it.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Set (or clear) the compaction horizon: at [`save`](Self::save),
+    /// records whose last-used stamp is `n` or more generations old are
+    /// pruned. `None` (the default) keeps everything forever.
+    pub fn set_compaction(&self, n: Option<u64>) {
+        self.compact_after.store(n.unwrap_or(0), Ordering::Relaxed);
+    }
+
     /// Whether `open` found a file it had to discard (written by a different
     /// format/encoding/fingerprint revision, or malformed).
     pub fn was_invalidated(&self) -> bool {
@@ -207,6 +374,36 @@ impl ScanStore {
     pub fn path(&self) -> &Path {
         &self.path
     }
+}
+
+/// Write a complete scan-store file — header at `generation`, then the
+/// given (already sorted) entries — atomically via a pid-suffixed sibling
+/// temp file and rename, byte-deterministic in its inputs. Shared by
+/// [`ScanStore::save`] and [`ScanStore::merge`].
+fn write_scan_store_file(
+    path: &Path,
+    generation: u64,
+    entries: &[(ModuleFingerprint, ModuleRecord, u64)],
+) -> io::Result<()> {
+    let mut out = ScanStore::header(generation);
+    out.push('\n');
+    for (fp, record, stamp) in entries {
+        let _ = writeln!(
+            out,
+            "M g{stamp} {fp:032x} f{} r{}",
+            record.functions,
+            record.reports.len()
+        );
+        for report in &record.reports {
+            write_report(&mut out, report);
+        }
+    }
+    let mut tmp = path.to_path_buf().into_os_string();
+    tmp.push(format!(".tmp.{}", std::process::id()));
+    let tmp = PathBuf::from(tmp);
+    std::fs::write(&tmp, &out)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
 }
 
 /// Serialize one report as an `R` line.
@@ -232,21 +429,49 @@ fn write_report(out: &mut String, report: &BugReport) {
     out.push('\n');
 }
 
-/// Parse a whole store file. `None` means "discard everything": wrong
-/// header or any malformed line (a partially trusted cache is worse than an
-/// empty one).
-fn parse_store(text: &str) -> Option<HashMap<ModuleFingerprint, ModuleRecord>> {
+/// Parse a whole store file into its header generation and records.
+/// `None` means "discard everything": wrong header or any malformed line
+/// (a partially trusted cache is worse than an empty one).
+#[allow(clippy::type_complexity)]
+fn parse_store(text: &str) -> Option<(u64, HashMap<ModuleFingerprint, (ModuleRecord, u64)>)> {
     let mut lines = text.lines();
-    if lines.next()? != ScanStore::header() {
-        return None;
-    }
-    let mut records = HashMap::new();
+    let generation: u64 = lines
+        .next()?
+        .strip_prefix(&format!(
+            "stack-scan-store v{SCAN_STORE_FORMAT_VERSION} enc{} fpr{FINGERPRINT_REVISION} gen",
+            stack_solver::ENCODING_REVISION
+        ))?
+        .parse()
+        .ok()?;
+    let entries = parse_body(lines, generation)?;
+    Some((
+        generation,
+        entries
+            .into_iter()
+            .map(|(fp, record, stamp)| (fp, (record, stamp)))
+            .collect(),
+    ))
+}
+
+/// Parse the module lines of a store body (everything after the header).
+/// `None` on any malformed line; stamps from beyond `generation` are
+/// malformed too.
+#[allow(clippy::type_complexity)]
+fn parse_body(
+    mut lines: std::str::Lines<'_>,
+    generation: u64,
+) -> Option<Vec<(ModuleFingerprint, ModuleRecord, u64)>> {
+    let mut entries = Vec::new();
     while let Some(line) = lines.next() {
         if line.is_empty() {
             continue;
         }
         let rest = line.strip_prefix("M ")?;
         let mut parts = rest.split(' ');
+        let stamp: u64 = parts.next()?.strip_prefix('g')?.parse().ok()?;
+        if stamp > generation {
+            return None;
+        }
         let fp = u128::from_str_radix(parts.next()?, 16).ok()?;
         let functions: usize = parts.next()?.strip_prefix('f')?.parse().ok()?;
         let nreports: usize = parts.next()?.strip_prefix('r')?.parse().ok()?;
@@ -257,9 +482,9 @@ fn parse_store(text: &str) -> Option<HashMap<ModuleFingerprint, ModuleRecord>> {
         for _ in 0..nreports {
             reports.push(parse_report(lines.next()?)?);
         }
-        records.insert(fp, ModuleRecord { functions, reports });
+        entries.push((fp, ModuleRecord { functions, reports }, stamp));
     }
-    Some(records)
+    Some(entries)
 }
 
 /// Parse one `R` line back into a report.
@@ -449,24 +674,36 @@ mod tests {
         }
         store.save().unwrap();
         let first = std::fs::read_to_string(&path).unwrap();
-        let reloaded = ScanStore::open(&path).unwrap();
-        reloaded.save().unwrap();
+        // Saving the same store again (same run, same generation) is
+        // byte-identical.
+        store.save().unwrap();
         let second = std::fs::read_to_string(&path).unwrap();
         assert_eq!(first, second);
+        // A re-open starts the next generation: an untouched store differs
+        // from the previous file only in the header's generation.
+        let reloaded = ScanStore::open(&path).unwrap();
+        assert_eq!(reloaded.generation(), store.generation() + 1);
+        reloaded.save().unwrap();
+        let third = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            first.split_once('\n').unwrap().1,
+            third.split_once('\n').unwrap().1,
+            "record lines (incl. last-used stamps) unchanged when nothing was touched"
+        );
         std::fs::remove_file(&path).unwrap();
     }
 
     #[test]
     fn mismatched_revision_and_malformed_content_self_invalidate() {
         let bad_headers = [
-            "stack-scan-store v0 enc1 fpr1\n".to_string(),
+            "stack-scan-store v1 enc1 fpr1\n".to_string(), // the pre-generation format
             format!(
-                "stack-scan-store v{SCAN_STORE_FORMAT_VERSION} enc999 fpr{FINGERPRINT_REVISION}\n"
+                "stack-scan-store v{SCAN_STORE_FORMAT_VERSION} enc999 fpr{FINGERPRINT_REVISION} gen1\n"
             ),
         ];
         for header in &bad_headers {
             let path = temp_path("stale");
-            std::fs::write(&path, format!("{header}M 1 f1 r0\n")).unwrap();
+            std::fs::write(&path, format!("{header}M g1 1 f1 r0\n")).unwrap();
             let store = ScanStore::open(&path).unwrap();
             assert!(store.was_invalidated(), "header {header:?}");
             assert_eq!(store.loaded_entries(), 0);
@@ -474,12 +711,14 @@ mod tests {
         }
         for body in [
             "garbage\n",
-            "M nothex f1 r0\n",
-            "M 1 f1 r1\n", // missing R line
-            "M 1 f1 r1\nR wat 1 0 f g d\n",
+            "M 1 f1 r0\n",    // stamp missing
+            "M g2 1 f1 r0\n", // stamp beyond the header generation
+            "M g1 nothex f1 r0\n",
+            "M g1 1 f1 r1\n", // missing R line
+            "M g1 1 f1 r1\nR wat 1 0 f g d\n",
         ] {
             let path = temp_path("malformed");
-            std::fs::write(&path, format!("{}\n{body}", ScanStore::header())).unwrap();
+            std::fs::write(&path, format!("{}\n{body}", ScanStore::header(1))).unwrap();
             let store = ScanStore::open(&path).unwrap();
             assert!(store.was_invalidated(), "body {body:?}");
             std::fs::remove_file(&path).unwrap();
@@ -491,7 +730,237 @@ mod tests {
         let path = temp_path("missing");
         let store = ScanStore::open(&path).unwrap();
         assert_eq!(store.loaded_entries(), 0);
+        assert_eq!(store.generation(), 1);
         assert!(!store.was_invalidated());
+    }
+
+    /// Build a store file at a fresh temp path holding the given
+    /// (fingerprint, functions) pairs, each with one sample report.
+    fn store_with(tag: &str, entries: &[(u128, usize)]) -> PathBuf {
+        let path = temp_path(tag);
+        let store = ScanStore::open(&path).unwrap();
+        for &(fp, functions) in entries {
+            store.insert(
+                fp,
+                ModuleRecord {
+                    functions,
+                    reports: vec![sample_report(functions as u32)],
+                },
+            );
+        }
+        store.save().unwrap();
+        path
+    }
+
+    #[test]
+    fn generations_advance_and_stamps_refresh_on_use() {
+        let path = store_with("generations", &[(1, 1), (2, 2)]);
+        // Generation 2: touch only fingerprint 1.
+        let store = ScanStore::open(&path).unwrap();
+        assert_eq!(store.generation(), 2);
+        assert!(store.lookup(1).is_some());
+        store.save().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with(&ScanStore::header(2)), "{text}");
+        assert!(
+            text.contains("M g2 00000000000000000000000000000001"),
+            "{text}"
+        );
+        assert!(
+            text.contains("M g1 00000000000000000000000000000002"),
+            "{text}"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn compaction_prunes_unused_records() {
+        let path = store_with("compaction", &[(1, 1), (2, 2)]);
+        // Two more generations touching only fingerprint 1.
+        for expected_gen in [2, 3] {
+            let store = ScanStore::open(&path).unwrap();
+            assert_eq!(store.generation(), expected_gen);
+            assert!(store.lookup(1).is_some());
+            store.set_compaction(Some(2));
+            store.save().unwrap();
+        }
+        // Fingerprint 2 (last used at generation 1) fell behind the
+        // 2-generation horizon at the generation-3 save.
+        let reloaded = ScanStore::open(&path).unwrap();
+        assert_eq!(reloaded.loaded_entries(), 1);
+        assert!(reloaded.lookup(1).is_some());
+        assert!(reloaded.lookup(2).is_none());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn merge_unions_entries_and_counts_duplicates() {
+        let a = store_with("merge-a", &[(1, 1), (2, 2)]);
+        let b = store_with("merge-b", &[(2, 2), (3, 3)]);
+        let out = temp_path("merge-out");
+        let stats = ScanStore::merge(&out, &[a.clone(), b.clone()], None).unwrap();
+        // Fan-in must not depend on the order shard stores arrive in.
+        let reversed = temp_path("merge-out-rev");
+        ScanStore::merge(&reversed, &[b.clone(), a.clone()], None).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&out).unwrap(),
+            std::fs::read_to_string(&reversed).unwrap(),
+            "merge(a, b) and merge(b, a) must coincide byte for byte"
+        );
+        std::fs::remove_file(&reversed).unwrap();
+        assert_eq!(stats.inputs, 2);
+        assert_eq!(stats.entries_in, 4);
+        assert_eq!(stats.entries_out, 3);
+        assert_eq!(stats.duplicates, 1);
+        assert_eq!(stats.pruned, 0);
+        let merged = ScanStore::open(&out).unwrap();
+        assert_eq!(merged.loaded_entries(), 3);
+        for fp in [1u128, 2, 3] {
+            assert_eq!(
+                merged.lookup(fp).expect("merged record").functions,
+                fp as usize
+            );
+        }
+        for path in [a, b, out] {
+            std::fs::remove_file(path).unwrap();
+        }
+    }
+
+    #[test]
+    fn merge_with_itself_is_the_identity() {
+        let a = store_with("merge-self", &[(7, 2), (9, 1)]);
+        let out = temp_path("merge-self-out");
+        ScanStore::merge(&out, &[a.clone(), a.clone()], None).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&a).unwrap(),
+            std::fs::read_to_string(&out).unwrap(),
+            "merging a store with itself must reproduce it byte for byte"
+        );
+        std::fs::remove_file(&a).unwrap();
+        std::fs::remove_file(&out).unwrap();
+    }
+
+    #[test]
+    fn merge_rejects_incompatible_and_conflicting_inputs_loudly() {
+        let good = store_with("merge-good", &[(1, 1)]);
+        let stale = temp_path("merge-stale");
+        std::fs::write(
+            &stale,
+            format!(
+                "stack-scan-store v{SCAN_STORE_FORMAT_VERSION} enc1 fpr{} gen1\n",
+                FINGERPRINT_REVISION + 1
+            ),
+        )
+        .unwrap();
+        let out = temp_path("merge-reject-out");
+        match ScanStore::merge(&out, &[good.clone(), stale.clone()], None) {
+            Err(MergeError::Incompatible { reason, .. }) => {
+                assert!(
+                    reason.contains(&format!("fpr{}", FINGERPRINT_REVISION + 1)),
+                    "reason must name the mismatch: {reason}"
+                );
+            }
+            other => panic!("expected Incompatible, got {other:?}"),
+        }
+        assert!(!out.exists(), "a failed merge must not write an output");
+
+        // Same fingerprint, different record: loud conflict.
+        let conflicting = store_with("merge-conflict", &[(1, 5)]);
+        match ScanStore::merge(&out, &[good.clone(), conflicting.clone()], None) {
+            Err(MergeError::Conflict { key, .. }) => {
+                assert!(key.contains('1'), "key names the fingerprint: {key}");
+            }
+            other => panic!("expected Conflict, got {other:?}"),
+        }
+        for path in [good, stale, conflicting] {
+            std::fs::remove_file(path).unwrap();
+        }
+    }
+
+    #[test]
+    fn merge_takes_max_stamps_and_compacts() {
+        // Store a: generation 3, fingerprint 1 stamped g3, fingerprint 2
+        // stamped g1.
+        let a = temp_path("merge-stamps-a");
+        std::fs::write(
+            &a,
+            format!(
+                "{}\nM g3 00000000000000000000000000000001 f1 r0\nM g1 00000000000000000000000000000002 f1 r0\n",
+                ScanStore::header(3)
+            ),
+        )
+        .unwrap();
+        // Store b: generation 2, fingerprint 1 stamped g2 (older than a's).
+        let b = temp_path("merge-stamps-b");
+        std::fs::write(
+            &b,
+            format!(
+                "{}\nM g2 00000000000000000000000000000001 f1 r0\n",
+                ScanStore::header(2)
+            ),
+        )
+        .unwrap();
+        let out = temp_path("merge-stamps-out");
+        let stats = ScanStore::merge(&out, &[b.clone(), a.clone()], Some(2)).unwrap();
+        assert_eq!(stats.generation, 3, "output generation is the max");
+        assert_eq!(
+            stats.entries_out, 1,
+            "the g1 record fell behind the horizon"
+        );
+        assert_eq!(stats.pruned, 1);
+        let text = std::fs::read_to_string(&out).unwrap();
+        assert!(
+            text.contains("M g3 00000000000000000000000000000001"),
+            "{text}"
+        );
+        for path in [a, b, out] {
+            std::fs::remove_file(path).unwrap();
+        }
+    }
+
+    #[test]
+    fn inspect_reads_headers_even_when_incompatible() {
+        let path = store_with("inspect", &[(1, 1), (2, 2)]);
+        let info = ScanStore::inspect(&path).unwrap();
+        assert_eq!(info.kind, "scan");
+        assert_eq!(info.format_version, u64::from(SCAN_STORE_FORMAT_VERSION));
+        assert_eq!(
+            info.fingerprint_revision,
+            Some(u64::from(FINGERPRINT_REVISION))
+        );
+        assert_eq!(info.generation, 1);
+        assert!(info.compatible);
+        assert!(!info.malformed);
+        assert_eq!(info.entries, 2);
+        assert_eq!(info.last_used.get(&1), Some(&2));
+
+        // A future fingerprint revision: still inspectable, flagged
+        // incompatible.
+        let stale = temp_path("inspect-stale");
+        std::fs::write(
+            &stale,
+            format!(
+                "stack-scan-store v{SCAN_STORE_FORMAT_VERSION} enc1 fpr{} gen4\nM g2 1 f1 r0\n",
+                FINGERPRINT_REVISION + 9
+            ),
+        )
+        .unwrap();
+        let info = ScanStore::inspect(&stale).unwrap();
+        assert!(!info.compatible);
+        assert_eq!(info.generation, 4);
+        assert_eq!(info.entries, 1);
+        assert!(info.render().contains("NO"), "{}", info.render());
+
+        // Not a scan store at all: loud error.
+        let other = temp_path("inspect-other");
+        std::fs::write(&other, "stack-query-store v2 enc1 gen1\n").unwrap();
+        assert!(matches!(
+            ScanStore::inspect(&other),
+            Err(MergeError::Incompatible { .. })
+        ));
+        for p in [path, stale, other] {
+            std::fs::remove_file(p).unwrap();
+        }
     }
 
     #[test]

@@ -26,7 +26,10 @@
 //! names are part of the fingerprint, so a cached model is valid for every
 //! structurally identical query) and `Unsat`. Budget-exhausted `Unknown`
 //! results are never cached, so raising the budget can never be masked by a
-//! stale timeout.
+//! stale timeout. The witness is an in-process convenience only: it is
+//! whatever assignment the search landed on, not a canonical property of
+//! the query, so the disk-backed store persists the decided fact without it
+//! (see `store.rs`).
 //!
 //! The cache is sharded (`Mutex<HashMap>` per shard, shard picked by key
 //! hash) and shared across the parallel checker's worker threads through an

@@ -25,17 +25,29 @@
 //! file was saved at:
 //!
 //! ```text
-//! stack-query-store v2 enc1 gen7
+//! stack-query-store v3 enc1 gen7
 //! U g<gen> <fp>,<fp>,...
-//! S g<gen> <fp>,... m <name>=<value> <name>=<value>
+//! S g<gen> <fp>,<fp>,...
 //! ```
 //!
-//! `U`/`S` lines carry one UNSAT/SAT entry: a last-used generation stamp,
-//! the canonical cache key (sorted 128-bit structural fingerprints,
-//! lower-case hex) and, for SAT, the witness model (variable names
-//! percent-escaped, values decimal `u64`). Entries are written sorted by
-//! key and models sorted by name, so saving the same logical store at the
-//! same generation always produces byte-identical files.
+//! `U`/`S` lines carry one UNSAT/SAT entry: a last-used generation stamp
+//! and the canonical cache key (sorted 128-bit structural fingerprints,
+//! lower-case hex). Entries are written sorted by key, so saving the same
+//! logical store at the same generation always produces byte-identical
+//! files.
+//!
+//! SAT entries persist the decided **fact**, never the witness model. The
+//! fact is canonical — structurally identical queries decide identically —
+//! but a witness is whatever assignment the search happened to land on: in
+//! incremental mode it is extracted from a per-function instance whose
+//! variables and phases depend on every query that instance answered
+//! before, so two runs (or two shards of a distributed scan) legitimately
+//! find different witnesses for the same key. A persisted witness would
+//! make store bytes history-dependent, and [`merge`] — which insists that
+//! duplicate keys carry byte-identical values — would reject honest shard
+//! stores. Witnesses therefore stay process-local (the in-memory
+//! [`QueryCache`] keeps them); a warm `Sat` hit from disk carries an empty
+//! model, which no checker algorithm inspects.
 //!
 //! ## Generations and compaction
 //!
@@ -58,11 +70,12 @@
 //!
 //! [`open`]: DiskQueryStore::open
 //! [`save`]: DiskQueryStore::save
+//! [`merge`]: DiskQueryStore::merge
 
 use crate::cache::{shard_index, CacheKey, CacheStats, QueryCache, STAMP_SHARDS};
 use crate::model::Model;
 use crate::solver::QueryResult;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt::Write as _;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -71,8 +84,10 @@ use std::sync::Mutex;
 
 /// On-disk layout version of the store file. Bump when the file syntax
 /// changes. (v2 added the header generation and per-entry last-used
-/// stamps; v1 files self-invalidate, as any stale cache does.)
-pub const STORE_FORMAT_VERSION: u32 = 2;
+/// stamps; v3 dropped witness models from `S` lines — witnesses are
+/// search-history-dependent, and a mergeable artifact must not be. Older
+/// files self-invalidate, as any stale cache does.)
+pub const STORE_FORMAT_VERSION: u32 = 3;
 
 /// Revision of everything a fingerprint's meaning depends on: the term
 /// encoding, the structural fingerprint function, and the solver's decided
@@ -208,22 +223,133 @@ impl DiskQueryStore {
             .filter(|(_, _, stamp)| compact_after == 0 || self.generation - stamp < compact_after)
             .collect();
         entries.sort_by(|a, b| a.0.cmp(&b.0));
-        let mut out = Self::header(self.generation);
-        out.push('\n');
-        for (key, result, stamp) in &entries {
-            write_entry(&mut out, key, result, *stamp);
-        }
-        // The temp name appends to the full path (never replaces an
-        // extension) and carries the pid, so concurrent savers of a shared
-        // store file — or sibling stores differing only in extension —
-        // never collide on it; the rename stays within one directory, so
-        // it is atomic.
-        let mut tmp = self.path.clone().into_os_string();
-        tmp.push(format!(".tmp.{}", std::process::id()));
-        let tmp = PathBuf::from(tmp);
-        std::fs::write(&tmp, &out)?;
-        std::fs::rename(&tmp, &self.path)?;
+        write_store_file(&self.path, self.generation, &entries)?;
         Ok(entries.len())
+    }
+
+    /// Merge the stores at `inputs` into one store file at `out`: the
+    /// sorted union of their entries, saved through the same atomic
+    /// byte-deterministic path [`save`](Self::save) uses. Merging is how a
+    /// sharded archive scan's warm state folds back into one fleet-shared
+    /// cache, so it is strict where `open` is forgiving:
+    ///
+    /// * an input whose header names a different format or encoding
+    ///   revision — or that is malformed — is a **user-facing error**
+    ///   ([`MergeError::Incompatible`]), never a silent discard;
+    /// * a key present in several inputs must carry byte-identical results
+    ///   (fingerprints are canonical, so two honest stores can only agree);
+    ///   a disagreement is a loud [`MergeError::Conflict`];
+    /// * last-used generation stamps take the **max** across inputs, and
+    ///   the output header carries the max input generation, so relative
+    ///   entry ages survive the merge;
+    /// * with `compact_after = Some(n)`, entries unused for `n` or more
+    ///   generations (relative to the output generation) are pruned, like
+    ///   [`set_compaction`](Self::set_compaction) at save.
+    ///
+    /// Merging a store with itself reproduces it byte for byte, and the
+    /// result is independent of input order.
+    pub fn merge(
+        out: impl AsRef<Path>,
+        inputs: &[PathBuf],
+        compact_after: Option<u64>,
+    ) -> Result<MergeStats, MergeError> {
+        let mut merged: HashMap<CacheKey, (QueryResult, u64)> = HashMap::new();
+        let mut stats = MergeStats {
+            inputs: inputs.len(),
+            ..MergeStats::default()
+        };
+        for path in inputs {
+            let text = std::fs::read_to_string(path).map_err(|error| MergeError::Io {
+                path: path.clone(),
+                error,
+            })?;
+            check_header_compatible(
+                text.lines().next().unwrap_or(""),
+                QUERY_STORE_HEADER_PREFIX,
+                &[
+                    ("v", u64::from(STORE_FORMAT_VERSION)),
+                    ("enc", u64::from(ENCODING_REVISION)),
+                ],
+            )
+            .map_err(|reason| MergeError::Incompatible {
+                path: path.clone(),
+                reason,
+            })?;
+            let (file_generation, entries) =
+                parse_store(&text).ok_or_else(|| MergeError::Incompatible {
+                    path: path.clone(),
+                    reason: "malformed store content".to_string(),
+                })?;
+            stats.generation = stats.generation.max(file_generation);
+            stats.entries_in += entries.len() as u64;
+            for (key, result, stamp) in entries {
+                match merged.entry(key) {
+                    std::collections::hash_map::Entry::Occupied(mut occupied) => {
+                        stats.duplicates += 1;
+                        if occupied.get().0 != result {
+                            return Err(MergeError::Conflict {
+                                path: path.clone(),
+                                key: key_text(occupied.key()),
+                            });
+                        }
+                        let slot = occupied.get_mut();
+                        slot.1 = slot.1.max(stamp);
+                    }
+                    std::collections::hash_map::Entry::Vacant(vacant) => {
+                        vacant.insert((result, stamp));
+                    }
+                }
+            }
+        }
+        let compact = compact_after.unwrap_or(0);
+        let generation = stats.generation.max(1);
+        stats.generation = generation;
+        let mut entries: Vec<(CacheKey, QueryResult, u64)> = merged
+            .into_iter()
+            .filter(|(_, (_, stamp))| compact == 0 || generation - stamp < compact)
+            .map(|(key, (result, stamp))| (key, result, stamp))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        stats.entries_out = entries.len() as u64;
+        stats.pruned = stats.entries_in - stats.duplicates - stats.entries_out;
+        write_store_file(out.as_ref(), generation, &entries).map_err(|error| MergeError::Io {
+            path: out.as_ref().to_path_buf(),
+            error,
+        })?;
+        Ok(stats)
+    }
+
+    /// Read the store file at `path` for debugging: header revisions,
+    /// generation, entry count, and a last-used-stamp histogram — without
+    /// the all-or-nothing discard [`open`](Self::open) applies, so a store
+    /// a merge rejected can still be examined. Only the header must parse;
+    /// a body in an unknown line format reports `malformed` instead of
+    /// failing.
+    pub fn inspect(path: impl AsRef<Path>) -> Result<StoreInspection, MergeError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path).map_err(|error| MergeError::Io {
+            path: path.to_path_buf(),
+            error,
+        })?;
+        inspect_text(
+            &text,
+            "query",
+            QUERY_STORE_HEADER_PREFIX,
+            &[
+                ("v", u64::from(STORE_FORMAT_VERSION)),
+                ("enc", u64::from(ENCODING_REVISION)),
+            ],
+            |text, generation| {
+                let mut lines = text.lines();
+                lines.next();
+                parse_body(lines, generation)
+                    .map(|entries| entries.into_iter().map(|(_, _, stamp)| stamp).collect())
+            },
+        )
+        .ok_or_else(|| MergeError::Incompatible {
+            path: path.to_path_buf(),
+            reason: format!("not a {QUERY_STORE_HEADER_PREFIX} file"),
+        })
     }
 
     /// Number of entries loaded from disk at [`open`](Self::open) time.
@@ -292,22 +418,267 @@ impl QueryStore for DiskQueryStore {
     }
 }
 
+/// The first token of every query-store header line.
+const QUERY_STORE_HEADER_PREFIX: &str = "stack-query-store";
+
+/// Statistics of one store merge (either store kind; the scan store's
+/// merge reports through the same shape).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MergeStats {
+    /// Input store files read.
+    pub inputs: usize,
+    /// Entries across all inputs (duplicates counted every time they
+    /// appear beyond the first).
+    pub entries_in: u64,
+    /// Entries in the merged output.
+    pub entries_out: u64,
+    /// Input entries whose key was already present (value equality was
+    /// asserted; stamps took the max).
+    pub duplicates: u64,
+    /// Entries dropped by the compaction horizon.
+    pub pruned: u64,
+    /// The output header's generation: the max across inputs.
+    pub generation: u64,
+}
+
+/// Why a store merge (or inspection) failed. Merging is strict where
+/// `open` is forgiving: a store that cannot be trusted byte for byte is
+/// a loud error, never a silent discard — a fleet-shared cache built from
+/// a half-read input would serve wrong answers forever.
+#[derive(Debug)]
+pub enum MergeError {
+    /// Reading an input or writing the output failed.
+    Io {
+        /// The file involved.
+        path: PathBuf,
+        /// The underlying I/O error.
+        error: io::Error,
+    },
+    /// An input was written by a different format or encoding/fingerprint
+    /// revision (or is not a store file at all).
+    Incompatible {
+        /// The offending input.
+        path: PathBuf,
+        /// What exactly mismatched, naming found vs. expected.
+        reason: String,
+    },
+    /// Two inputs store different values under the same key — one of them
+    /// is corrupt or was produced under different semantics.
+    Conflict {
+        /// The input whose entry disagreed with an earlier one.
+        path: PathBuf,
+        /// The conflicting key, rendered in the store's line syntax.
+        key: String,
+    },
+}
+
+impl std::fmt::Display for MergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MergeError::Io { path, error } => write!(f, "{}: {error}", path.display()),
+            MergeError::Incompatible { path, reason } => {
+                write!(f, "{}: incompatible store: {reason}", path.display())
+            }
+            MergeError::Conflict { path, key } => write!(
+                f,
+                "{}: conflicting value for key {key} (inputs disagree; refusing to merge)",
+                path.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// What [`DiskQueryStore::inspect`] (and the scan store's counterpart)
+/// reads off a store file without trusting it: the header fields, whether
+/// they match the running binary, and a last-used histogram when the body
+/// parses.
+#[derive(Clone, Debug)]
+pub struct StoreInspection {
+    /// `"query"` or `"scan"`.
+    pub kind: &'static str,
+    /// The header's format version.
+    pub format_version: u64,
+    /// The header's encoding revision.
+    pub encoding_revision: u64,
+    /// The header's fingerprint revision (scan stores only).
+    pub fingerprint_revision: Option<u64>,
+    /// The header's generation (0 for formats that predate generations).
+    pub generation: u64,
+    /// Whether every header field matches the running binary — i.e.
+    /// whether `open` would load this file and `merge` would accept it.
+    pub compatible: bool,
+    /// Whether the body failed to parse under the current line format.
+    pub malformed: bool,
+    /// Entries counted (0 when `malformed`).
+    pub entries: u64,
+    /// last-used generation stamp → entry count.
+    pub last_used: BTreeMap<u64, u64>,
+}
+
+impl StoreInspection {
+    /// Render as the aligned text block `stack store inspect` prints.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{} store", self.kind);
+        let _ = writeln!(out, "  format version   {:>8}", self.format_version);
+        let _ = writeln!(out, "  encoding rev     {:>8}", self.encoding_revision);
+        if let Some(fpr) = self.fingerprint_revision {
+            let _ = writeln!(out, "  fingerprint rev  {:>8}", fpr);
+        }
+        let _ = writeln!(out, "  generation       {:>8}", self.generation);
+        let _ = writeln!(
+            out,
+            "  compatible       {:>8}",
+            if self.compatible { "yes" } else { "NO" }
+        );
+        if self.malformed {
+            let _ = writeln!(out, "  body             malformed (unknown line format)");
+        }
+        let _ = writeln!(out, "  entries          {:>8}", self.entries);
+        if !self.last_used.is_empty() {
+            let _ = writeln!(out, "  last used:");
+            for (stamp, count) in &self.last_used {
+                let age = self.generation.saturating_sub(*stamp);
+                let _ = writeln!(
+                    out,
+                    "    gen {stamp:>6} ({age:>3} old)  {count:>8} entr{}",
+                    if *count == 1 { "y" } else { "ies" }
+                );
+            }
+        }
+        out.trim_end().to_string()
+    }
+}
+
+/// Split a store header line like `stack-query-store v2 enc1 gen7` into
+/// its tag/number fields (`[("v", 2), ("enc", 1), ("gen", 7)]`). `None`
+/// when the prefix is absent or any token is not tag-then-digits. Shared
+/// with the scan store's header (`stack-scan-store v2 enc1 fpr1 gen3`).
+pub fn header_fields<'a>(line: &'a str, prefix: &str) -> Option<Vec<(&'a str, u64)>> {
+    let rest = line.strip_prefix(prefix)?;
+    if !rest.is_empty() && !rest.starts_with(' ') {
+        return None;
+    }
+    let mut fields = Vec::new();
+    for token in rest.split_whitespace() {
+        let digits = token.find(|c: char| c.is_ascii_digit())?;
+        if digits == 0 {
+            return None;
+        }
+        let (tag, number) = token.split_at(digits);
+        fields.push((tag, number.parse().ok()?));
+    }
+    Some(fields)
+}
+
+/// Check a header line against the running binary's expected field values,
+/// returning a found-vs-expected reason on any mismatch. `expected` lists
+/// the revision fields that must match exactly; extra header fields (like
+/// `gen`) are ignored. Shared by both stores' merge paths (the scan store
+/// lives in `stack-core`, hence public).
+pub fn check_header_compatible(
+    line: &str,
+    prefix: &str,
+    expected: &[(&str, u64)],
+) -> Result<(), String> {
+    let fields = header_fields(line, prefix)
+        .ok_or_else(|| format!("not a {prefix} file (header `{line}`)"))?;
+    for (tag, want) in expected {
+        let found = fields.iter().find(|(t, _)| t == tag).map(|(_, n)| *n);
+        match found {
+            Some(n) if n == *want => {}
+            Some(n) => {
+                return Err(format!(
+                    "{tag} revision mismatch: file has {tag}{n}, this binary expects {tag}{want}"
+                ))
+            }
+            None => return Err(format!("header `{line}` lacks the {tag} field")),
+        }
+    }
+    Ok(())
+}
+
+/// Shared body of both stores' `inspect`: parse the header leniently,
+/// compare against the expected fields, and histogram the last-used
+/// stamps `parse_stamps` extracts — called with the full file text and
+/// the header's generation (best-effort; a body in an unknown format
+/// marks the inspection `malformed` instead of failing).
+pub fn inspect_text(
+    text: &str,
+    kind: &'static str,
+    prefix: &str,
+    expected: &[(&str, u64)],
+    parse_stamps: impl Fn(&str, u64) -> Option<Vec<u64>>,
+) -> Option<StoreInspection> {
+    let first = text.lines().next().unwrap_or("");
+    let fields = header_fields(first, prefix)?;
+    let field = |tag: &str| fields.iter().find(|(t, _)| *t == tag).map(|(_, n)| *n);
+    let compatible = check_header_compatible(first, prefix, expected).is_ok();
+    // Formats that predate generations get an unbounded stamp horizon so
+    // their bodies still count.
+    let stamps = parse_stamps(text, field("gen").unwrap_or(u64::MAX));
+    let mut last_used = BTreeMap::new();
+    for &stamp in stamps.iter().flatten() {
+        *last_used.entry(stamp).or_insert(0) += 1;
+    }
+    Some(StoreInspection {
+        kind,
+        format_version: field("v").unwrap_or(0),
+        encoding_revision: field("enc").unwrap_or(0),
+        fingerprint_revision: field("fpr"),
+        generation: field("gen").unwrap_or(0),
+        compatible,
+        malformed: stamps.is_none(),
+        entries: stamps.map_or(0, |s| s.len() as u64),
+        last_used,
+    })
+}
+
+/// The canonical text rendering of a cache key (what `U`/`S` lines carry).
+fn key_text(key: &CacheKey) -> String {
+    let fps: Vec<String> = key.iter().map(|fp| format!("{fp:032x}")).collect();
+    fps.join(",")
+}
+
+/// Write a complete store file — header at `generation`, then the given
+/// (already sorted) entries — atomically: serialize to a sibling temp
+/// file, then rename over the target, so a crash mid-write never leaves a
+/// truncated store behind. The temp name appends to the full path (never
+/// replaces an extension) and carries the pid, so concurrent savers of a
+/// shared store file never collide on it; the rename stays within one
+/// directory, so it is atomic. Output is byte-deterministic in its
+/// inputs.
+fn write_store_file(
+    path: &Path,
+    generation: u64,
+    entries: &[(CacheKey, QueryResult, u64)],
+) -> io::Result<()> {
+    let mut out = DiskQueryStore::header(generation);
+    out.push('\n');
+    for (key, result, stamp) in entries {
+        write_entry(&mut out, key, result, *stamp);
+    }
+    let mut tmp = path.to_path_buf().into_os_string();
+    tmp.push(format!(".tmp.{}", std::process::id()));
+    let tmp = PathBuf::from(tmp);
+    std::fs::write(&tmp, &out)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
 /// Serialize one entry as a `U`/`S` line with its last-used generation
 /// stamp. `Unknown` cannot appear: the in-memory table never stores it.
+/// `Sat` writes the fact alone — witnesses are process-local (see the
+/// module docs).
 fn write_entry(out: &mut String, key: &CacheKey, result: &QueryResult, stamp: u64) {
-    let fps: Vec<String> = key.iter().map(|fp| format!("{fp:032x}")).collect();
     match result {
         QueryResult::Unsat => {
-            let _ = writeln!(out, "U g{stamp} {}", fps.join(","));
+            let _ = writeln!(out, "U g{stamp} {}", key_text(key));
         }
-        QueryResult::Sat(model) => {
-            let mut vars: Vec<(&String, &u64)> = model.iter().collect();
-            vars.sort();
-            let _ = write!(out, "S g{stamp} {} m", fps.join(","));
-            for (name, value) in vars {
-                let _ = write!(out, " {}={value}", escape(name));
-            }
-            out.push('\n');
+        QueryResult::Sat(_) => {
+            let _ = writeln!(out, "S g{stamp} {}", key_text(key));
         }
         QueryResult::Unknown => unreachable!("Unknown is never stored"),
     }
@@ -327,6 +698,18 @@ fn parse_store(text: &str) -> Option<(u64, Vec<(CacheKey, QueryResult, u64)>)> {
         ))?
         .parse()
         .ok()?;
+    let entries = parse_body(lines, generation)?;
+    Some((generation, entries))
+}
+
+/// Parse the entry lines of a store body (everything after the header).
+/// `None` on any malformed line; stamps from beyond `generation` are
+/// malformed too.
+#[allow(clippy::type_complexity)]
+fn parse_body(
+    lines: std::str::Lines<'_>,
+    generation: u64,
+) -> Option<Vec<(CacheKey, QueryResult, u64)>> {
     let mut entries = Vec::new();
     for line in lines {
         if line.is_empty() {
@@ -340,19 +723,13 @@ fn parse_store(text: &str) -> Option<(u64, Vec<(CacheKey, QueryResult, u64)>)> {
         }
         match kind {
             "U " => entries.push((parse_key(rest)?, QueryResult::Unsat, stamp)),
-            "S " => {
-                let (key_text, model_text) = rest.split_once(" m")?;
-                let mut model = Model::new();
-                for pair in model_text.split_whitespace() {
-                    let (name, value) = pair.split_once('=')?;
-                    model.set(&unescape(name)?, value.parse().ok()?);
-                }
-                entries.push((parse_key(key_text)?, QueryResult::Sat(model), stamp));
-            }
+            // A `S` line is the decided fact alone; the empty model is the
+            // "witness elided" marker lookups hand back.
+            "S " => entries.push((parse_key(rest)?, QueryResult::Sat(Model::new()), stamp)),
             _ => return None,
         }
     }
-    Some((generation, entries))
+    Some(entries)
 }
 
 /// Parse a comma-separated list of 128-bit hex fingerprints.
@@ -363,43 +740,6 @@ fn parse_key(text: &str) -> Option<CacheKey> {
     text.split(',')
         .map(|fp| u128::from_str_radix(fp, 16).ok())
         .collect()
-}
-
-/// Percent-escape a variable name so it never contains whitespace, `=`, or
-/// `%` (the characters the line format relies on). Encoder-generated names
-/// (`arg0_x`, `call3_memcpy`, …) pass through unchanged.
-fn escape(name: &str) -> String {
-    let mut out = String::with_capacity(name.len());
-    for byte in name.bytes() {
-        match byte {
-            b'%' | b'=' | b',' => {
-                let _ = write!(out, "%{byte:02x}");
-            }
-            b if b.is_ascii_graphic() => out.push(b as char),
-            b => {
-                let _ = write!(out, "%{b:02x}");
-            }
-        }
-    }
-    out
-}
-
-/// Invert [`escape`]. `None` on malformed escapes or invalid UTF-8.
-fn unescape(text: &str) -> Option<String> {
-    let mut out = Vec::with_capacity(text.len());
-    let bytes = text.as_bytes();
-    let mut i = 0;
-    while i < bytes.len() {
-        if bytes[i] == b'%' {
-            let hex = bytes.get(i + 1..i + 3)?;
-            out.push(u8::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?);
-            i += 3;
-        } else {
-            out.push(bytes[i]);
-            i += 1;
-        }
-    }
-    String::from_utf8(out).ok()
 }
 
 #[cfg(test)]
@@ -419,7 +759,7 @@ mod tests {
     }
 
     #[test]
-    fn roundtrip_preserves_entries_and_models() {
+    fn roundtrip_preserves_facts_and_elides_witnesses() {
         let path = temp_path("roundtrip");
         let _ = std::fs::remove_file(&path);
         let store = DiskQueryStore::open(&path).unwrap();
@@ -438,11 +778,11 @@ mod tests {
         ));
         match reloaded.lookup(&vec![9]) {
             Some(QueryResult::Sat(model)) => {
-                assert_eq!(model.get("arg0_x"), 42);
-                assert_eq!(model.get("weird name=%,"), 7);
-                assert_eq!(model.len(), 2);
+                // The fact survives; the witness is process-local and does
+                // not (see the module docs on why it must not).
+                assert_eq!(model.len(), 0, "witness models are never persisted");
             }
-            other => panic!("expected SAT with model, got {other:?}"),
+            other => panic!("expected SAT, got {other:?}"),
         }
         assert!(matches!(
             reloaded.lookup(&vec![5, 6]),
@@ -518,7 +858,7 @@ mod tests {
         for body in [
             "garbage\n",
             "U g1 not-hex\n",
-            "S g1 1 m broken\n",
+            "S g1 1 m x=1\n", // v2-style witness payload
             "X g1 1\n",
             "U 1,2\n",    // missing stamp
             "U g9 1,2\n", // stamp from the future
@@ -574,13 +914,207 @@ mod tests {
         assert_eq!(store.stats().entries, 0);
     }
 
-    #[test]
-    fn escape_roundtrip() {
-        for name in ["arg0_x", "call3_memcpy", "a b", "x=%y,", "héllo", ""] {
-            assert_eq!(unescape(&escape(name)).as_deref(), Some(name));
+    /// Build a store file at `path` holding the given entries, saved at
+    /// generation 1.
+    fn store_with(path: &PathBuf, entries: &[(Vec<u128>, QueryResult)]) {
+        let _ = std::fs::remove_file(path);
+        let store = DiskQueryStore::open(path).unwrap();
+        for (key, result) in entries {
+            store.insert(key.clone(), result);
         }
-        let escaped = escape("a b=c%");
-        assert!(!escaped.contains(' '));
-        assert!(!escaped.contains('='));
+        store.save().unwrap();
+    }
+
+    #[test]
+    fn merge_unions_entries_and_counts_duplicates() {
+        let a = temp_path("merge-a");
+        let b = temp_path("merge-b");
+        let out = temp_path("merge-out");
+        store_with(
+            &a,
+            &[(vec![1], QueryResult::Unsat), (vec![2], sat(&[("x", 3)]))],
+        );
+        store_with(
+            &b,
+            &[(vec![2], sat(&[("x", 3)])), (vec![5], QueryResult::Unsat)],
+        );
+        let stats = DiskQueryStore::merge(&out, &[a.clone(), b.clone()], None).unwrap();
+        assert_eq!(stats.inputs, 2);
+        assert_eq!(stats.entries_in, 4);
+        assert_eq!(stats.entries_out, 3);
+        assert_eq!(stats.duplicates, 1);
+        assert_eq!(stats.pruned, 0);
+        let merged = DiskQueryStore::open(&out).unwrap();
+        assert!(!merged.was_invalidated());
+        assert_eq!(merged.loaded_entries(), 3);
+        assert!(matches!(merged.lookup(&vec![1]), Some(QueryResult::Unsat)));
+        assert!(matches!(merged.lookup(&vec![2]), Some(QueryResult::Sat(_))));
+        assert!(matches!(merged.lookup(&vec![5]), Some(QueryResult::Unsat)));
+        for p in [a, b, out] {
+            std::fs::remove_file(p).unwrap();
+        }
+    }
+
+    #[test]
+    fn merge_with_itself_is_the_identity() {
+        let a = temp_path("merge-self");
+        let out = temp_path("merge-self-out");
+        store_with(
+            &a,
+            &[
+                (vec![9, 10], sat(&[("a", 1), ("b", 2)])),
+                (vec![4], QueryResult::Unsat),
+            ],
+        );
+        DiskQueryStore::merge(&out, &[a.clone(), a.clone()], None).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&a).unwrap(),
+            std::fs::read_to_string(&out).unwrap(),
+            "merge(a, a) must reproduce a byte for byte"
+        );
+        std::fs::remove_file(&a).unwrap();
+        std::fs::remove_file(&out).unwrap();
+    }
+
+    #[test]
+    fn merge_takes_max_stamps_and_compacts() {
+        let a = temp_path("merge-stamp-a");
+        let b = temp_path("merge-stamp-b");
+        let out = temp_path("merge-stamp-out");
+        // `a`: entry [1] stamped at generation 1, never touched again, plus
+        // a younger entry; re-open twice so the header reaches generation 3.
+        store_with(&a, &[(vec![1], QueryResult::Unsat)]);
+        for _ in 0..2 {
+            let store = DiskQueryStore::open(&a).unwrap();
+            store.insert(vec![2], &QueryResult::Unsat);
+            store.save().unwrap();
+        }
+        // `b`: the same old entry, but freshly used at generation 1.
+        store_with(&b, &[(vec![1], QueryResult::Unsat)]);
+        let stats = DiskQueryStore::merge(&out, &[a.clone(), b.clone()], Some(2)).unwrap();
+        assert_eq!(stats.generation, 3, "output generation is the max input's");
+        // [1]'s stamp is max(1, 1) = 1, which is 2 generations old at
+        // generation 3: pruned. [2] (stamped 3) survives.
+        assert_eq!(stats.pruned, 1);
+        let merged = DiskQueryStore::open(&out).unwrap();
+        assert!(merged.lookup(&vec![1]).is_none(), "aged-out entry pruned");
+        assert!(merged.lookup(&vec![2]).is_some());
+        for p in [a, b, out] {
+            std::fs::remove_file(p).unwrap();
+        }
+    }
+
+    #[test]
+    fn merge_rejects_incompatible_inputs_loudly() {
+        let good = temp_path("merge-good");
+        let bad = temp_path("merge-bad");
+        let out = temp_path("merge-bad-out");
+        store_with(&good, &[(vec![1], QueryResult::Unsat)]);
+        std::fs::write(
+            &bad,
+            format!(
+                "stack-query-store v{STORE_FORMAT_VERSION} enc{} gen1\nU g1 1,2\n",
+                ENCODING_REVISION + 1
+            ),
+        )
+        .unwrap();
+        let err = DiskQueryStore::merge(&out, &[good.clone(), bad.clone()], None).unwrap_err();
+        match &err {
+            MergeError::Incompatible { path, reason } => {
+                assert_eq!(path, &bad);
+                assert!(reason.contains("enc"), "reason names the field: {reason}");
+                assert!(
+                    reason.contains(&format!("enc{}", ENCODING_REVISION + 1)),
+                    "reason names the found revision: {reason}"
+                );
+            }
+            other => panic!("expected Incompatible, got {other:?}"),
+        }
+        assert!(!out.exists(), "a failed merge writes nothing");
+        std::fs::remove_file(&good).unwrap();
+        std::fs::remove_file(&bad).unwrap();
+    }
+
+    #[test]
+    fn merge_rejects_conflicting_values_loudly() {
+        let a = temp_path("merge-conflict-a");
+        let b = temp_path("merge-conflict-b");
+        let out = temp_path("merge-conflict-out");
+        // The same key deciding SAT in one store and UNSAT in another means
+        // one of them is corrupt (the fact is canonical per key).
+        store_with(&a, &[(vec![7], sat(&[("x", 1)]))]);
+        store_with(&b, &[(vec![7], QueryResult::Unsat)]);
+        let err = DiskQueryStore::merge(&out, &[a.clone(), b.clone()], None).unwrap_err();
+        match &err {
+            MergeError::Conflict { path, key } => {
+                assert_eq!(path, &b);
+                assert_eq!(key, &key_text(&vec![7]));
+            }
+            other => panic!("expected Conflict, got {other:?}"),
+        }
+        assert!(!out.exists());
+        std::fs::remove_file(&a).unwrap();
+        std::fs::remove_file(&b).unwrap();
+    }
+
+    #[test]
+    fn inspect_reads_headers_even_when_incompatible() {
+        let path = temp_path("inspect");
+        store_with(
+            &path,
+            &[(vec![1], QueryResult::Unsat), (vec![2], QueryResult::Unsat)],
+        );
+        let info = DiskQueryStore::inspect(&path).unwrap();
+        assert_eq!(info.kind, "query");
+        assert_eq!(info.format_version, u64::from(STORE_FORMAT_VERSION));
+        assert_eq!(info.encoding_revision, u64::from(ENCODING_REVISION));
+        assert_eq!(info.fingerprint_revision, None);
+        assert_eq!(info.generation, 1);
+        assert!(info.compatible);
+        assert!(!info.malformed);
+        assert_eq!(info.entries, 2);
+        assert_eq!(info.last_used.get(&1), Some(&2));
+        assert!(info.render().contains("entries"));
+
+        // A future encoding revision: open/merge reject it, inspect still
+        // reports what the header says.
+        std::fs::write(
+            &path,
+            format!(
+                "stack-query-store v{STORE_FORMAT_VERSION} enc{} gen4\nU g2 1\nU g4 2\n",
+                ENCODING_REVISION + 9
+            ),
+        )
+        .unwrap();
+        let info = DiskQueryStore::inspect(&path).unwrap();
+        assert!(!info.compatible);
+        assert_eq!(info.encoding_revision, u64::from(ENCODING_REVISION) + 9);
+        assert_eq!(info.generation, 4);
+        assert!(!info.malformed, "same line format still counts entries");
+        assert_eq!(info.entries, 2);
+        assert_eq!(info.last_used.get(&2), Some(&1));
+        assert_eq!(info.last_used.get(&4), Some(&1));
+        // Not a store file at all: a loud error.
+        std::fs::write(&path, "something else\n").unwrap();
+        assert!(matches!(
+            DiskQueryStore::inspect(&path),
+            Err(MergeError::Incompatible { .. })
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn header_fields_parse_and_reject() {
+        assert_eq!(
+            header_fields("stack-query-store v2 enc1 gen7", "stack-query-store"),
+            Some(vec![("v", 2), ("enc", 1), ("gen", 7)])
+        );
+        assert_eq!(
+            header_fields("stack-query-store", "stack-query-store"),
+            Some(vec![])
+        );
+        assert!(header_fields("stack-query-storev2", "stack-query-store").is_none());
+        assert!(header_fields("other v2", "stack-query-store").is_none());
+        assert!(header_fields("stack-query-store vv", "stack-query-store").is_none());
     }
 }

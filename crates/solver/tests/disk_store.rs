@@ -1,8 +1,10 @@
 //! Property coverage for the disk-backed query store: a random population
 //! of fingerprint→result entries survives a save/open round trip exactly
-//! (same keys, same results, same witness models — including hostile
-//! variable names), saving is byte-deterministic, and a store-backed solver
-//! answers real queries identically before and after the round trip.
+//! (same keys, same decided facts — witness models are deliberately
+//! process-local and elided on disk), saving is byte-deterministic,
+//! merging is commutative and idempotent byte for byte, and a
+//! store-backed solver answers real queries identically before and after
+//! the round trip.
 
 use proptest::prelude::*;
 use stack_solver::{BvSolver, DiskQueryStore, Model, QueryResult, QueryStore, TermId, TermPool};
@@ -97,8 +99,10 @@ proptest! {
             let got = reloaded.lookup(key);
             match (result, got) {
                 (QueryResult::Unsat, Some(QueryResult::Unsat)) => {}
-                (QueryResult::Sat(want), Some(QueryResult::Sat(have))) => {
-                    prop_assert_eq!(want, &have, "model mismatch");
+                (QueryResult::Sat(_), Some(QueryResult::Sat(have))) => {
+                    // The fact roundtrips; the witness does not (elided on
+                    // disk so store bytes stay history-independent).
+                    prop_assert_eq!(have.len(), 0, "witness must be elided");
                 }
                 (want, have) => prop_assert!(false, "want {:?}, got {:?}", want, have),
             }
@@ -120,6 +124,60 @@ proptest! {
         };
         prop_assert_eq!(strip(&first_bytes), strip(&second_bytes));
         std::fs::remove_file(&path).unwrap();
+    }
+
+    /// The merge laws the distributed-scan fan-in relies on: merging is
+    /// order-independent byte for byte, and merging a store with itself
+    /// reproduces it exactly.
+    #[test]
+    fn merge_is_commutative_and_idempotent(seed in 0u64..1_000_000) {
+        let mut state = seed.wrapping_mul(0x51ed_270b).wrapping_add(7);
+        let a = temp_path("prop-merge-a");
+        let b = temp_path("prop-merge-b");
+        // Entries both stores hold (shards overlap on shared queries);
+        // random 128-bit keys never collide with the disjoint extras.
+        let mut shared: Vec<(Vec<u128>, QueryResult)> = Vec::new();
+        for _ in 0..lcg(&mut state) % 8 {
+            let key = random_key(&mut state);
+            if shared.iter().any(|(k, _)| *k == key) {
+                continue;
+            }
+            let result = random_result(&mut state);
+            shared.push((key, result));
+        }
+        for path in [&a, &b] {
+            let store = DiskQueryStore::open(path).unwrap();
+            for (key, result) in &shared {
+                store.insert(key.clone(), result);
+            }
+            for _ in 0..lcg(&mut state) % 8 {
+                store.insert(random_key(&mut state), &random_result(&mut state));
+            }
+            store.save().unwrap();
+        }
+        let ab = temp_path("prop-merge-ab");
+        let ba = temp_path("prop-merge-ba");
+        let stats_ab = DiskQueryStore::merge(&ab, &[a.clone(), b.clone()], None).unwrap();
+        let stats_ba = DiskQueryStore::merge(&ba, &[b.clone(), a.clone()], None).unwrap();
+        prop_assert_eq!(
+            &std::fs::read_to_string(&ab).unwrap(),
+            &std::fs::read_to_string(&ba).unwrap(),
+            "merge(a, b) and merge(b, a) must coincide byte for byte"
+        );
+        prop_assert_eq!(stats_ab.duplicates as usize, shared.len());
+        prop_assert_eq!(stats_ba.duplicates as usize, shared.len());
+        prop_assert_eq!(stats_ab.entries_out, stats_ba.entries_out);
+
+        let self_out = temp_path("prop-merge-self");
+        DiskQueryStore::merge(&self_out, &[a.clone(), a.clone()], None).unwrap();
+        prop_assert_eq!(
+            &std::fs::read_to_string(&a).unwrap(),
+            &std::fs::read_to_string(&self_out).unwrap(),
+            "merge(a, a) must reproduce a byte for byte"
+        );
+        for path in [a, b, ab, ba, self_out] {
+            std::fs::remove_file(path).unwrap();
+        }
     }
 }
 
@@ -164,9 +222,9 @@ fn solver_answers_match_after_roundtrip() {
             "query {q:?}"
         );
         if let QueryResult::Sat(model) = &warm_answer {
-            for &a in q {
-                assert!(model.eval_bool(&pool, a), "reloaded model violates {a:?}");
-            }
+            // Disk hits answer with the fact alone; the witness was elided
+            // at save time.
+            assert!(model.is_empty(), "disk-served witness must be elided");
         }
     }
     // Every warm query was answered from disk: no misses.

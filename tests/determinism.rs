@@ -217,3 +217,70 @@ fn zero_churn_rescan_skips_every_module_with_identical_output() {
     }
     std::fs::remove_file(&path).unwrap();
 }
+
+/// The distributed-scan contract: scanning the archive as four disjoint
+/// content-keyed shards, merging the per-shard scan stores, and re-scanning
+/// the whole archive warm from the merged store must skip every module and
+/// reproduce the unsharded cold run's report stream byte for byte — at
+/// every file-level parallelism width.
+#[test]
+fn sharded_scan_with_merged_stores_matches_unsharded_run() {
+    use stack_repro::core::{content_key, shard_assignment};
+
+    const SHARDS: usize = 4;
+    let archive_cfg = ArchiveConfig {
+        packages: 8,
+        seed: 0x5AD5,
+        ..ArchiveConfig::default()
+    };
+    let base = generate_archive(&archive_cfg);
+
+    // Unsharded cold reference, no store involved.
+    let (reference_reports, reference_stats) = pipeline_run(&base, 1, None);
+    assert!(!reference_reports.is_empty());
+
+    // Fan-out: each shard scans only the files the content-keyed partition
+    // assigns it, recording into its own scan store.
+    let tag = format!("stack-determinism-shard-{}", std::process::id());
+    let shard_path = |i: usize| std::env::temp_dir().join(format!("{tag}-{i}.ss"));
+    let mut sharded_modules = 0;
+    for shard in 0..SHARDS {
+        let files: Vec<stack_repro::corpus::ArchiveFile> = base
+            .iter()
+            .filter(|f| shard_assignment(content_key(f.source.as_bytes()), SHARDS) == shard)
+            .cloned()
+            .collect();
+        let path = shard_path(shard);
+        let _ = std::fs::remove_file(&path);
+        let (_, stats) = pipeline_run(&files, 4, Some(&path));
+        assert_eq!(stats.modules, files.len());
+        sharded_modules += stats.modules;
+    }
+    assert_eq!(
+        sharded_modules,
+        base.len(),
+        "the shards must partition the archive exactly"
+    );
+
+    // Fan-in: one merged store, then full warm re-scans against it.
+    let merged = std::env::temp_dir().join(format!("{tag}-merged.ss"));
+    let inputs: Vec<std::path::PathBuf> = (0..SHARDS).map(shard_path).collect();
+    let stats = ScanStore::merge(&merged, &inputs, None).expect("merge shard scan stores");
+    assert_eq!(stats.entries_out, base.len() as u64);
+    assert_eq!(stats.duplicates, 0, "shards are disjoint");
+
+    for jobs in [1, 4] {
+        let (warm_reports, warm_stats) = pipeline_run(&base, jobs, Some(&merged));
+        assert_eq!(reference_reports, warm_reports, "jobs={jobs}");
+        assert_eq!(
+            warm_stats.modules_skipped,
+            base.len(),
+            "every module must replay from the merged store (jobs={jobs}): {warm_stats:?}"
+        );
+        assert_eq!(warm_stats.queries, 0, "jobs={jobs}: {warm_stats:?}");
+        assert_eq!(warm_stats.functions, reference_stats.functions);
+    }
+    for path in inputs.into_iter().chain([merged]) {
+        std::fs::remove_file(path).unwrap();
+    }
+}
