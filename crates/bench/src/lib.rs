@@ -971,6 +971,140 @@ pub fn sharded_scan(cfg: &ScalingConfig) -> ShardedScan {
     }
 }
 
+/// The fault-tolerance measurement: the robustness counterpart of the
+/// throughput sections. One workload is analyzed under a deliberately tiny
+/// query budget to measure graceful degradation, and one saved disk store
+/// is deliberately truncated mid-line to measure the salvage path. CI
+/// fails the bench job if `degraded_queries` or `salvaged_entries` go
+/// missing from `BENCH_checker.json`.
+#[derive(Clone, Debug, Serialize)]
+pub struct FaultTolerance {
+    /// The deliberately tiny per-query propagation budget the degraded
+    /// runs were given.
+    pub query_budget: u64,
+    /// Queries that exhausted that budget and fell back to `Unknown`
+    /// (must be > 0, or the section measured nothing).
+    pub degraded_queries: u64,
+    /// Modules with at least one degraded query; their verdicts are never
+    /// persisted to either store.
+    pub degraded_modules: usize,
+    /// Whether the single-threaded and widest-threaded degraded runs
+    /// produced byte-identical report streams (they must: budget
+    /// exhaustion is deterministic, unlike a wall-clock timeout).
+    pub degraded_deterministic: bool,
+    /// Entries the salvage pass recovered when re-opening the truncated
+    /// store.
+    pub salvaged_entries: u64,
+    /// Corrupt body lines the salvage pass dropped.
+    pub dropped_lines: u64,
+    /// Byte offset of the first dropped line.
+    pub first_bad_offset: Option<u64>,
+    /// Whether the save following the salvaging open healed the file: the
+    /// next open saw a clean store holding every salvaged entry.
+    pub store_healed: bool,
+}
+
+/// Run the fault-tolerance measurement: a budget-degraded analysis pass at
+/// two thread widths, then a truncate-and-salvage round trip through the
+/// disk-backed query store.
+pub fn fault_tolerance(cfg: &ScalingConfig) -> FaultTolerance {
+    // --- graceful degradation under a tiny budget -------------------------
+    let synth = SynthConfig {
+        packages: cfg.packages,
+        seed: cfg.seed,
+        ..SynthConfig::default()
+    };
+    let mut modules = Vec::new();
+    for pkg in &generate(&synth) {
+        for file in &pkg.files {
+            let mut module =
+                stack_minic::compile(&file.source, &file.name).expect("synthetic files compile");
+            stack_opt::optimize_for_analysis(&mut module);
+            modules.push(module);
+        }
+    }
+    // Small enough that real queries exhaust it; budget exhaustion (unlike
+    // the paper's 5-second wall-clock timeout) is deterministic, so the
+    // two widths below must stream identical reports.
+    let tiny_budget = 50u64;
+    let widest = cfg.threads.iter().copied().max().unwrap_or(1);
+    let degraded_run = |threads: usize| {
+        let checker = Checker::with_config(CheckerConfig {
+            query_budget: tiny_budget,
+            threads: Some(threads),
+            incremental: false,
+            ..CheckerConfig::default()
+        });
+        let mut degraded_queries = 0u64;
+        let mut degraded_modules = 0usize;
+        let mut reports = Vec::new();
+        for module in &modules {
+            let result = checker.check_module(module);
+            degraded_queries += result.stats.timeouts;
+            degraded_modules += result.stats.degraded_modules;
+            reports.extend(result.reports.iter().map(|r| format!("{r:?}")));
+        }
+        (degraded_queries, degraded_modules, reports)
+    };
+    let (degraded_queries, degraded_modules, narrow_reports) = degraded_run(1);
+    let (_, _, wide_reports) = degraded_run(widest);
+
+    // --- truncate-and-salvage round trip ---------------------------------
+    static INVOCATION: AtomicU64 = AtomicU64::new(0);
+    let store_path = std::env::temp_dir().join(format!(
+        "stack-bench-fault-{}-{}.qs",
+        std::process::id(),
+        INVOCATION.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_file(&store_path);
+    {
+        let store = Arc::new(DiskQueryStore::open(&store_path).expect("open fault-bench store"));
+        let session = AnalysisSession::with_store(
+            CheckerConfig {
+                query_budget: cfg.query_budget,
+                threads: Some(widest),
+                ..CheckerConfig::default()
+            },
+            store.clone() as _,
+        );
+        for module in &modules {
+            session.check_module_streaming(module, &mut |_| {});
+        }
+        store.save().expect("save fault-bench store");
+    }
+    // Cut inside the final line: the store ends with a newline and every
+    // checksummed line is longer than three bytes, so this always leaves a
+    // torn tail for the salvage pass to drop.
+    let bytes = std::fs::read(&store_path).expect("read fault-bench store");
+    let cut = bytes.len().saturating_sub(3);
+    std::fs::write(
+        &store_path,
+        stack_core::faultinject::truncate_at(&bytes, cut),
+    )
+    .expect("write truncated fault-bench store");
+
+    let damaged = DiskQueryStore::open(&store_path).expect("open truncated fault-bench store");
+    let salvage = damaged.salvage().copied().unwrap_or_default();
+    let salvaged_entries = damaged.loaded_entries();
+    damaged.save().expect("heal fault-bench store");
+    let healed = DiskQueryStore::open(&store_path).expect("re-open healed fault-bench store");
+    let store_healed = healed.salvage().is_none()
+        && !healed.was_invalidated()
+        && healed.loaded_entries() == salvaged_entries;
+    let _ = std::fs::remove_file(&store_path);
+
+    FaultTolerance {
+        query_budget: tiny_budget,
+        degraded_queries,
+        degraded_modules,
+        degraded_deterministic: narrow_reports == wide_reports,
+        salvaged_entries,
+        dropped_lines: salvage.dropped_lines,
+        first_bad_offset: salvage.first_bad_offset,
+        store_healed,
+    }
+}
+
 /// Results of the checker-scaling benchmark: the uncached sequential seed
 /// path as the baseline, then cached runs (the PR 2 configuration) and
 /// cached+incremental runs at each requested thread count.
@@ -1009,6 +1143,10 @@ pub struct CheckerScaling {
     /// `merge_reports_identical` live here; CI fails the bench job if
     /// either goes missing).
     pub sharded_scan: ShardedScan,
+    /// The fault-tolerance measurement (`degraded_queries` and
+    /// `salvaged_entries` live here; CI fails the bench job if either goes
+    /// missing).
+    pub fault_tolerance: FaultTolerance,
 }
 
 /// Run the checker-scaling benchmark: analyze one synthetic population under
@@ -1137,6 +1275,7 @@ pub fn checker_scaling(cfg: &ScalingConfig) -> CheckerScaling {
         scan: scan_persistence(cfg),
         rescan: incremental_rescan(cfg),
         sharded_scan: sharded_scan(cfg),
+        fault_tolerance: fault_tolerance(cfg),
     }
 }
 
@@ -1249,6 +1388,30 @@ impl CheckerScaling {
             self.sharded_scan.speedup_merged_warm_vs_cold,
             100.0 * self.sharded_scan.merged_warm_skip_rate,
             self.sharded_scan.merge_reports_identical
+        );
+        let _ = writeln!(
+            out,
+            "Fault tolerance (budget {} propagations; truncated disk store)",
+            self.fault_tolerance.query_budget
+        );
+        let _ = writeln!(
+            out,
+            "  degraded: {} queries fell back to Unknown across {} module(s); \
+             deterministic across thread widths: {}",
+            self.fault_tolerance.degraded_queries,
+            self.fault_tolerance.degraded_modules,
+            self.fault_tolerance.degraded_deterministic
+        );
+        let _ = writeln!(
+            out,
+            "  salvage: kept {} entries, dropped {} bad line(s) (first at byte offset {}); \
+             healed on next save: {}",
+            self.fault_tolerance.salvaged_entries,
+            self.fault_tolerance.dropped_lines,
+            self.fault_tolerance
+                .first_bad_offset
+                .map_or("-".to_string(), |o| o.to_string()),
+            self.fault_tolerance.store_healed
         );
         out
     }
@@ -1428,6 +1591,18 @@ mod tests {
         assert!(json.contains("\"modules_skipped_rate\""));
         assert!(json.contains("\"speedup_merged_warm_vs_cold\""));
         assert!(json.contains("\"merge_reports_identical\""));
+        assert!(json.contains("\"degraded_queries\""));
+        assert!(json.contains("\"salvaged_entries\""));
+        assert!(json.contains("\"store_healed\""));
+        // The fault-tolerance section must actually measure something.
+        let ft = &scaling.fault_tolerance;
+        assert!(ft.degraded_queries > 0, "{ft:?}");
+        assert!(ft.degraded_modules > 0, "{ft:?}");
+        assert!(ft.degraded_deterministic, "{ft:?}");
+        assert!(ft.salvaged_entries > 0, "{ft:?}");
+        assert_eq!(ft.dropped_lines, 1, "{ft:?}");
+        assert!(ft.first_bad_offset.is_some(), "{ft:?}");
+        assert!(ft.store_healed, "{ft:?}");
     }
 
     #[test]

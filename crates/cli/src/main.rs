@@ -8,6 +8,7 @@
 //! stack scan  --synth N [--seed S] [options]     # scan a generated archive
 //! stack store merge <out> <in...> [--compact N] [--json]   # fold stores into one
 //! stack store inspect <file> [--json]            # header/generation/entry report
+//! stack store fsck <file> [--repair] [--json]    # check (and heal) a damaged store
 //! stack bench [--out <path>] [--fast]            # checker-scaling benchmark
 //! stack gen-archive <dir> [--packages N] [--seed S]
 //! stack demo  <pattern-id>                       # analyze a built-in paper example
@@ -24,7 +25,15 @@
 //! run, and the (possibly grown) store is saved back on success — the
 //! cross-run persistence mode that lets repeated archive scans skip almost
 //! every solver query. A cache file written by a different encoder/solver
-//! revision is detected and discarded, never trusted.
+//! revision is detected and discarded, never trusted; a torn or truncated
+//! file is *salvaged* — the checksummed intact entries load, the damage is
+//! reported on stderr, and the next save heals the file (`stack store
+//! fsck --repair` does the same without running an analysis).
+//! `--query-budget N` caps each solver query at `N` propagations (the
+//! paper's 5-second timeout, made deterministic; `0` = unlimited): a query
+//! that exhausts the budget degrades to `Unknown` — counted, never
+//! reported as a bug, never cached — and its module is counted as
+//! degraded and never recorded in the scan cache.
 //!
 //! `scan`-only options: `--jobs N` runs `N` file-level workers (the outer
 //! level of the two-level pipeline; per-module `--threads` defaults to 1
@@ -98,6 +107,8 @@ struct AnalysisOpts {
     threads: Option<usize>,
     query_cache: bool,
     incremental: bool,
+    /// Per-query propagation budget (`Some(0)` = unlimited).
+    query_budget: Option<u64>,
     cache_file: Option<PathBuf>,
     out: Option<PathBuf>,
     quiet: bool,
@@ -147,6 +158,7 @@ impl AnalysisOpts {
             threads,
             query_cache: !has_flag(args, "--no-cache"),
             incremental: !has_flag(args, "--no-incremental"),
+            query_budget: parse_flag_value::<u64>(args, "--query-budget")?,
             cache_file,
             out: flag_value(args, "--out")?.map(PathBuf::from),
             quiet: has_flag(args, "--quiet"),
@@ -174,7 +186,9 @@ impl AnalysisOpts {
             threads: self.threads,
             query_cache: self.query_cache,
             incremental: self.incremental,
-            ..CheckerConfig::default()
+            query_budget: self
+                .query_budget
+                .unwrap_or(CheckerConfig::default().query_budget),
         }
     }
 
@@ -192,6 +206,13 @@ impl AnalysisOpts {
                         "stack: cache file {} was written by a different encoder/solver \
                          revision; starting cold",
                         path.display()
+                    );
+                }
+                if let Some(salvage) = store.salvage() {
+                    eprintln!(
+                        "stack: cache file {}: {}",
+                        path.display(),
+                        render_salvage(salvage)
                     );
                 }
                 store.set_compaction(self.compact_store);
@@ -217,6 +238,13 @@ impl AnalysisOpts {
             eprintln!(
                 "stack: scan cache {} was written by a different revision; starting cold",
                 path.display()
+            );
+        }
+        if let Some(salvage) = store.salvage() {
+            eprintln!(
+                "stack: scan cache {}: {}",
+                path.display(),
+                render_salvage(salvage)
             );
         }
         Ok(Some(store))
@@ -298,6 +326,25 @@ fn write_output(path: &Path, content: &str) -> Result<(), String> {
     std::fs::write(path, content).map_err(|e| format!("cannot write {}: {e}", path.display()))
 }
 
+/// One stderr-ready sentence describing what the salvage path recovered
+/// from a damaged store body (the fault-tolerance CI smoke greps for
+/// "salvaged").
+fn render_salvage(salvage: &stack_solver::SalvageReport) -> String {
+    format!(
+        "store body was damaged; salvaged {} entr{} and dropped {} bad line{} (first at byte \
+         offset {}); the next save repairs the file",
+        salvage.salvaged_entries,
+        if salvage.salvaged_entries == 1 {
+            "y"
+        } else {
+            "ies"
+        },
+        salvage.dropped_lines,
+        if salvage.dropped_lines == 1 { "" } else { "s" },
+        salvage.first_bad_offset.unwrap_or(0)
+    )
+}
+
 /// Save a disk-backed store, reporting how many entries were persisted.
 fn save_store(store: &Arc<DiskQueryStore>, quiet: bool) -> Result<(), String> {
     let entries = store
@@ -318,7 +365,7 @@ fn cmd_check(args: &[String]) -> ExitCode {
     let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
         eprintln!(
             "usage: stack check <file.mc> [--json] [--include-macros] [--threads N] \
-             [--no-cache] [--no-incremental] [--cache-file F] [--out F]"
+             [--no-cache] [--no-incremental] [--query-budget N] [--cache-file F] [--out F]"
         );
         return ExitCode::from(2);
     };
@@ -394,6 +441,12 @@ struct ScanSummary {
     functions: usize,
     reports: usize,
     queries: u64,
+    /// Degraded queries: budget-exhausted, answered `Unknown`, never
+    /// cached or persisted.
+    degraded_queries: u64,
+    /// Modules with at least one degraded query — analyzed under the
+    /// budget, never recorded in the scan cache.
+    degraded_modules: usize,
     timeouts: u64,
     store_hits: u64,
     store_misses: u64,
@@ -464,6 +517,8 @@ fn cmd_scan(args: &[String]) -> ExitCode {
         functions: stats.functions,
         reports,
         queries: stats.queries,
+        degraded_queries: stats.timeouts,
+        degraded_modules: stats.degraded_modules,
         timeouts: stats.timeouts,
         store_hits: stats.cache_hits,
         store_misses: stats.cache_misses,
@@ -559,8 +614,9 @@ fn gather_scan_sources(args: &[String]) -> Result<Vec<ScanTask>, String> {
     let Some(root) = args.first().filter(|a| !a.starts_with("--")) else {
         return Err(
             "usage: stack scan <dir|manifest|file.mc> | --synth N  [--seed S] [--cache-file F] \
-             [--scan-cache F] [--jobs N] [--threads N] [--compact-store N] [--shard i/n] \
-             [--no-cache] [--no-incremental] [--include-macros] [--json] [--out F] [--quiet]"
+             [--scan-cache F] [--jobs N] [--threads N] [--query-budget N] [--compact-store N] \
+             [--shard i/n] [--no-cache] [--no-incremental] [--include-macros] [--json] [--out F] \
+             [--quiet]"
                 .to_string(),
         );
     };
@@ -631,6 +687,14 @@ fn render_scan_summary(
         "  queries         {:>8}  ({} timeouts)",
         summary.queries, summary.timeouts
     );
+    if summary.degraded_modules > 0 {
+        let _ = writeln!(
+            out,
+            "  degraded        {:>8} module(s) hit the query budget ({} queries fell back to \
+             Unknown; results not persisted)",
+            summary.degraded_modules, summary.degraded_queries
+        );
+    }
     let _ = writeln!(
         out,
         "  query store     {:>8} hits / {} misses ({:.1}% hit rate)",
@@ -717,10 +781,12 @@ fn cmd_store(args: &[String]) -> ExitCode {
     match args.first().map(String::as_str) {
         Some("merge") => cmd_store_merge(&args[1..]),
         Some("inspect") => cmd_store_inspect(&args[1..]),
+        Some("fsck") => cmd_store_fsck(&args[1..]),
         _ => {
             eprintln!(
                 "usage: stack store merge <out> <in...> [--compact N] [--json]\n\
-                 usage: stack store inspect <file> [--json]"
+                 usage: stack store inspect <file> [--json]\n\
+                 usage: stack store fsck <file> [--repair] [--json]"
             );
             ExitCode::from(2)
         }
@@ -800,6 +866,13 @@ struct InspectionJson {
     compatible: bool,
     malformed: bool,
     entries: u64,
+    /// Leading entries readable before the first bad line (equals
+    /// `entries` when the body is clean).
+    salvageable_prefix: u64,
+    /// Byte offset of the first undecodable line, when the body is damaged.
+    first_bad_offset: Option<u64>,
+    /// Body lines dropped by the salvage pass (0 when clean).
+    dropped_lines: u64,
     last_used: Vec<LastUsedJson>,
 }
 
@@ -831,6 +904,9 @@ fn cmd_store_inspect(args: &[String]) -> ExitCode {
             compatible: info.compatible,
             malformed: info.malformed,
             entries: info.entries,
+            salvageable_prefix: info.salvageable_prefix,
+            first_bad_offset: info.first_bad_offset,
+            dropped_lines: info.dropped_lines,
             last_used: info
                 .last_used
                 .iter()
@@ -848,6 +924,148 @@ fn cmd_store_inspect(args: &[String]) -> ExitCode {
         println!("{}", info.render());
     }
     ExitCode::SUCCESS
+}
+
+/// Either persisted store behind one handle, so `store fsck` shares a
+/// single verdict path.
+enum AnyStore {
+    Query(Box<DiskQueryStore>),
+    Scan(ScanStore),
+}
+
+impl AnyStore {
+    fn open(path: &Path) -> Result<AnyStore, String> {
+        let kind = detect_store_kind(path)?;
+        match kind {
+            StoreKind::Query => DiskQueryStore::open(path).map(|s| AnyStore::Query(Box::new(s))),
+            StoreKind::Scan => ScanStore::open(path).map(AnyStore::Scan),
+        }
+        .map_err(|e| format!("cannot open {}: {e}", path.display()))
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            AnyStore::Query(_) => "query",
+            AnyStore::Scan(_) => "scan",
+        }
+    }
+
+    fn was_invalidated(&self) -> bool {
+        match self {
+            AnyStore::Query(s) => s.was_invalidated(),
+            AnyStore::Scan(s) => s.was_invalidated(),
+        }
+    }
+
+    fn salvage(&self) -> Option<stack_solver::SalvageReport> {
+        match self {
+            AnyStore::Query(s) => s.salvage().copied(),
+            AnyStore::Scan(s) => s.salvage().copied(),
+        }
+    }
+
+    fn loaded_entries(&self) -> u64 {
+        match self {
+            AnyStore::Query(s) => s.loaded_entries(),
+            AnyStore::Scan(s) => s.loaded_entries(),
+        }
+    }
+
+    fn save(&self) -> std::io::Result<usize> {
+        match self {
+            AnyStore::Query(s) => s.save(),
+            AnyStore::Scan(s) => s.save(),
+        }
+    }
+}
+
+/// `store fsck` verdict in the shape `--json` emits.
+#[derive(Serialize)]
+struct FsckJson {
+    kind: String,
+    compatible: bool,
+    clean: bool,
+    repaired: bool,
+    entries: u64,
+    dropped_lines: u64,
+    first_bad_offset: Option<u64>,
+}
+
+/// Check a persisted store for damage and optionally heal it. Exit 0 when
+/// the store is clean (or was just repaired), 2 when damage remains — so
+/// `fsck` composes with `fsck --repair` the way the system tool does. An
+/// incompatible (foreign-revision) store is *never* repaired: its entries
+/// cannot be trusted at all, and the next analysis run rewrites it cold.
+fn cmd_store_fsck(args: &[String]) -> ExitCode {
+    let json = has_flag(args, "--json");
+    let repair = has_flag(args, "--repair");
+    let paths = positionals(args, &[]);
+    let [path] = paths.as_slice() else {
+        eprintln!("usage: stack store fsck <file> [--repair] [--json]");
+        return ExitCode::from(2);
+    };
+    let path = PathBuf::from(path);
+    let store = match AnyStore::open(&path) {
+        Ok(store) => store,
+        Err(e) => return fail(&e),
+    };
+    if store.was_invalidated() {
+        return fail(&format!(
+            "{}: incompatible {} store (written by a different revision); not repairable — the \
+             next analysis run starts cold and rewrites it",
+            path.display(),
+            store.kind()
+        ));
+    }
+    let salvage = store.salvage();
+    let damaged = salvage.is_some();
+    let repaired = damaged && repair;
+    if repaired {
+        if let Err(e) = store.save() {
+            return fail(&format!("cannot repair {}: {e}", path.display()));
+        }
+    }
+    if json {
+        let verdict = FsckJson {
+            kind: store.kind().to_string(),
+            compatible: true,
+            clean: !damaged,
+            repaired,
+            entries: store.loaded_entries(),
+            dropped_lines: salvage.map_or(0, |s| s.dropped_lines),
+            first_bad_offset: salvage.and_then(|s| s.first_bad_offset),
+        };
+        match serde_json::to_string_pretty(&verdict) {
+            Ok(json) => println!("{json}"),
+            Err(e) => return fail(&format!("cannot serialize fsck verdict: {e}")),
+        }
+    } else {
+        match &salvage {
+            None => println!(
+                "stack: {}: clean {} store ({} entries)",
+                path.display(),
+                store.kind(),
+                store.loaded_entries()
+            ),
+            Some(salvage) if repaired => println!(
+                "stack: {}: repaired {} store — kept {} entries, dropped {} bad line(s)",
+                path.display(),
+                store.kind(),
+                store.loaded_entries(),
+                salvage.dropped_lines
+            ),
+            Some(salvage) => println!(
+                "stack: {}: {} (re-run with --repair to heal)",
+                path.display(),
+                render_salvage(salvage)
+            ),
+        }
+    }
+    if damaged && !repaired {
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 // ---- bench ------------------------------------------------------------------
@@ -890,6 +1108,16 @@ fn cmd_gen_archive(args: &[String]) -> ExitCode {
         },
         (Err(e), _) | (_, Err(e)) => return fail(&e),
     };
+    // Validate the (deterministic) population before a single file is
+    // written: a generator bug surfaces as one clean error, not a panic
+    // mid-write or a half-materialized archive.
+    let files = stack_corpus::generate_archive(&cfg);
+    if let Err(e) = stack_corpus::validate_sources(
+        files.iter().map(|f| (f.name.as_str(), f.source.as_str())),
+        |name, source| stack_minic::compile(source, name).map(|_| ()),
+    ) {
+        return fail(&format!("generated archive does not compile: {e}"));
+    }
     match stack_corpus::write_archive(&cfg, Path::new(dir)) {
         Ok(paths) => {
             println!(

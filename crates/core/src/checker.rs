@@ -33,7 +33,10 @@ use std::time::Duration;
 #[derive(Clone, Copy, Debug)]
 pub struct CheckerConfig {
     /// Per-query solver budget in propagations (the deterministic analogue of
-    /// the paper's 5-second query timeout, §6.4).
+    /// the paper's 5-second query timeout, §6.4). `0` means unlimited. A
+    /// query that exhausts its budget degrades to `Unknown`, is counted in
+    /// [`CheckStats::timeouts`], and is never cached or persisted; its
+    /// module is counted in [`CheckStats::degraded_modules`].
     pub query_budget: u64,
     /// Whether to keep reports whose unstable fragment was produced by a
     /// macro expansion or inlining (the paper suppresses them, §4.2).
@@ -88,8 +91,15 @@ pub struct CheckStats {
     pub functions: usize,
     /// Total solver queries issued (merged across worker threads).
     pub queries: u64,
-    /// Queries that exhausted their budget (merged across worker threads).
+    /// Degraded queries: queries that exhausted their propagation budget and
+    /// were answered `Unknown` (merged across worker threads). The checker
+    /// treats an `Unknown` conservatively — never a report, never cached,
+    /// never persisted.
     pub timeouts: u64,
+    /// Modules with at least one degraded (budget-exhausted) query. Such a
+    /// module's report set reflects the budget, not just the module, so it
+    /// is never recorded in the scan store. Always ≤ `modules`.
+    pub degraded_modules: usize,
     /// Queries answered from the shared query store.
     pub cache_hits: u64,
     /// Queries that consulted the store and missed.
@@ -129,6 +139,7 @@ impl CheckStats {
         self.functions += other.functions;
         self.queries += other.queries;
         self.timeouts += other.timeouts;
+        self.degraded_modules += other.degraded_modules;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.incremental_queries += other.incremental_queries;

@@ -33,6 +33,7 @@
 pub mod checker;
 pub mod classify;
 pub mod encoder;
+pub mod faultinject;
 pub mod fingerprint;
 pub mod report;
 pub mod scan;

@@ -29,6 +29,18 @@
 //! the result for the next run. Replayed output is byte-identical to
 //! re-analysis by construction — the fingerprint guarantees the checker
 //! would have seen an identical module under identical semantics.
+//!
+//! **Panic containment.** Each task's compile-and-analyze body runs under
+//! `catch_unwind`: a panic anywhere in the front end, the optimizer, or
+//! the checker degrades that one module to a
+//! [`ScanEvent::Failure`] carrying the panic payload — the scan, the
+//! other workers, and the exit-code semantics continue as if the module
+//! had failed to compile. A panicking module is never recorded in the
+//! scan store (the insert is unreachable past the panic), and never
+//! persisted as a query answer (the unwound query never returned one).
+//! Because failures are emitted through the same reorder buffer as
+//! reports, a panicking module produces the identical event stream at
+//! every `jobs` width.
 
 use crate::checker::CheckStats;
 use crate::fingerprint::module_fingerprint;
@@ -89,6 +101,9 @@ pub struct ScanPipeline<'s> {
     session: &'s AnalysisSession,
     scan_store: Option<Arc<ScanStore>>,
     jobs: usize,
+    /// Fault injection: panic while analyzing any module whose name
+    /// contains this fragment (tests of the containment boundary).
+    panic_on: Option<String>,
 }
 
 /// What one worker produced for one task, parked until its turn to emit.
@@ -106,6 +121,7 @@ impl<'s> ScanPipeline<'s> {
             session,
             scan_store: None,
             jobs: jobs.max(1),
+            panic_on: None,
         }
     }
 
@@ -113,6 +129,16 @@ impl<'s> ScanPipeline<'s> {
     /// recorded reports instead of re-analyzing, misses are recorded.
     pub fn with_scan_store(mut self, store: Arc<ScanStore>) -> ScanPipeline<'s> {
         self.scan_store = Some(store);
+        self
+    }
+
+    /// Arm fault injection for this pipeline: analyzing any module whose
+    /// name contains `fragment` panics on purpose, exercising the
+    /// containment boundary. Scoped to this pipeline (unlike the
+    /// process-wide [`faultinject::PANIC_ENV`](crate::faultinject::PANIC_ENV)
+    /// variable), so concurrent tests never interfere.
+    pub fn with_injected_panic(mut self, fragment: impl Into<String>) -> ScanPipeline<'s> {
+        self.panic_on = Some(fragment.into());
         self
     }
 
@@ -138,14 +164,19 @@ impl<'s> ScanPipeline<'s> {
                     let Some(task) = tasks.get(i) else { break };
                     let result = self.run_task(task);
                     {
-                        let mut outcome = outcome.lock().unwrap();
+                        let mut outcome = outcome
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
                         match &result {
                             TaskResult::Failed { .. } => outcome.failures += 1,
                             TaskResult::Skipped { .. } => outcome.modules_skipped += 1,
                             TaskResult::Analyzed { .. } => {}
                         }
                     }
-                    emitter.lock().unwrap().emit(i, result, tasks);
+                    emitter
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .emit(i, result, tasks);
                 });
             }
         });
@@ -155,7 +186,9 @@ impl<'s> ScanPipeline<'s> {
     }
 
     /// Process one task end to end: load, compile, fingerprint, replay or
-    /// analyze.
+    /// analyze. Everything past the source read runs under
+    /// `catch_unwind`, so a panic anywhere in the stack degrades the task
+    /// to a `Failed` result instead of aborting the scan.
     fn run_task(&self, task: &ScanTask) -> TaskResult {
         let read;
         let source: &str = match &task.source {
@@ -172,7 +205,30 @@ impl<'s> ScanPipeline<'s> {
                 }
             },
         };
-        let mut module = match stack_minic::compile(source, &task.name) {
+        // AssertUnwindSafe: the shared state the closure touches (session
+        // aggregate, caches, scan store) guards every structure behind
+        // mutexes whose contents stay structurally valid at any unwind
+        // point, and their locks recover from poisoning.
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.analyze_task(source, &task.name)
+        })) {
+            Ok(result) => result,
+            Err(payload) => TaskResult::Failed {
+                error: format!("panic: {}", panic_message(payload.as_ref())),
+            },
+        }
+    }
+
+    /// The panic-containable body of one task: compile, fingerprint,
+    /// replay or analyze, record.
+    fn analyze_task(&self, source: &str, name: &str) -> TaskResult {
+        if let Some(fragment) = &self.panic_on {
+            if name.contains(fragment.as_str()) {
+                panic!("injected fault: panic while analyzing {name}");
+            }
+        }
+        crate::faultinject::maybe_injected_panic(name);
+        let mut module = match stack_minic::compile(source, name) {
             Ok(module) => module,
             Err(e) => {
                 return TaskResult::Failed {
@@ -196,19 +252,36 @@ impl<'s> ScanPipeline<'s> {
         }
 
         let mut reports = Vec::new();
-        self.session
+        let stats = self
+            .session
             .check_module_streaming(&module, &mut |r| reports.push(r));
-        if let (Some(store), Some(fp)) = (&self.scan_store, fp) {
-            store.insert(
-                fp,
-                ModuleRecord {
-                    functions: module.len(),
-                    reports: reports.clone(),
-                },
-            );
+        // A module with budget-exhausted (degraded) queries is never
+        // recorded: its report set reflects the budget, not the module,
+        // and a later run with a higher budget must re-analyze it.
+        if stats.timeouts == 0 {
+            if let (Some(store), Some(fp)) = (&self.scan_store, fp) {
+                store.insert(
+                    fp,
+                    ModuleRecord {
+                        functions: module.len(),
+                        reports: reports.clone(),
+                    },
+                );
+            }
         }
         TaskResult::Analyzed { reports }
     }
+}
+
+/// Render a caught panic payload: `panic!` carries a `String` or `&str`
+/// in practice; anything else gets a stable placeholder (payload types
+/// must not leak nondeterminism into the event stream).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<String>()
+        .map(String::as_str)
+        .or_else(|| payload.downcast_ref::<&str>().copied())
+        .unwrap_or("<opaque panic payload>")
 }
 
 /// The statistics a replayed module contributes to the session aggregate:
@@ -396,6 +469,51 @@ mod tests {
         );
         assert_eq!(outcome.modules_skipped, 1);
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn injected_panic_degrades_to_a_failure_event_and_is_never_recorded() {
+        let path = temp_path("panic");
+        let tasks = tasks();
+        let store = Arc::new(ScanStore::open(&path).unwrap());
+        let session = AnalysisSession::default();
+        let mut events = Vec::new();
+        let outcome = ScanPipeline::new(&session, 2)
+            .with_scan_store(store.clone())
+            .with_injected_panic("mod3")
+            .run(&tasks, &mut |e| events.push(format!("{e:?}")));
+        // The parse failure plus the injected panic; everything else scans.
+        assert_eq!(outcome.failures, 2);
+        assert!(
+            events
+                .iter()
+                .any(|e| e.contains("injected fault: panic while analyzing mod3.c")),
+            "{events:?}"
+        );
+        // The panicking module is never cached: only the clean compiles are.
+        assert_eq!(store.stats().entries, tasks.len() as u64 - 2);
+        store.save().unwrap();
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn panicking_module_emits_the_same_stream_at_every_jobs_width() {
+        let tasks = tasks();
+        let stream = |jobs: usize| {
+            let session = AnalysisSession::default();
+            let mut events = Vec::new();
+            ScanPipeline::new(&session, jobs)
+                .with_injected_panic("mod2")
+                .run(&tasks, &mut |e| events.push(format!("{e:?}")));
+            events
+        };
+        let sequential = stream(1);
+        assert!(sequential
+            .iter()
+            .any(|e| e.contains("panic: injected fault")));
+        for jobs in [2, 4] {
+            assert_eq!(sequential, stream(jobs), "jobs={jobs}");
+        }
     }
 
     #[test]

@@ -14,14 +14,21 @@
 //!
 //! * **versioned header** — format version,
 //!   [`ENCODING_REVISION`](stack_solver::ENCODING_REVISION), and
-//!   [`FINGERPRINT_REVISION`]; any mismatch (or any malformed line)
-//!   discards the whole file and [`was_invalidated`] reports it. The
-//!   fingerprints additionally bake both revisions and the
-//!   semantics-relevant config knobs into their own bits, so even a
-//!   same-format file can never replay reports computed under different
-//!   semantics.
+//!   [`FINGERPRINT_REVISION`]; any mismatch discards the whole file and
+//!   [`was_invalidated`] reports it. The fingerprints additionally bake
+//!   both revisions and the semantics-relevant config knobs into their own
+//!   bits, so even a same-format file can never replay reports computed
+//!   under different semantics.
 //! * **atomic saves** — serialize to a pid-suffixed temp file, rename over
 //!   the target; a crash mid-save never leaves a truncated store.
+//! * **per-line checksums and salvage** — every body line carries a
+//!   trailing ` !<crc32>` (v3). A torn, truncated, or bit-flipped body is
+//!   salvaged module by module at [`open`](ScanStore::open): a module
+//!   record survives only if its `M` line and all of its `R` lines verify
+//!   and parse; everything else is dropped and counted
+//!   ([`salvage`](ScanStore::salvage)), and the next save rewrites the
+//!   file canonically. Duplicate fingerprints (a torn write splicing two
+//!   file versions) keep the first record.
 //! * **byte-determinism** — entries sorted by fingerprint, reports kept in
 //!   their recorded stream order; saving the same logical store twice
 //!   produces byte-identical files.
@@ -37,15 +44,16 @@
 //! ## Format
 //!
 //! ```text
-//! stack-scan-store v2 enc1 fpr1 gen3
-//! M g<gen> <fp> f<functions> r<reports>
-//! R <alg> <line> <cg> <function> <file> <description> u <kind>@<loc> ...
+//! stack-scan-store v3 enc1 fpr1 gen3
+//! M g<gen> <fp> f<functions> r<reports> !<crc32>
+//! R <alg> <line> <cg> <function> <file> <description> u <kind>@<loc> ... !<crc32>
 //! ```
 //!
 //! `M` opens one module entry (last-used generation stamp, fingerprint in
 //! lower-case hex, function count, report count); exactly `r` `R` lines
-//! follow, one per report in stream order. String fields are
-//! percent-escaped so they never contain whitespace or `%`.
+//! follow, one per report in stream order; every line ends with its
+//! CRC-32. String fields are percent-escaped so they never contain
+//! whitespace or `%`.
 //!
 //! ## Merging
 //!
@@ -63,9 +71,13 @@
 use crate::fingerprint::{ModuleFingerprint, FINGERPRINT_REVISION};
 use crate::report::{Algorithm, BugReport, UbSource};
 use crate::ubcond::UbKind;
-use stack_solver::store::{check_header_compatible, inspect_text};
-use stack_solver::{MergeError, MergeStats, StoreInspection};
+use stack_solver::store::{
+    body_lines, check_header_compatible, inspect_text, verify_checksummed_line,
+    write_checksummed_line,
+};
+use stack_solver::{MergeError, MergeStats, SalvageReport, StoreInspection};
 use std::collections::HashMap;
+use std::collections::HashSet;
 use std::fmt::Write as _;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -74,8 +86,10 @@ use std::sync::Mutex;
 
 /// On-disk layout version of the scan-store file. Bump when the syntax
 /// changes. (v2 added the header generation and per-record last-used
-/// stamps; v1 files self-invalidate, as any stale cache does.)
-pub const SCAN_STORE_FORMAT_VERSION: u32 = 2;
+/// stamps; v3 added the per-line ` !<crc32>` checksum that makes torn or
+/// truncated stores salvageable record by record. Older files
+/// self-invalidate, as any stale cache does.)
+pub const SCAN_STORE_FORMAT_VERSION: u32 = 3;
 
 /// The first token of every scan-store header line.
 const SCAN_STORE_HEADER_PREFIX: &str = "stack-scan-store";
@@ -124,6 +138,9 @@ pub struct ScanStore {
     misses: AtomicU64,
     loaded: u64,
     invalidated: bool,
+    /// Set when `open` had to drop bad lines from a torn or corrupted
+    /// body (`None` for a clean or missing file).
+    salvage: Option<SalvageReport>,
 }
 
 impl ScanStore {
@@ -139,9 +156,12 @@ impl ScanStore {
     /// Open a store backed by `path`, loading every persisted record and
     /// starting a new generation (the persisted one plus one; 1 for a
     /// fresh store). A missing file yields an empty store; a mismatched
-    /// header or any malformed content discards the file wholesale
-    /// ([`was_invalidated`](Self::was_invalidated) reports it). Only I/O
-    /// failures are errors.
+    /// header discards the file wholesale
+    /// ([`was_invalidated`](Self::was_invalidated) reports it). A
+    /// compatible file with torn or corrupted body lines loads every
+    /// record that checksums and parses, drops the rest, and reports the
+    /// damage through [`salvage`](Self::salvage). Only I/O failures are
+    /// errors.
     pub fn open(path: impl Into<PathBuf>) -> io::Result<ScanStore> {
         let path = path.into();
         let mut store = ScanStore {
@@ -153,6 +173,7 @@ impl ScanStore {
             misses: AtomicU64::new(0),
             loaded: 0,
             invalidated: false,
+            salvage: None,
         };
         let text = match std::fs::read_to_string(&store.path) {
             Ok(text) => text,
@@ -160,10 +181,13 @@ impl ScanStore {
             Err(e) => return Err(e),
         };
         match parse_store(&text) {
-            Some((file_generation, records)) => {
+            Some((file_generation, records, salvage)) => {
                 store.generation = file_generation + 1;
                 store.loaded = records.len() as u64;
                 *store.records.get_mut().unwrap() = records;
+                if !salvage.is_clean() {
+                    store.salvage = Some(salvage);
+                }
             }
             None => store.invalidated = true,
         }
@@ -173,7 +197,12 @@ impl ScanStore {
     /// Look up the record for a fingerprint, counting a hit or miss. A hit
     /// refreshes the record's last-used stamp to this run's generation.
     pub fn lookup(&self, fp: ModuleFingerprint) -> Option<ModuleRecord> {
-        let found = match self.records.lock().unwrap().get_mut(&fp) {
+        let found = match self
+            .records
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get_mut(&fp)
+        {
             Some(slot) => {
                 slot.1 = self.generation;
                 Some(slot.0.clone())
@@ -196,7 +225,12 @@ impl ScanStore {
     /// generation. First insert wins for the record itself (records for
     /// one fingerprint are interchangeable by construction).
     pub fn insert(&self, fp: ModuleFingerprint, record: ModuleRecord) {
-        match self.records.lock().unwrap().entry(fp) {
+        match self
+            .records
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .entry(fp)
+        {
             std::collections::hash_map::Entry::Occupied(mut occupied) => {
                 occupied.get_mut().1 = self.generation;
             }
@@ -217,7 +251,7 @@ impl ScanStore {
         let mut entries: Vec<(ModuleFingerprint, ModuleRecord, u64)> = self
             .records
             .lock()
-            .unwrap()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .iter()
             .filter(|(_, (_, stamp))| compact == 0 || self.generation - stamp < compact)
             .map(|(fp, (record, stamp))| (*fp, record.clone(), *stamp))
@@ -260,11 +294,23 @@ impl ScanStore {
                 path: path.clone(),
                 reason,
             })?;
-            let (file_generation, records) =
+            let (file_generation, records, salvage) =
                 parse_store(&text).ok_or_else(|| MergeError::Incompatible {
                     path: path.clone(),
                     reason: "malformed store content".to_string(),
                 })?;
+            // A store that needed salvage may have lost records; a merge
+            // must never bake the loss into a fleet-shared artifact.
+            if !salvage.is_clean() {
+                return Err(MergeError::Incompatible {
+                    path: path.clone(),
+                    reason: format!(
+                        "store needs salvage ({} bad line{}); run fsck --repair before merging",
+                        salvage.dropped_lines,
+                        if salvage.dropped_lines == 1 { "" } else { "s" }
+                    ),
+                });
+            }
             stats.generation = stats.generation.max(file_generation);
             stats.entries_in += records.len() as u64;
             for (fp, (record, stamp)) in records {
@@ -324,10 +370,12 @@ impl ScanStore {
             SCAN_STORE_HEADER_PREFIX,
             &expected_header_fields(),
             |text, generation| {
-                let mut lines = text.lines();
-                lines.next();
-                parse_body(lines, generation)
-                    .map(|entries| entries.into_iter().map(|(_, _, stamp)| stamp).collect())
+                let body_start = text.lines().next().map_or(0, |l| l.len() + 1);
+                let (entries, salvage) = parse_body(text, body_start, generation);
+                (
+                    entries.into_iter().map(|(_, _, stamp)| stamp).collect(),
+                    salvage,
+                )
             },
         )
         .ok_or_else(|| MergeError::Incompatible {
@@ -341,7 +389,11 @@ impl ScanStore {
         ScanStoreStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.records.lock().unwrap().len() as u64,
+            entries: self
+                .records
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .len() as u64,
         }
     }
 
@@ -365,9 +417,16 @@ impl ScanStore {
     }
 
     /// Whether `open` found a file it had to discard (written by a different
-    /// format/encoding/fingerprint revision, or malformed).
+    /// format/encoding/fingerprint revision).
     pub fn was_invalidated(&self) -> bool {
         self.invalidated
+    }
+
+    /// The damage report when `open` had to drop bad lines from a torn or
+    /// corrupted body; `None` when the file loaded clean (or was missing
+    /// or invalidated wholesale).
+    pub fn salvage(&self) -> Option<&SalvageReport> {
+        self.salvage.as_ref()
     }
 
     /// The backing file path.
@@ -388,14 +447,16 @@ fn write_scan_store_file(
     let mut out = ScanStore::header(generation);
     out.push('\n');
     for (fp, record, stamp) in entries {
-        let _ = writeln!(
-            out,
-            "M g{stamp} {fp:032x} f{} r{}",
-            record.functions,
-            record.reports.len()
+        write_checksummed_line(
+            &mut out,
+            &format!(
+                "M g{stamp} {fp:032x} f{} r{}",
+                record.functions,
+                record.reports.len()
+            ),
         );
         for report in &record.reports {
-            write_report(&mut out, report);
+            write_checksummed_line(&mut out, &report_payload(report));
         }
     }
     let mut tmp = path.to_path_buf().into_os_string();
@@ -406,8 +467,9 @@ fn write_scan_store_file(
     Ok(())
 }
 
-/// Serialize one report as an `R` line.
-fn write_report(out: &mut String, report: &BugReport) {
+/// Render one report as an `R` line payload (checksummed by the caller).
+fn report_payload(report: &BugReport) -> String {
+    let mut out = String::new();
     let _ = write!(
         out,
         "R {} {} {} {} {} {}",
@@ -426,65 +488,114 @@ fn write_report(out: &mut String, report: &BugReport) {
             escape(&src.location)
         );
     }
-    out.push('\n');
+    out
 }
 
-/// Parse a whole store file into its header generation and records.
-/// `None` means "discard everything": wrong header or any malformed line
-/// (a partially trusted cache is worse than an empty one).
+/// Parse a whole store file into its header generation, its verifiable
+/// records, and the salvage report describing what was dropped. `None`
+/// only on a header mismatch — a file written by a different revision
+/// cannot be trusted at all; a file with a good header is salvaged record
+/// by record.
 #[allow(clippy::type_complexity)]
-fn parse_store(text: &str) -> Option<(u64, HashMap<ModuleFingerprint, (ModuleRecord, u64)>)> {
-    let mut lines = text.lines();
-    let generation: u64 = lines
-        .next()?
+fn parse_store(
+    text: &str,
+) -> Option<(
+    u64,
+    HashMap<ModuleFingerprint, (ModuleRecord, u64)>,
+    SalvageReport,
+)> {
+    let first = text.lines().next()?;
+    let generation: u64 = first
         .strip_prefix(&format!(
             "stack-scan-store v{SCAN_STORE_FORMAT_VERSION} enc{} fpr{FINGERPRINT_REVISION} gen",
             stack_solver::ENCODING_REVISION
         ))?
         .parse()
         .ok()?;
-    let entries = parse_body(lines, generation)?;
+    let (entries, salvage) = parse_body(text, first.len() + 1, generation);
     Some((
         generation,
         entries
             .into_iter()
             .map(|(fp, record, stamp)| (fp, (record, stamp)))
             .collect(),
+        salvage,
     ))
 }
 
-/// Parse the module lines of a store body (everything after the header).
-/// `None` on any malformed line; stamps from beyond `generation` are
-/// malformed too.
+/// Salvage-parse the module records of a store body (everything from
+/// `body_start` on). The salvage unit is one record: an `M` line plus its
+/// `r` `R` lines. A record survives only if every one of its lines
+/// checksums and parses, its stamp is not from the future, and its
+/// fingerprint was not already seen (a duplicate is the signature of a
+/// torn write — the first record wins). A failed record drops its `M`
+/// line and resynchronizes at the next line, so orphaned `R` lines after
+/// damage drop individually.
 #[allow(clippy::type_complexity)]
 fn parse_body(
-    mut lines: std::str::Lines<'_>,
+    text: &str,
+    body_start: usize,
     generation: u64,
-) -> Option<Vec<(ModuleFingerprint, ModuleRecord, u64)>> {
+) -> (Vec<(ModuleFingerprint, ModuleRecord, u64)>, SalvageReport) {
     let mut entries = Vec::new();
-    while let Some(line) = lines.next() {
-        if line.is_empty() {
+    let mut seen = HashSet::new();
+    let mut salvage = SalvageReport::default();
+    let mut lines = body_lines(text, body_start).peekable();
+    while let Some((line, offset, terminated)) = lines.next() {
+        let header = if terminated {
+            verify_checksummed_line(line).and_then(|payload| parse_module_line(payload, generation))
+        } else {
+            None
+        };
+        let Some((fp, stamp, functions, nreports)) = header else {
+            salvage.bad(offset);
+            continue;
+        };
+        let mut reports = Vec::with_capacity(nreports);
+        while reports.len() < nreports {
+            let parsed = match lines.peek() {
+                Some(&(rline, _, rterminated)) if rterminated => {
+                    verify_checksummed_line(rline).and_then(parse_report)
+                }
+                _ => None,
+            };
+            match parsed {
+                Some(report) => {
+                    lines.next();
+                    reports.push(report);
+                }
+                // Leave the offending line for the outer loop: it is
+                // counted (and resynchronized on) as its own bad line.
+                None => break,
+            }
+        }
+        if reports.len() < nreports || !seen.insert(fp) {
+            salvage.bad(offset);
             continue;
         }
-        let rest = line.strip_prefix("M ")?;
-        let mut parts = rest.split(' ');
-        let stamp: u64 = parts.next()?.strip_prefix('g')?.parse().ok()?;
-        if stamp > generation {
-            return None;
-        }
-        let fp = u128::from_str_radix(parts.next()?, 16).ok()?;
-        let functions: usize = parts.next()?.strip_prefix('f')?.parse().ok()?;
-        let nreports: usize = parts.next()?.strip_prefix('r')?.parse().ok()?;
-        if parts.next().is_some() {
-            return None;
-        }
-        let mut reports = Vec::with_capacity(nreports);
-        for _ in 0..nreports {
-            reports.push(parse_report(lines.next()?)?);
-        }
         entries.push((fp, ModuleRecord { functions, reports }, stamp));
+        salvage.entry();
     }
-    Some(entries)
+    (entries, salvage)
+}
+
+/// Parse one verified `M` line payload into (fingerprint, stamp,
+/// functions, report count). Stamps from beyond `generation` are
+/// malformed.
+fn parse_module_line(payload: &str, generation: u64) -> Option<(u128, u64, usize, usize)> {
+    let rest = payload.strip_prefix("M ")?;
+    let mut parts = rest.split(' ');
+    let stamp: u64 = parts.next()?.strip_prefix('g')?.parse().ok()?;
+    if stamp > generation {
+        return None;
+    }
+    let fp = u128::from_str_radix(parts.next()?, 16).ok()?;
+    let functions: usize = parts.next()?.strip_prefix('f')?.parse().ok()?;
+    let nreports: usize = parts.next()?.strip_prefix('r')?.parse().ok()?;
+    if parts.next().is_some() {
+        return None;
+    }
+    Some((fp, stamp, functions, nreports))
 }
 
 /// Parse one `R` line back into a report.
@@ -693,35 +804,165 @@ mod tests {
         std::fs::remove_file(&path).unwrap();
     }
 
+    /// One checksummed body line (payload + valid CRC + newline).
+    fn line(payload: &str) -> String {
+        let mut out = String::new();
+        write_checksummed_line(&mut out, payload);
+        out
+    }
+
     #[test]
-    fn mismatched_revision_and_malformed_content_self_invalidate() {
+    fn mismatched_revision_self_invalidates() {
         let bad_headers = [
-            "stack-scan-store v1 enc1 fpr1\n".to_string(), // the pre-generation format
+            "stack-scan-store v2 enc1 fpr1\n".to_string(), // the pre-checksum format
             format!(
                 "stack-scan-store v{SCAN_STORE_FORMAT_VERSION} enc999 fpr{FINGERPRINT_REVISION} gen1\n"
             ),
         ];
         for header in &bad_headers {
             let path = temp_path("stale");
-            std::fs::write(&path, format!("{header}M g1 1 f1 r0\n")).unwrap();
+            std::fs::write(&path, format!("{header}{}", line("M g1 1 f1 r0"))).unwrap();
             let store = ScanStore::open(&path).unwrap();
             assert!(store.was_invalidated(), "header {header:?}");
             assert_eq!(store.loaded_entries(), 0);
             std::fs::remove_file(&path).unwrap();
         }
-        for body in [
-            "garbage\n",
-            "M 1 f1 r0\n",    // stamp missing
-            "M g2 1 f1 r0\n", // stamp beyond the header generation
-            "M g1 nothex f1 r0\n",
-            "M g1 1 f1 r1\n", // missing R line
-            "M g1 1 f1 r1\nR wat 1 0 f g d\n",
+    }
+
+    #[test]
+    fn bad_records_are_salvaged_not_fatal() {
+        for bad in [
+            "garbage\n".to_string(),
+            line("M 3 f1 r0"),         // stamp missing
+            line("M g2 3 f1 r0"),      // stamp beyond the header generation
+            line("M g1 nothex f1 r0"), // bad fingerprint
+            line("M g1 3 f1 r1"),      // missing R line
         ] {
-            let path = temp_path("malformed");
-            std::fs::write(&path, format!("{}\n{body}", ScanStore::header(1))).unwrap();
+            let path = temp_path("salvaged");
+            // One good record on each side of the damage.
+            std::fs::write(
+                &path,
+                format!(
+                    "{}\n{}{bad}{}",
+                    ScanStore::header(1),
+                    line("M g1 1 f1 r0"),
+                    line("M g1 2 f2 r0")
+                ),
+            )
+            .unwrap();
             let store = ScanStore::open(&path).unwrap();
-            assert!(store.was_invalidated(), "body {body:?}");
+            assert!(!store.was_invalidated(), "bad {bad:?}");
+            assert_eq!(store.loaded_entries(), 2, "bad {bad:?}");
+            assert!(store.lookup(1).is_some());
+            assert!(store.lookup(2).is_some());
+            let salvage = *store.salvage().expect("damage must be reported");
+            assert_eq!(salvage.dropped_lines, 1, "bad {bad:?}");
+            assert_eq!(salvage.valid_prefix_entries, 1);
+            assert_eq!(salvage.salvaged_entries, 2);
+            assert_eq!(
+                salvage.first_bad_offset,
+                Some((ScanStore::header(1).len() + 1 + line("M g1 1 f1 r0").len()) as u64)
+            );
+            // A save rewrites the file canonically; the re-open is clean.
+            store.save().unwrap();
+            let healed = ScanStore::open(&path).unwrap();
+            assert_eq!(healed.loaded_entries(), 2);
+            assert!(healed.salvage().is_none());
             std::fs::remove_file(&path).unwrap();
+        }
+    }
+
+    #[test]
+    fn record_with_bad_report_line_drops_as_a_unit() {
+        // The M line verifies but its R line does not: the whole record
+        // drops (M counted, then the orphan R line counted on resync) and
+        // the following record still loads.
+        let path = temp_path("bad-report");
+        std::fs::write(
+            &path,
+            format!(
+                "{}\n{}{}{}",
+                ScanStore::header(1),
+                line("M g1 1 f1 r1"),
+                line("R wat 1 0 f g d"),
+                line("M g1 2 f2 r0")
+            ),
+        )
+        .unwrap();
+        let store = ScanStore::open(&path).unwrap();
+        assert!(!store.was_invalidated());
+        assert_eq!(store.loaded_entries(), 1);
+        assert!(store.lookup(1).is_none());
+        assert!(store.lookup(2).is_some());
+        let salvage = store.salvage().unwrap();
+        assert_eq!(salvage.dropped_lines, 2);
+        assert_eq!(salvage.valid_prefix_entries, 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn duplicate_fingerprints_keep_the_first_record() {
+        let path = temp_path("dup");
+        std::fs::write(
+            &path,
+            format!(
+                "{}\n{}{}",
+                ScanStore::header(2),
+                line("M g2 1 f3 r0"),
+                line("M g1 1 f5 r0")
+            ),
+        )
+        .unwrap();
+        let store = ScanStore::open(&path).unwrap();
+        assert!(!store.was_invalidated());
+        assert_eq!(store.loaded_entries(), 1);
+        assert_eq!(store.lookup(1).unwrap().functions, 3, "first record wins");
+        assert_eq!(store.salvage().unwrap().dropped_lines, 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_store_salvages_the_intact_prefix() {
+        let path = store_with("truncate", &[(1, 1), (2, 2), (3, 3)]);
+        let full = std::fs::read(&path).unwrap();
+        // Cut mid-way through the final record's R line: records 1 and 2
+        // survive, the torn record drops.
+        std::fs::write(&path, &full[..full.len() - 4]).unwrap();
+        let store = ScanStore::open(&path).unwrap();
+        assert!(!store.was_invalidated());
+        assert_eq!(store.loaded_entries(), 2);
+        assert!(store.lookup(1).is_some());
+        assert!(store.lookup(2).is_some());
+        assert!(store.lookup(3).is_none());
+        let salvage = store.salvage().unwrap();
+        assert_eq!(salvage.valid_prefix_entries, 2);
+        assert!(salvage.dropped_lines >= 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn merge_rejects_stores_that_need_salvage() {
+        let good = store_with("merge-salvage-good", &[(1, 1)]);
+        let torn = temp_path("merge-salvage-torn");
+        std::fs::write(
+            &torn,
+            format!(
+                "{}\n{}garbage\n",
+                ScanStore::header(1),
+                line("M g1 2 f1 r0")
+            ),
+        )
+        .unwrap();
+        let out = temp_path("merge-salvage-out");
+        match ScanStore::merge(&out, &[good.clone(), torn.clone()], None) {
+            Err(MergeError::Incompatible { reason, .. }) => {
+                assert!(reason.contains("salvage"), "{reason}");
+            }
+            other => panic!("expected Incompatible, got {other:?}"),
+        }
+        assert!(!out.exists());
+        for path in [good, torn] {
+            std::fs::remove_file(path).unwrap();
         }
     }
 
@@ -885,8 +1126,10 @@ mod tests {
         std::fs::write(
             &a,
             format!(
-                "{}\nM g3 00000000000000000000000000000001 f1 r0\nM g1 00000000000000000000000000000002 f1 r0\n",
-                ScanStore::header(3)
+                "{}\n{}{}",
+                ScanStore::header(3),
+                line("M g3 00000000000000000000000000000001 f1 r0"),
+                line("M g1 00000000000000000000000000000002 f1 r0")
             ),
         )
         .unwrap();
@@ -895,8 +1138,9 @@ mod tests {
         std::fs::write(
             &b,
             format!(
-                "{}\nM g2 00000000000000000000000000000001 f1 r0\n",
-                ScanStore::header(2)
+                "{}\n{}",
+                ScanStore::header(2),
+                line("M g2 00000000000000000000000000000001 f1 r0")
             ),
         )
         .unwrap();
@@ -940,8 +1184,9 @@ mod tests {
         std::fs::write(
             &stale,
             format!(
-                "stack-scan-store v{SCAN_STORE_FORMAT_VERSION} enc1 fpr{} gen4\nM g2 1 f1 r0\n",
-                FINGERPRINT_REVISION + 9
+                "stack-scan-store v{SCAN_STORE_FORMAT_VERSION} enc1 fpr{} gen4\n{}",
+                FINGERPRINT_REVISION + 9,
+                line("M g2 1 f1 r0")
             ),
         )
         .unwrap();

@@ -92,20 +92,30 @@ impl AnalysisSession {
     /// `elapsed` sums the per-module analysis times (not wall clock between
     /// calls); `threads` is the maximum any module used.
     pub fn stats(&self) -> CheckStats {
-        self.aggregate.lock().unwrap().clone()
+        self.aggregate
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
     }
 
     /// Fold externally produced per-module statistics into the session
     /// aggregate — how the scan pipeline accounts for modules it replayed
     /// from the scan store without driving the checker.
     pub(crate) fn absorb_stats(&self, stats: &CheckStats) {
-        self.aggregate.lock().unwrap().merge(stats);
+        self.aggregate
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .merge(stats);
     }
 
     /// A solver wired to this session's budget, (if enabled) query store,
     /// and (if enabled) incremental solving mode.
     fn make_solver(&self) -> BvSolver {
-        let mut solver = BvSolver::with_budget(Budget::propagations(self.config.query_budget));
+        let budget = match self.config.query_budget {
+            0 => Budget::unlimited(),
+            n => Budget::propagations(n),
+        };
+        let mut solver = BvSolver::with_budget(budget);
         if self.config.query_cache {
             solver.set_store(Some(Arc::clone(&self.store)));
         }
@@ -210,6 +220,7 @@ impl AnalysisSession {
             functions: functions.len(),
             queries: solver_stats.queries,
             timeouts: solver_stats.timeouts,
+            degraded_modules: usize::from(solver_stats.timeouts > 0),
             cache_hits: solver_stats.cache_hits,
             cache_misses: solver_stats.cache_misses,
             incremental_queries: solver_stats.incremental_queries,
@@ -218,7 +229,10 @@ impl AnalysisSession {
             elapsed: start.elapsed(),
             by_algorithm,
         };
-        self.aggregate.lock().unwrap().merge(&stats);
+        self.aggregate
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .merge(&stats);
         stats
     }
 
@@ -226,6 +240,13 @@ impl AnalysisSession {
     /// from a shared counter and return `(index, reports)` pairs plus their
     /// private solver's statistics, which are merged field-by-field (so the
     /// aggregate equals what one sequential solver would have counted).
+    ///
+    /// Each per-function check runs under `catch_unwind`, and a panicking
+    /// worker stops drawing work. After every worker has drained, the panic
+    /// attached to the *lowest* function index is re-raised — the same one
+    /// a sequential run would hit first — so the module-level containment
+    /// boundary in the scan pipeline observes an identical payload at any
+    /// thread count.
     fn check_functions_parallel(
         &self,
         functions: &[Function],
@@ -234,6 +255,7 @@ impl AnalysisSession {
         let next = AtomicUsize::new(0);
         let mut per_function: Vec<Vec<BugReport>> = vec![Vec::new(); functions.len()];
         let mut solver_stats = SolverStats::default();
+        let mut first_panic: Option<(usize, Box<dyn std::any::Any + Send>)> = None;
         std::thread::scope(|scope| {
             let workers: Vec<_> = (0..threads)
                 .map(|_| {
@@ -241,23 +263,43 @@ impl AnalysisSession {
                     scope.spawn(move || {
                         let mut solver = self.make_solver();
                         let mut local: Vec<(usize, Vec<BugReport>)> = Vec::new();
+                        let mut panicked: Option<(usize, Box<dyn std::any::Any + Send>)> = None;
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             let Some(func) = functions.get(i) else { break };
-                            local.push((i, self.check_function(func, &mut solver)));
+                            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                self.check_function(func, &mut solver)
+                            })) {
+                                Ok(reports) => local.push((i, reports)),
+                                Err(payload) => {
+                                    panicked = Some((i, payload));
+                                    break;
+                                }
+                            }
                         }
-                        (local, solver.stats())
+                        (local, solver.stats(), panicked)
                     })
                 })
                 .collect();
             for worker in workers {
-                let (local, stats) = worker.join().expect("checker worker panicked");
+                let (local, stats, panicked) = worker
+                    .join()
+                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
                 solver_stats.merge(&stats);
                 for (i, reports) in local {
                     per_function[i] = reports;
                 }
+                if let Some((i, payload)) = panicked {
+                    match &first_panic {
+                        Some((j, _)) if *j <= i => {}
+                        _ => first_panic = Some((i, payload)),
+                    }
+                }
             }
         });
+        if let Some((_, payload)) = first_panic {
+            std::panic::resume_unwind(payload);
+        }
         (per_function, solver_stats)
     }
 

@@ -296,10 +296,13 @@ mod tests {
             packages: 6,
             ..ArchiveConfig::default()
         };
-        for file in generate_archive(&cfg) {
-            stack_minic::compile(&file.source, &file.name)
-                .unwrap_or_else(|e| panic!("{}: {e}\n{}", file.name, file.source));
-        }
+        let files = generate_archive(&cfg);
+        let checked = crate::validate_sources(
+            files.iter().map(|f| (f.name.as_str(), f.source.as_str())),
+            |name, source| stack_minic::compile(source, name).map(|_| ()),
+        )
+        .unwrap();
+        assert_eq!(checked, files.len());
     }
 
     #[test]
@@ -389,9 +392,15 @@ mod tests {
             ..ArchiveConfig::default()
         });
         let churned = churn_archive(&base, 11, 0.3);
+        crate::validate_sources(
+            churned
+                .files
+                .iter()
+                .map(|f| (f.name.as_str(), f.source.as_str())),
+            |name, source| stack_minic::compile(source, name).map(|_| ()),
+        )
+        .unwrap();
         for (before, after) in base.iter().zip(churned.files.iter()) {
-            stack_minic::compile(&after.source, &after.name)
-                .unwrap_or_else(|e| panic!("{}: {e}\n{}", after.name, after.source));
             if after.injected == before.injected && after.source != before.source {
                 // Cosmetic edit: every original code line keeps its line
                 // number (edits only append or stay within a line).

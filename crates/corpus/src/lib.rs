@@ -22,6 +22,24 @@ pub mod patterns;
 pub mod synth;
 pub mod systems;
 
+/// Compile-check a generated population with a caller-supplied front end,
+/// stopping at the first failure and rendering it as a `file: error`
+/// string. The generators are seeded and deterministic, so a failure here
+/// means a generator bug; drivers (`stack gen-archive`, this crate's own
+/// tests) surface it as a clean user-facing error instead of panicking
+/// mid-write. Returns how many files validated.
+pub fn validate_sources<'a, E: std::fmt::Display>(
+    files: impl IntoIterator<Item = (&'a str, &'a str)>,
+    mut compile: impl FnMut(&'a str, &'a str) -> Result<(), E>,
+) -> Result<usize, String> {
+    let mut checked = 0;
+    for (name, source) in files {
+        compile(name, source).map_err(|e| format!("{name}: {e}"))?;
+        checked += 1;
+    }
+    Ok(checked)
+}
+
 pub use archive::{
     churn_archive, generate_archive, write_archive, ArchiveConfig, ArchiveFile, ChurnedArchive,
 };

@@ -200,12 +200,19 @@ mod tests {
             seed: 7,
             ..SynthConfig::default()
         };
-        for pkg in generate(&cfg) {
-            for file in &pkg.files {
-                stack_minic::compile(&file.source, &file.name)
-                    .unwrap_or_else(|e| panic!("{}: {e}\n{}", file.name, file.source));
-            }
-        }
+        let packages = generate(&cfg);
+        let checked = crate::validate_sources(
+            packages
+                .iter()
+                .flat_map(|pkg| &pkg.files)
+                .map(|f| (f.name.as_str(), f.source.as_str())),
+            |name, source| stack_minic::compile(source, name).map(|_| ()),
+        )
+        .unwrap();
+        assert_eq!(
+            checked,
+            packages.iter().map(|p| p.files.len()).sum::<usize>()
+        );
     }
 
     #[test]

@@ -86,7 +86,7 @@ impl<'a> FuncLowerer<'a> {
         for (i, p) in self.def.params.iter().enumerate() {
             let slot_ptr = self.builder.alloca(ctype_to_ir(&p.ty), 1);
             self.builder.store(slot_ptr, Operand::Param(i as u32));
-            self.scopes.last_mut().unwrap().insert(
+            self.current_scope()?.insert(
                 p.name.clone(),
                 Slot {
                     ptr: slot_ptr,
@@ -145,6 +145,17 @@ impl<'a> FuncLowerer<'a> {
         ))
     }
 
+    /// The innermost scope. A scope is pushed before any statement lowers
+    /// and the stack never drains below the function scope, so an empty
+    /// stack is a broken internal invariant — reported as a [`Diag`] like
+    /// every other lowering error instead of panicking the caller.
+    fn current_scope(&mut self) -> Result<&mut HashMap<String, Slot>, Diag> {
+        let function = self.def.name.clone();
+        self.scopes
+            .last_mut()
+            .ok_or_else(|| Diag::new(format!("{function}: internal error: no active scope"), 0, 0))
+    }
+
     // ---- Statements -------------------------------------------------------------
 
     fn lower_stmts(&mut self, stmts: &[Stmt]) -> Result<(), Diag> {
@@ -182,7 +193,7 @@ impl<'a> FuncLowerer<'a> {
                 let count = array.unwrap_or(1);
                 let elem_ir = ctype_to_ir(ty);
                 let slot_ptr = self.builder.alloca(elem_ir, count);
-                self.scopes.last_mut().unwrap().insert(
+                self.current_scope()?.insert(
                     name.clone(),
                     Slot {
                         ptr: slot_ptr,
@@ -718,10 +729,17 @@ impl<'a> FuncLowerer<'a> {
             | BinOpKind::Ge
             | BinOpKind::Eq
             | BinOpKind::Ne => {
-                let pred = comparison_pred(op, signed);
+                let Some(pred) = comparison_pred(op, signed) else {
+                    return self.err("internal error: non-comparison operator", span);
+                };
                 (self.builder.cmp(pred, lv, rv), CType::Bool)
             }
-            BinOpKind::LogicalAnd | BinOpKind::LogicalOr => unreachable!(),
+            BinOpKind::LogicalAnd | BinOpKind::LogicalOr => {
+                return self.err(
+                    "internal error: short-circuit operator reached arithmetic lowering",
+                    span,
+                )
+            }
         };
         Ok(result)
     }
@@ -782,7 +800,9 @@ impl<'a> FuncLowerer<'a> {
                 // null pointer constant.
                 let lv = self.coerce_to_pointer(lv, &lty);
                 let rv = self.coerce_to_pointer(rv, &rty);
-                let pred = comparison_pred(op, false);
+                let Some(pred) = comparison_pred(op, false) else {
+                    return self.err("internal error: non-comparison operator", span);
+                };
                 Ok((self.builder.cmp(pred, lv, rv), CType::Bool))
             }
             other => self.err(&format!("unsupported pointer operation {other:?}"), span),
@@ -818,7 +838,12 @@ impl<'a> FuncLowerer<'a> {
         match op {
             BinOpKind::LogicalAnd => self.builder.cond_br(lflag, rhs_bb, merge),
             BinOpKind::LogicalOr => self.builder.cond_br(lflag, merge, rhs_bb),
-            _ => unreachable!(),
+            _ => {
+                return self.err(
+                    "internal error: lower_short_circuit needs a short-circuit operator",
+                    span,
+                )
+            }
         }
         self.builder.switch_to(rhs_bb);
         let (rv, rty) = self.lower_expr(rhs)?;
@@ -992,8 +1017,11 @@ fn int_info(t: &CType) -> (u32, bool) {
     }
 }
 
-fn comparison_pred(op: BinOpKind, signed: bool) -> CmpPred {
-    match (op, signed) {
+/// The IR predicate of a comparison operator, or `None` for a
+/// non-comparison operator (callers surface that as a lowering [`Diag`],
+/// never a panic — the library must stay panic-free on any input).
+fn comparison_pred(op: BinOpKind, signed: bool) -> Option<CmpPred> {
+    Some(match (op, signed) {
         (BinOpKind::Eq, _) => CmpPred::Eq,
         (BinOpKind::Ne, _) => CmpPred::Ne,
         (BinOpKind::Lt, true) => CmpPred::Slt,
@@ -1004,8 +1032,8 @@ fn comparison_pred(op: BinOpKind, signed: bool) -> CmpPred {
         (BinOpKind::Gt, false) => CmpPred::Ugt,
         (BinOpKind::Ge, true) => CmpPred::Sge,
         (BinOpKind::Ge, false) => CmpPred::Uge,
-        _ => unreachable!("not a comparison"),
-    }
+        _ => return None,
+    })
 }
 
 #[cfg(test)]

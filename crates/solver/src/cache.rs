@@ -106,7 +106,12 @@ impl QueryCache {
 
     /// Look up a decided result for `key`, updating hit/miss counters.
     pub(crate) fn lookup(&self, key: &CacheKey) -> Option<QueryResult> {
-        let found = self.shard(key).lock().unwrap().get(key).cloned();
+        let found = self
+            .shard(key)
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(key)
+            .cloned();
         match found {
             Some(CachedResult::Sat(model)) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -131,7 +136,10 @@ impl QueryCache {
             QueryResult::Unsat => CachedResult::Unsat,
             QueryResult::Unknown => return,
         };
-        let mut shard = self.shard(&key).lock().unwrap();
+        let mut shard = self
+            .shard(&key)
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if shard.insert(key, value).is_none() {
             self.entries.fetch_add(1, Ordering::Relaxed);
         }
@@ -143,7 +151,11 @@ impl QueryCache {
     pub fn entries_snapshot(&self) -> Vec<(CacheKey, QueryResult)> {
         let mut out = Vec::new();
         for shard in &self.shards {
-            for (key, value) in shard.lock().unwrap().iter() {
+            for (key, value) in shard
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .iter()
+            {
                 let result = match value {
                     CachedResult::Sat(model) => QueryResult::Sat(model.clone()),
                     CachedResult::Unsat => QueryResult::Unsat,

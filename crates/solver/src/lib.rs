@@ -48,7 +48,7 @@ pub use model::Model;
 pub use sat::{Budget, SatResult, SatSolver, SatStats};
 pub use solver::{free_variables, BvSolver, QueryResult, SolverStats};
 pub use store::{
-    DiskQueryStore, MergeError, MergeStats, QueryStore, StoreInspection, ENCODING_REVISION,
-    STORE_FORMAT_VERSION,
+    crc32, DiskQueryStore, MergeError, MergeStats, QueryStore, SalvageReport, StoreInspection,
+    ENCODING_REVISION, STORE_FORMAT_VERSION,
 };
 pub use term::{mask, to_signed, Sort, Term, TermId, TermKind, TermPool, MAX_WIDTH};

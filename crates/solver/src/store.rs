@@ -25,16 +25,35 @@
 //! file was saved at:
 //!
 //! ```text
-//! stack-query-store v3 enc1 gen7
-//! U g<gen> <fp>,<fp>,...
-//! S g<gen> <fp>,<fp>,...
+//! stack-query-store v4 enc1 gen7
+//! U g<gen> <fp>,<fp>,... !<crc32>
+//! S g<gen> <fp>,<fp>,... !<crc32>
 //! ```
 //!
 //! `U`/`S` lines carry one UNSAT/SAT entry: a last-used generation stamp
 //! and the canonical cache key (sorted 128-bit structural fingerprints,
-//! lower-case hex). Entries are written sorted by key, so saving the same
-//! logical store at the same generation always produces byte-identical
-//! files.
+//! lower-case hex), terminated by a ` !`-prefixed CRC-32 of the payload
+//! (v4). Entries are written sorted by key, so saving the same logical
+//! store at the same generation always produces byte-identical files.
+//!
+//! ## Crash safety and salvage
+//!
+//! Saves are atomic (temp file + same-directory rename), so an interrupted
+//! save never replaces a good store. But the file can still arrive torn —
+//! a crashed copy, a truncated disk, a bit flip in transit — and a cache
+//! must never serve a wrong answer because of it. The per-line checksum is
+//! what makes the failure model per-entry instead of per-file: at `open`,
+//! a body line whose checksum or syntax does not verify is **dropped and
+//! counted** (see [`SalvageReport`]) while every intact line loads
+//! normally, and a later `save` rewrites the file canonically. Duplicate
+//! keys (the signature of a torn write that spliced two file versions)
+//! keep the first occurrence; an unterminated final line is treated as
+//! truncation debris. Only a header mismatch — wrong format or encoding
+//! revision, i.e. a file whose *semantics* cannot be trusted — still
+//! discards the store wholesale ([`DiskQueryStore::was_invalidated`]).
+//! [`merge`] stays strict: a store that needed salvage is refused, never
+//! silently folded into a fleet-shared artifact. `stack store fsck
+//! [--repair]` drives the same salvage path from the command line.
 //!
 //! SAT entries persist the decided **fact**, never the witness model. The
 //! fact is canonical — structurally identical queries decide identically —
@@ -60,8 +79,8 @@
 //! is `n` or more generations old. Entries used this run are never dropped.
 //!
 //! A header that does not match the running binary's
-//! [`STORE_FORMAT_VERSION`]/[`ENCODING_REVISION`] — or any malformed line —
-//! causes the whole file to be discarded and the store to start empty
+//! [`STORE_FORMAT_VERSION`]/[`ENCODING_REVISION`] causes the whole file to
+//! be discarded and the store to start empty
 //! ([`DiskQueryStore::was_invalidated`] reports it). Fingerprints bake in
 //! the term encoding, so a stale cache produced by an older encoder or
 //! solver must self-invalidate rather than serve wrong answers. `Unknown`
@@ -85,9 +104,11 @@ use std::sync::Mutex;
 /// On-disk layout version of the store file. Bump when the file syntax
 /// changes. (v2 added the header generation and per-entry last-used
 /// stamps; v3 dropped witness models from `S` lines — witnesses are
-/// search-history-dependent, and a mergeable artifact must not be. Older
-/// files self-invalidate, as any stale cache does.)
-pub const STORE_FORMAT_VERSION: u32 = 3;
+/// search-history-dependent, and a mergeable artifact must not be; v4
+/// added the per-line ` !<crc32>` checksum that makes torn or truncated
+/// stores salvageable line by line. Older files self-invalidate, as any
+/// stale cache does.)
+pub const STORE_FORMAT_VERSION: u32 = 4;
 
 /// Revision of everything a fingerprint's meaning depends on: the term
 /// encoding, the structural fingerprint function, and the solver's decided
@@ -147,6 +168,9 @@ pub struct DiskQueryStore {
     compact_after: AtomicU64,
     loaded: u64,
     invalidated: bool,
+    /// Set when `open` had to drop bad lines from a torn or corrupted
+    /// body (`None` for a clean or missing file).
+    salvage: Option<SalvageReport>,
 }
 
 impl DiskQueryStore {
@@ -158,9 +182,11 @@ impl DiskQueryStore {
     /// Open a store backed by `path`, loading every persisted entry and
     /// starting the next generation. A missing file yields an empty store
     /// at generation 1; a file with a mismatched header (older format or
-    /// encoding revision) or any malformed content is discarded wholesale
-    /// and [`was_invalidated`](Self::was_invalidated) reports it. Only I/O
-    /// failures are errors.
+    /// encoding revision) is discarded wholesale and
+    /// [`was_invalidated`](Self::was_invalidated) reports it. A compatible
+    /// file with torn or corrupted body lines loads every line that
+    /// checksums and parses, drops the rest, and reports the damage
+    /// through [`salvage`](Self::salvage). Only I/O failures are errors.
     pub fn open(path: impl Into<PathBuf>) -> io::Result<DiskQueryStore> {
         let path = path.into();
         let mut store = DiskQueryStore {
@@ -171,6 +197,7 @@ impl DiskQueryStore {
             compact_after: AtomicU64::new(0),
             loaded: 0,
             invalidated: false,
+            salvage: None,
         };
         let text = match std::fs::read_to_string(&store.path) {
             Ok(text) => text,
@@ -178,7 +205,7 @@ impl DiskQueryStore {
             Err(e) => return Err(e),
         };
         match parse_store(&text) {
-            Some((file_generation, entries)) => {
+            Some((file_generation, entries, salvage)) => {
                 store.generation = file_generation + 1;
                 store.loaded = entries.len() as u64;
                 for (key, result, stamp) in entries {
@@ -187,6 +214,9 @@ impl DiskQueryStore {
                         .unwrap()
                         .insert(key.clone(), stamp);
                     store.mem.insert(key, &result);
+                }
+                if !salvage.is_clean() {
+                    store.salvage = Some(salvage);
                 }
             }
             None => store.invalidated = true,
@@ -214,7 +244,7 @@ impl DiskQueryStore {
                 // populations of the inner cache.
                 let stamp = self.last_used[shard_index(&key)]
                     .lock()
-                    .unwrap()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
                     .get(&key)
                     .copied()
                     .unwrap_or(self.generation);
@@ -275,11 +305,24 @@ impl DiskQueryStore {
                 path: path.clone(),
                 reason,
             })?;
-            let (file_generation, entries) =
+            let (file_generation, entries, salvage) =
                 parse_store(&text).ok_or_else(|| MergeError::Incompatible {
                     path: path.clone(),
                     reason: "malformed store content".to_string(),
                 })?;
+            // A store that needed salvage may have lost entries; folding
+            // it into a fleet-shared artifact would bake the loss in.
+            // Re-save it (`stack store fsck --repair`) first.
+            if !salvage.is_clean() {
+                return Err(MergeError::Incompatible {
+                    path: path.clone(),
+                    reason: format!(
+                        "store needs salvage ({} bad line{}); run fsck --repair before merging",
+                        salvage.dropped_lines,
+                        if salvage.dropped_lines == 1 { "" } else { "s" }
+                    ),
+                });
+            }
             stats.generation = stats.generation.max(file_generation);
             stats.entries_in += entries.len() as u64;
             for (key, result, stamp) in entries {
@@ -340,10 +383,12 @@ impl DiskQueryStore {
                 ("enc", u64::from(ENCODING_REVISION)),
             ],
             |text, generation| {
-                let mut lines = text.lines();
-                lines.next();
-                parse_body(lines, generation)
-                    .map(|entries| entries.into_iter().map(|(_, _, stamp)| stamp).collect())
+                let body_start = text.lines().next().map_or(0, |l| l.len() + 1);
+                let (entries, salvage) = parse_body(text, body_start, generation);
+                (
+                    entries.into_iter().map(|(_, _, stamp)| stamp).collect(),
+                    salvage,
+                )
             },
         )
         .ok_or_else(|| MergeError::Incompatible {
@@ -372,10 +417,16 @@ impl DiskQueryStore {
     }
 
     /// Whether `open` found a file it had to discard (mismatched header —
-    /// written by a different format or encoding revision — or malformed
-    /// content).
+    /// written by a different format or encoding revision).
     pub fn was_invalidated(&self) -> bool {
         self.invalidated
+    }
+
+    /// The damage report when `open` had to drop bad lines from a torn or
+    /// corrupted body; `None` when the file loaded clean (or was missing
+    /// or invalidated wholesale).
+    pub fn salvage(&self) -> Option<&SalvageReport> {
+        self.salvage.as_ref()
     }
 
     /// The backing file path.
@@ -391,7 +442,9 @@ impl QueryStore for DiskQueryStore {
         // keeps live entries out of compaction's reach. Idempotent within
         // a run, so a key already stamped this generation skips the
         // key-clone insert entirely (the common case on warm scans).
-        let mut stamps = self.last_used[shard_index(key)].lock().unwrap();
+        let mut stamps = self.last_used[shard_index(key)]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         match stamps.get(key) {
             Some(&g) if g == self.generation => {}
             _ => {
@@ -408,7 +461,7 @@ impl QueryStore for DiskQueryStore {
         }
         self.last_used[shard_index(&key)]
             .lock()
-            .unwrap()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .insert(key.clone(), self.generation);
         self.mem.insert(key, result);
     }
@@ -509,10 +562,17 @@ pub struct StoreInspection {
     /// Whether every header field matches the running binary — i.e.
     /// whether `open` would load this file and `merge` would accept it.
     pub compatible: bool,
-    /// Whether the body failed to parse under the current line format.
+    /// Whether any body line failed to checksum or parse under the
+    /// current line format (those lines were dropped; the rest counted).
     pub malformed: bool,
-    /// Entries counted (0 when `malformed`).
+    /// Entries that checksummed and parsed (salvageable content).
     pub entries: u64,
+    /// Entries in the intact leading prefix, before the first bad line.
+    pub salvageable_prefix: u64,
+    /// Byte offset of the first bad line, when `malformed`.
+    pub first_bad_offset: Option<u64>,
+    /// Body lines dropped as unverifiable.
+    pub dropped_lines: u64,
     /// last-used generation stamp → entry count.
     pub last_used: BTreeMap<u64, u64>,
 }
@@ -534,7 +594,24 @@ impl StoreInspection {
             if self.compatible { "yes" } else { "NO" }
         );
         if self.malformed {
-            let _ = writeln!(out, "  body             malformed (unknown line format)");
+            let _ = writeln!(
+                out,
+                "  body             {} bad line{} (first at byte offset {})",
+                self.dropped_lines,
+                if self.dropped_lines == 1 { "" } else { "s" },
+                self.first_bad_offset.unwrap_or(0)
+            );
+            let _ = writeln!(
+                out,
+                "  salvageable      {:>8} leading entr{} ({} total)",
+                self.salvageable_prefix,
+                if self.salvageable_prefix == 1 {
+                    "y"
+                } else {
+                    "ies"
+                },
+                self.entries
+            );
         }
         let _ = writeln!(out, "  entries          {:>8}", self.entries);
         if !self.last_used.is_empty() {
@@ -603,14 +680,16 @@ pub fn check_header_compatible(
 /// Shared body of both stores' `inspect`: parse the header leniently,
 /// compare against the expected fields, and histogram the last-used
 /// stamps `parse_stamps` extracts — called with the full file text and
-/// the header's generation (best-effort; a body in an unknown format
-/// marks the inspection `malformed` instead of failing).
+/// the header's generation. `parse_stamps` is salvage-aware: it returns
+/// every stamp it could verify plus the [`SalvageReport`] describing what
+/// it had to drop, so an inspection of a torn store shows how much of it
+/// is recoverable instead of a bare `malformed`.
 pub fn inspect_text(
     text: &str,
     kind: &'static str,
     prefix: &str,
     expected: &[(&str, u64)],
-    parse_stamps: impl Fn(&str, u64) -> Option<Vec<u64>>,
+    parse_stamps: impl Fn(&str, u64) -> (Vec<u64>, SalvageReport),
 ) -> Option<StoreInspection> {
     let first = text.lines().next().unwrap_or("");
     let fields = header_fields(first, prefix)?;
@@ -618,9 +697,9 @@ pub fn inspect_text(
     let compatible = check_header_compatible(first, prefix, expected).is_ok();
     // Formats that predate generations get an unbounded stamp horizon so
     // their bodies still count.
-    let stamps = parse_stamps(text, field("gen").unwrap_or(u64::MAX));
+    let (stamps, salvage) = parse_stamps(text, field("gen").unwrap_or(u64::MAX));
     let mut last_used = BTreeMap::new();
-    for &stamp in stamps.iter().flatten() {
+    for &stamp in &stamps {
         *last_used.entry(stamp).or_insert(0) += 1;
     }
     Some(StoreInspection {
@@ -630,9 +709,129 @@ pub fn inspect_text(
         fingerprint_revision: field("fpr"),
         generation: field("gen").unwrap_or(0),
         compatible,
-        malformed: stamps.is_none(),
-        entries: stamps.map_or(0, |s| s.len() as u64),
+        malformed: !salvage.is_clean(),
+        entries: stamps.len() as u64,
+        salvageable_prefix: salvage.valid_prefix_entries,
+        first_bad_offset: salvage.first_bad_offset,
+        dropped_lines: salvage.dropped_lines,
         last_used,
+    })
+}
+
+/// What a salvage pass over a store body recovered and what it dropped.
+/// Produced at `open` (both stores) and by `inspect`; a clean body has
+/// zero dropped lines and no first-bad offset.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SalvageReport {
+    /// Body lines (or multi-line units, for the scan store) dropped
+    /// because a checksum or the line syntax failed to verify.
+    pub dropped_lines: u64,
+    /// Byte offset, from the start of the file, of the first bad line.
+    pub first_bad_offset: Option<u64>,
+    /// Entries recovered before the first bad line — the intact leading
+    /// prefix a simple truncation leaves behind.
+    pub valid_prefix_entries: u64,
+    /// Total entries recovered (the prefix plus every verifiable line
+    /// after the damage).
+    pub salvaged_entries: u64,
+}
+
+impl SalvageReport {
+    /// Whether the body verified in full (nothing was dropped).
+    pub fn is_clean(&self) -> bool {
+        self.dropped_lines == 0
+    }
+
+    /// Count one recovered entry (salvage parsers of both stores).
+    pub fn entry(&mut self) {
+        if self.first_bad_offset.is_none() {
+            self.valid_prefix_entries += 1;
+        }
+        self.salvaged_entries += 1;
+    }
+
+    /// Count one dropped line at `offset` (salvage parsers of both
+    /// stores).
+    pub fn bad(&mut self, offset: u64) {
+        self.dropped_lines += 1;
+        if self.first_bad_offset.is_none() {
+            self.first_bad_offset = Some(offset);
+        }
+    }
+}
+
+/// CRC-32 (IEEE, reflected, polynomial `0xEDB88320`) lookup table,
+/// computed at compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `bytes` — the checksum every v4 store line carries.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// Append `payload` to `out` as one checksummed store line:
+/// `<payload> !<crc32 as 8 lower-case hex digits>\n`. Shared by both
+/// stores' writers (the scan store lives in `stack-core`, hence public).
+pub fn write_checksummed_line(out: &mut String, payload: &str) {
+    let _ = writeln!(out, "{payload} !{:08x}", crc32(payload.as_bytes()));
+}
+
+/// Verify one store line's trailing ` !<crc32>` checksum, returning the
+/// payload it covers. `None` when the suffix is missing, not 8 hex
+/// digits, or does not match — the line cannot be trusted.
+pub fn verify_checksummed_line(line: &str) -> Option<&str> {
+    let (payload, sum) = line.rsplit_once(" !")?;
+    if sum.len() != 8 || !sum.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return None;
+    }
+    let sum = u32::from_str_radix(sum, 16).ok()?;
+    (crc32(payload.as_bytes()) == sum).then_some(payload)
+}
+
+/// Iterate the body lines of a store file (everything from `body_start`
+/// on), yielding each line with its byte offset and whether it was
+/// newline-terminated. An unterminated final line is truncation debris —
+/// the writers always terminate every line — so salvage drops it even
+/// when its checksum happens to verify. Shared by both stores' salvage
+/// parsers (the scan store lives in `stack-core`, hence public).
+pub fn body_lines(text: &str, body_start: usize) -> impl Iterator<Item = (&str, u64, bool)> {
+    let body = text.get(body_start..).unwrap_or("");
+    let mut pos = 0;
+    std::iter::from_fn(move || {
+        while pos < body.len() {
+            let end = body[pos..].find('\n').map_or(body.len(), |i| pos + i);
+            let line = &body[pos..end];
+            let offset = (body_start + pos) as u64;
+            let terminated = end < body.len();
+            pos = end + 1;
+            if line.is_empty() {
+                continue;
+            }
+            return Some((line, offset, terminated));
+        }
+        None
     })
 }
 
@@ -668,68 +867,85 @@ fn write_store_file(
     Ok(())
 }
 
-/// Serialize one entry as a `U`/`S` line with its last-used generation
-/// stamp. `Unknown` cannot appear: the in-memory table never stores it.
-/// `Sat` writes the fact alone — witnesses are process-local (see the
-/// module docs).
+/// Serialize one entry as a checksummed `U`/`S` line with its last-used
+/// generation stamp. `Unknown` cannot appear: the in-memory table never
+/// stores it. `Sat` writes the fact alone — witnesses are process-local
+/// (see the module docs).
 fn write_entry(out: &mut String, key: &CacheKey, result: &QueryResult, stamp: u64) {
-    match result {
-        QueryResult::Unsat => {
-            let _ = writeln!(out, "U g{stamp} {}", key_text(key));
-        }
-        QueryResult::Sat(_) => {
-            let _ = writeln!(out, "S g{stamp} {}", key_text(key));
-        }
+    let tag = match result {
+        QueryResult::Unsat => 'U',
+        QueryResult::Sat(_) => 'S',
         QueryResult::Unknown => unreachable!("Unknown is never stored"),
-    }
+    };
+    write_checksummed_line(out, &format!("{tag} g{stamp} {}", key_text(key)));
 }
 
-/// Parse a whole store file into its header generation and entries. `None`
-/// means "discard everything": wrong header or any malformed line. (A
-/// cache is best-effort; a partially trusted file is worse than an empty
-/// one.)
+/// Parse a whole store file into its header generation, its verifiable
+/// entries, and the salvage report describing what was dropped. `None`
+/// only on a header mismatch — a file written by a different format or
+/// encoding revision cannot be trusted at all; a file with a good header
+/// is salvaged line by line.
 #[allow(clippy::type_complexity)]
-fn parse_store(text: &str) -> Option<(u64, Vec<(CacheKey, QueryResult, u64)>)> {
-    let mut lines = text.lines();
-    let generation: u64 = lines
-        .next()?
+fn parse_store(text: &str) -> Option<(u64, Vec<(CacheKey, QueryResult, u64)>, SalvageReport)> {
+    let first = text.lines().next()?;
+    let generation: u64 = first
         .strip_prefix(&format!(
             "stack-query-store v{STORE_FORMAT_VERSION} enc{ENCODING_REVISION} gen"
         ))?
         .parse()
         .ok()?;
-    let entries = parse_body(lines, generation)?;
-    Some((generation, entries))
+    let (entries, salvage) = parse_body(text, first.len() + 1, generation);
+    Some((generation, entries, salvage))
 }
 
-/// Parse the entry lines of a store body (everything after the header).
-/// `None` on any malformed line; stamps from beyond `generation` are
-/// malformed too.
+/// Salvage-parse the entry lines of a store body (everything from
+/// `body_start` on): a line survives only if its checksum verifies, its
+/// syntax parses, its stamp is not from the future, and its key was not
+/// already seen (a duplicate key is the signature of a torn write that
+/// spliced two file versions — the first occurrence wins). Everything
+/// else is dropped and counted.
 #[allow(clippy::type_complexity)]
 fn parse_body(
-    lines: std::str::Lines<'_>,
+    text: &str,
+    body_start: usize,
     generation: u64,
-) -> Option<Vec<(CacheKey, QueryResult, u64)>> {
+) -> (Vec<(CacheKey, QueryResult, u64)>, SalvageReport) {
     let mut entries = Vec::new();
-    for line in lines {
-        if line.is_empty() {
-            continue;
-        }
-        let (kind, rest) = line.split_at_checked(2)?;
-        let (stamp_text, rest) = rest.split_once(' ')?;
-        let stamp: u64 = stamp_text.strip_prefix('g')?.parse().ok()?;
-        if stamp > generation {
-            return None;
-        }
-        match kind {
-            "U " => entries.push((parse_key(rest)?, QueryResult::Unsat, stamp)),
-            // A `S` line is the decided fact alone; the empty model is the
-            // "witness elided" marker lookups hand back.
-            "S " => entries.push((parse_key(rest)?, QueryResult::Sat(Model::new()), stamp)),
-            _ => return None,
+    let mut seen = std::collections::HashSet::new();
+    let mut salvage = SalvageReport::default();
+    for (line, offset, terminated) in body_lines(text, body_start) {
+        let parsed = if terminated {
+            verify_checksummed_line(line).and_then(|payload| parse_entry(payload, generation))
+        } else {
+            None
+        };
+        match parsed {
+            Some((key, result, stamp)) if seen.insert(key.clone()) => {
+                entries.push((key, result, stamp));
+                salvage.entry();
+            }
+            _ => salvage.bad(offset),
         }
     }
-    Some(entries)
+    (entries, salvage)
+}
+
+/// Parse one verified entry payload (`U g<stamp> <key>` / `S g<stamp>
+/// <key>`). Stamps from beyond `generation` are malformed.
+fn parse_entry(payload: &str, generation: u64) -> Option<(CacheKey, QueryResult, u64)> {
+    let (kind, rest) = payload.split_at_checked(2)?;
+    let (stamp_text, rest) = rest.split_once(' ')?;
+    let stamp: u64 = stamp_text.strip_prefix('g')?.parse().ok()?;
+    if stamp > generation {
+        return None;
+    }
+    match kind {
+        "U " => Some((parse_key(rest)?, QueryResult::Unsat, stamp)),
+        // A `S` line is the decided fact alone; the empty model is the
+        // "witness elided" marker lookups hand back.
+        "S " => Some((parse_key(rest)?, QueryResult::Sat(Model::new()), stamp)),
+        _ => None,
+    }
 }
 
 /// Parse a comma-separated list of 128-bit hex fingerprints.
@@ -854,22 +1070,143 @@ mod tests {
     }
 
     #[test]
-    fn malformed_content_self_invalidates() {
-        for body in [
-            "garbage\n",
-            "U g1 not-hex\n",
-            "S g1 1 m x=1\n", // v2-style witness payload
-            "X g1 1\n",
-            "U 1,2\n",    // missing stamp
-            "U g9 1,2\n", // stamp from the future
+    fn crc32_known_answer() {
+        // The standard CRC-32 (IEEE) check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        let mut line = String::new();
+        write_checksummed_line(&mut line, "U g1 2a");
+        assert_eq!(verify_checksummed_line(line.trim_end()), Some("U g1 2a"));
+        assert_eq!(verify_checksummed_line("U g1 2a !deadbeef"), None);
+        assert_eq!(verify_checksummed_line("U g1 2a"), None);
+    }
+
+    /// One checksummed body line (payload + valid CRC + newline).
+    fn line(payload: &str) -> String {
+        let mut out = String::new();
+        write_checksummed_line(&mut out, payload);
+        out
+    }
+
+    #[test]
+    fn bad_lines_are_salvaged_not_fatal() {
+        for bad in [
+            "garbage\n".to_string(),
+            line("U g1 not-hex"),            // checksums, does not parse
+            line("S g1 1,2 m x=1"),          // v2-style witness payload
+            line("X g1 3"),                  // unknown entry kind
+            line("U 4,5"),                   // missing stamp
+            line("U g9 6,7"),                // stamp from the future
+            "U g1 8 !0000000\n".to_string(), // truncated checksum
         ] {
-            let path = temp_path("malformed");
-            std::fs::write(&path, format!("{}\n{body}", DiskQueryStore::header(1))).unwrap();
+            let path = temp_path("salvage");
+            std::fs::write(
+                &path,
+                format!(
+                    "{}\n{}{bad}{}",
+                    DiskQueryStore::header(1),
+                    line("U g1 a"),
+                    line("U g1 b,c")
+                ),
+            )
+            .unwrap();
             let store = DiskQueryStore::open(&path).unwrap();
-            assert!(store.was_invalidated(), "body {body:?}");
-            assert_eq!(store.loaded_entries(), 0);
+            assert!(!store.was_invalidated(), "bad line {bad:?}");
+            assert_eq!(store.loaded_entries(), 2, "bad line {bad:?}");
+            assert!(store.lookup(&vec![0xa]).is_some());
+            assert!(store.lookup(&vec![0xb, 0xc]).is_some());
+            let salvage = store.salvage().expect("damage must be reported");
+            assert_eq!(salvage.dropped_lines, 1);
+            assert_eq!(salvage.valid_prefix_entries, 1);
+            assert_eq!(salvage.salvaged_entries, 2);
+            let header_len = DiskQueryStore::header(1).len() as u64 + 1;
+            assert_eq!(
+                salvage.first_bad_offset,
+                Some(header_len + line("U g1 a").len() as u64),
+                "bad line {bad:?}"
+            );
+            // A save rewrites the file canonically; the re-open is clean.
+            store.save().unwrap();
+            let healed = DiskQueryStore::open(&path).unwrap();
+            assert_eq!(healed.loaded_entries(), 2);
+            assert!(healed.salvage().is_none());
             std::fs::remove_file(&path).unwrap();
         }
+    }
+
+    #[test]
+    fn duplicate_keys_keep_the_first_occurrence() {
+        // A torn write that splices two file versions can duplicate a key;
+        // salvage keeps the first line and drops (and counts) the second.
+        let path = temp_path("dup");
+        std::fs::write(
+            &path,
+            format!(
+                "{}\n{}{}{}",
+                DiskQueryStore::header(3),
+                line("U g3 1"),
+                line("U g1 1"),
+                line("S g2 2")
+            ),
+        )
+        .unwrap();
+        let store = DiskQueryStore::open(&path).unwrap();
+        assert!(!store.was_invalidated());
+        assert_eq!(store.loaded_entries(), 2);
+        assert!(matches!(store.lookup(&vec![1]), Some(QueryResult::Unsat)));
+        let salvage = store.salvage().unwrap();
+        assert_eq!(salvage.dropped_lines, 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_store_salvages_the_intact_prefix() {
+        let path = temp_path("truncate");
+        store_with(
+            &path,
+            &[
+                (vec![1], QueryResult::Unsat),
+                (vec![2], QueryResult::Unsat),
+                (vec![3], QueryResult::Unsat),
+            ],
+        );
+        let full = std::fs::read(&path).unwrap();
+        let header_len = full.iter().position(|&b| b == b'\n').unwrap() + 1;
+        // Cut mid-way through the last line: the final fragment is dropped
+        // (unterminated), the first two entries survive.
+        std::fs::write(&path, &full[..full.len() - 3]).unwrap();
+        let store = DiskQueryStore::open(&path).unwrap();
+        assert!(!store.was_invalidated());
+        assert_eq!(store.loaded_entries(), 2);
+        let salvage = store.salvage().unwrap();
+        assert_eq!(salvage.dropped_lines, 1);
+        assert_eq!(salvage.valid_prefix_entries, 2);
+        assert!(salvage.first_bad_offset.unwrap() >= header_len as u64);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn merge_rejects_stores_that_need_salvage() {
+        let good = temp_path("merge-salvage-good");
+        let torn = temp_path("merge-salvage-torn");
+        let out = temp_path("merge-salvage-out");
+        store_with(&good, &[(vec![1], QueryResult::Unsat)]);
+        std::fs::write(
+            &torn,
+            format!("{}\n{}garbage\n", DiskQueryStore::header(1), line("U g1 2")),
+        )
+        .unwrap();
+        let err = DiskQueryStore::merge(&out, &[good.clone(), torn.clone()], None).unwrap_err();
+        match &err {
+            MergeError::Incompatible { path, reason } => {
+                assert_eq!(path, &torn);
+                assert!(reason.contains("salvage"), "{reason}");
+            }
+            other => panic!("expected Incompatible, got {other:?}"),
+        }
+        assert!(!out.exists());
+        std::fs::remove_file(&good).unwrap();
+        std::fs::remove_file(&torn).unwrap();
     }
 
     #[test]
@@ -1081,8 +1418,10 @@ mod tests {
         std::fs::write(
             &path,
             format!(
-                "stack-query-store v{STORE_FORMAT_VERSION} enc{} gen4\nU g2 1\nU g4 2\n",
-                ENCODING_REVISION + 9
+                "stack-query-store v{STORE_FORMAT_VERSION} enc{} gen4\n{}{}",
+                ENCODING_REVISION + 9,
+                line("U g2 1"),
+                line("U g4 2")
             ),
         )
         .unwrap();
@@ -1094,6 +1433,27 @@ mod tests {
         assert_eq!(info.entries, 2);
         assert_eq!(info.last_used.get(&2), Some(&1));
         assert_eq!(info.last_used.get(&4), Some(&1));
+        // A torn body: inspect reports the salvageable prefix and the byte
+        // offset of the first bad line instead of a bare `malformed`.
+        let header = DiskQueryStore::header(2);
+        std::fs::write(
+            &path,
+            format!("{header}\n{}corrupt\n{}", line("U g1 1"), line("U g2 2")),
+        )
+        .unwrap();
+        let info = DiskQueryStore::inspect(&path).unwrap();
+        assert!(info.compatible);
+        assert!(info.malformed);
+        assert_eq!(info.entries, 2);
+        assert_eq!(info.salvageable_prefix, 1);
+        assert_eq!(info.dropped_lines, 1);
+        assert_eq!(
+            info.first_bad_offset,
+            Some((header.len() + 1 + line("U g1 1").len()) as u64)
+        );
+        let rendered = info.render();
+        assert!(rendered.contains("1 bad line"), "{rendered}");
+        assert!(rendered.contains("salvageable"), "{rendered}");
         // Not a store file at all: a loud error.
         std::fs::write(&path, "something else\n").unwrap();
         assert!(matches!(

@@ -116,7 +116,10 @@ proptest! {
             text.lines()
                 .skip(1) // header carries the generation
                 .map(|l| {
-                    let (kind, rest) = l.split_at(2);
+                    // The checksum covers the stamp, so drop it too.
+                    let payload = stack_solver::store::verify_checksummed_line(l)
+                        .expect("saved lines must checksum");
+                    let (kind, rest) = payload.split_at(2);
                     let (_stamp, entry) = rest.split_once(' ').unwrap();
                     format!("{kind}{entry}")
                 })

@@ -218,6 +218,63 @@ fn zero_churn_rescan_skips_every_module_with_identical_output() {
     std::fs::remove_file(&path).unwrap();
 }
 
+/// The failure-containment contract: a module whose analysis panics
+/// degrades to a `Failure` event in the ordered stream — and that stream,
+/// reports and failures alike, is byte-identical at every file-level
+/// parallelism width. (The panic is injected through the pipeline's own
+/// fault hook, so the test models an analysis bug, not a corpus bug.)
+#[test]
+fn panicking_module_scan_is_deterministic_across_jobs_widths() {
+    let archive_cfg = ArchiveConfig {
+        packages: 6,
+        seed: 0x9A71C,
+        ..ArchiveConfig::default()
+    };
+    let files = generate_archive(&archive_cfg);
+    let run = |jobs: usize| {
+        let tasks: Vec<ScanTask> = files
+            .iter()
+            .map(|f| ScanTask {
+                name: f.name.clone(),
+                source: ScanSource::Inline(f.source.clone()),
+            })
+            .collect();
+        let session = AnalysisSession::new(CheckerConfig {
+            threads: Some(1),
+            ..CheckerConfig::default()
+        });
+        // Panic while analyzing every file of package 3 (one fragment,
+        // several matching modules, so containment is exercised more than
+        // once per run).
+        let pipeline = ScanPipeline::new(&session, jobs).with_injected_panic("archive-0003");
+        let mut events = Vec::new();
+        pipeline.run(&tasks, &mut |event| {
+            events.push(match event {
+                ScanEvent::Report(r) => format!("report {r:?}"),
+                ScanEvent::Failure { name, error } => format!("failure {name}: {error}"),
+            });
+        });
+        events
+    };
+
+    let sequential = run(1);
+    let injected: Vec<&String> = sequential
+        .iter()
+        .filter(|e| e.contains("injected fault: panic while analyzing"))
+        .collect();
+    assert!(
+        !injected.is_empty(),
+        "the injected panic must surface as Failure events: {sequential:?}"
+    );
+    assert!(
+        sequential.iter().any(|e| e.starts_with("report ")),
+        "the unaffected modules must still report"
+    );
+    for jobs in [2, 4] {
+        assert_eq!(sequential, run(jobs), "jobs={jobs}");
+    }
+}
+
 /// The distributed-scan contract: scanning the archive as four disjoint
 /// content-keyed shards, merging the per-shard scan stores, and re-scanning
 /// the whole archive warm from the merged store must skip every module and

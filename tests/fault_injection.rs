@@ -1,0 +1,251 @@
+//! Fault-injection properties of the two persistence layers: a saved
+//! query store or scan store subjected to truncation at an arbitrary
+//! offset, a torn in-place overwrite splicing two generations, or a
+//! flipped bit must (a) open without panicking, (b) never serve a wrong
+//! or duplicate entry — a warm scan against the damaged file streams the
+//! same reports as a store-less reference run — and (c) heal on the next
+//! save: re-opening the healed file reports a clean store holding every
+//! salvaged entry. Budget degradation rides the same harness: a scan
+//! under an arbitrary tiny query budget must stream identical events at
+//! every file-parallelism width and never persist a degraded module.
+
+use proptest::prelude::*;
+use stack_repro::core::faultinject::{flip_bit, torn_write, truncate_at};
+use stack_repro::core::{
+    AnalysisSession, CheckStats, CheckerConfig, ScanEvent, ScanPipeline, ScanSource, ScanStore,
+    ScanTask,
+};
+use stack_repro::corpus::{generate_archive, ArchiveConfig};
+use stack_repro::solver::DiskQueryStore;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+fn archive_cfg() -> ArchiveConfig {
+    ArchiveConfig {
+        packages: 4,
+        seed: 0xFA_117,
+        ..ArchiveConfig::default()
+    }
+}
+
+fn tasks() -> Vec<ScanTask> {
+    generate_archive(&archive_cfg())
+        .iter()
+        .map(|f| ScanTask {
+            name: f.name.clone(),
+            source: ScanSource::Inline(f.source.clone()),
+        })
+        .collect()
+}
+
+/// A unique temp path per call (tests in one binary run in parallel).
+fn temp_path(ext: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "stack-faultinj-{}-{}.{ext}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// One archive scan with optional disk-backed query store and scan store;
+/// returns the rendered event stream and the session's aggregate stats.
+fn scan(
+    jobs: usize,
+    query_budget: u64,
+    query_store: Option<&Path>,
+    scan_store: Option<&Path>,
+) -> (Vec<String>, CheckStats) {
+    let config = CheckerConfig {
+        query_budget,
+        threads: Some(1),
+        ..CheckerConfig::default()
+    };
+    let disk = query_store.map(|p| Arc::new(DiskQueryStore::open(p).expect("open query store")));
+    let session = match &disk {
+        Some(store) => AnalysisSession::with_store(config, Arc::clone(store) as _),
+        None => AnalysisSession::new(config),
+    };
+    let mut pipeline = ScanPipeline::new(&session, jobs);
+    let store = scan_store.map(|p| Arc::new(ScanStore::open(p).expect("open scan store")));
+    if let Some(store) = &store {
+        pipeline = pipeline.with_scan_store(Arc::clone(store));
+    }
+    let mut events = Vec::new();
+    pipeline.run(&tasks(), &mut |event| {
+        events.push(match event {
+            ScanEvent::Report(r) => format!("report {r:?}"),
+            ScanEvent::Failure { name, error } => format!("failure {name}: {error}"),
+        });
+    });
+    if let Some(store) = &disk {
+        store.save().expect("save query store");
+    }
+    if let Some(store) = &store {
+        store.save().expect("save scan store");
+    }
+    (events, session.stats())
+}
+
+/// Two saved generations of each store over the same archive, plus the
+/// reference event stream and the entry counts a clean store holds.
+struct Fixture {
+    reference: Vec<String>,
+    query_gen1: Vec<u8>,
+    query_gen2: Vec<u8>,
+    query_entries: u64,
+    scan_gen1: Vec<u8>,
+    scan_gen2: Vec<u8>,
+    scan_entries: u64,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let qs = temp_path("qs");
+        let ss = temp_path("ss");
+        let budget = CheckerConfig::default().query_budget;
+        let (reference, _) = scan(4, budget, Some(&qs), Some(&ss));
+        let query_gen1 = std::fs::read(&qs).expect("read saved query store");
+        let scan_gen1 = std::fs::read(&ss).expect("read saved scan store");
+        // A second warm run re-saves both stores under the next generation:
+        // same entries, different stamp bytes — the two versions a torn
+        // in-place overwrite can splice.
+        let (warm, _) = scan(4, budget, Some(&qs), Some(&ss));
+        assert_eq!(reference, warm, "warm fixture run must match cold");
+        let query_gen2 = std::fs::read(&qs).expect("read re-saved query store");
+        let scan_gen2 = std::fs::read(&ss).expect("read re-saved scan store");
+        let query_entries = DiskQueryStore::open(&qs).unwrap().loaded_entries();
+        let scan_entries = ScanStore::open(&ss).unwrap().loaded_entries();
+        let _ = std::fs::remove_file(&qs);
+        let _ = std::fs::remove_file(&ss);
+        assert!(query_entries > 0 && scan_entries > 0);
+        Fixture {
+            reference,
+            query_gen1,
+            query_gen2,
+            query_entries,
+            scan_gen1,
+            scan_gen2,
+            scan_entries,
+        }
+    })
+}
+
+/// Apply one modeled fault to the two saved generations of a store file.
+fn corrupt(kind: usize, gen1: &[u8], gen2: &[u8], pos: usize, bit: u32) -> Vec<u8> {
+    match kind {
+        0 => truncate_at(gen2, pos % (gen2.len() + 1)),
+        1 => torn_write(gen2, gen1, pos % (gen2.len() + 1)),
+        _ => flip_bit(gen2, pos % gen2.len(), bit),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Query store: any truncation, torn write, or bit flip salvages or
+    /// cleanly restarts; a warm scan against the damaged file streams the
+    /// reference reports; the next save heals the file.
+    #[test]
+    fn corrupted_query_store_salvages_and_heals(
+        kind in 0usize..3,
+        pos in any::<usize>(),
+        bit in 0u32..8,
+    ) {
+        let fx = fixture();
+        let path = temp_path("qs");
+        let damaged = corrupt(kind, &fx.query_gen1, &fx.query_gen2, pos, bit);
+        std::fs::write(&path, damaged).unwrap();
+
+        let store = DiskQueryStore::open(&path).expect("corrupted open must not error");
+        let loaded = store.loaded_entries();
+        prop_assert!(loaded <= fx.query_entries, "no duplicate or phantom entries");
+        if store.was_invalidated() {
+            prop_assert_eq!(loaded, 0, "an invalidated store restarts empty");
+        }
+        if let Some(salvage) = store.salvage() {
+            prop_assert!(salvage.dropped_lines > 0);
+            prop_assert_eq!(salvage.salvaged_entries, loaded);
+        }
+        // Never a wrong answer: warm-scanning against the damaged store
+        // reproduces the reference stream byte for byte.
+        let (events, _) = scan(2, CheckerConfig::default().query_budget, Some(&path), None);
+        prop_assert_eq!(&events, &fx.reference);
+
+        // Self-healing: save rewrites the file canonically.
+        store.save().expect("healing save");
+        let healed = DiskQueryStore::open(&path).expect("healed open");
+        prop_assert!(!healed.was_invalidated());
+        prop_assert!(healed.salvage().is_none(), "healed store must be clean");
+        prop_assert_eq!(healed.loaded_entries(), loaded);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// Scan store: the same contract at the module-record layer.
+    #[test]
+    fn corrupted_scan_store_salvages_and_heals(
+        kind in 0usize..3,
+        pos in any::<usize>(),
+        bit in 0u32..8,
+    ) {
+        let fx = fixture();
+        let path = temp_path("ss");
+        let damaged = corrupt(kind, &fx.scan_gen1, &fx.scan_gen2, pos, bit);
+        std::fs::write(&path, damaged).unwrap();
+
+        let store = ScanStore::open(&path).expect("corrupted open must not error");
+        let loaded = store.loaded_entries();
+        prop_assert!(loaded <= fx.scan_entries, "no duplicate or phantom records");
+        if store.was_invalidated() {
+            prop_assert_eq!(loaded, 0, "an invalidated store restarts empty");
+        }
+        if let Some(salvage) = store.salvage() {
+            prop_assert!(salvage.dropped_lines > 0);
+            prop_assert_eq!(salvage.salvaged_entries, loaded);
+        }
+        // Surviving records replay and missing ones recompute — either way
+        // the stream matches the reference run.
+        let (events, stats) = scan(2, CheckerConfig::default().query_budget, None, Some(&path));
+        prop_assert_eq!(&events, &fx.reference);
+        prop_assert_eq!(stats.modules_skipped as u64, loaded);
+
+        store.save().expect("healing save");
+        let healed = ScanStore::open(&path).expect("healed open");
+        prop_assert!(!healed.was_invalidated());
+        prop_assert!(healed.salvage().is_none(), "healed store must be clean");
+        prop_assert_eq!(healed.loaded_entries(), loaded);
+        std::fs::remove_file(&path).unwrap();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Budget degradation is deterministic and never persisted: for an
+    /// arbitrary tiny budget, jobs-1 and jobs-4 scans stream identical
+    /// events with identical degraded-query counts, and the scan store
+    /// records exactly the non-degraded modules.
+    #[test]
+    fn degraded_scans_are_deterministic_and_never_persisted(budget in 20u64..200) {
+        let run = |jobs: usize| {
+            let path = temp_path("ss");
+            let (events, stats) = scan(jobs, budget, None, Some(&path));
+            let persisted = ScanStore::open(&path).unwrap().loaded_entries();
+            std::fs::remove_file(&path).unwrap();
+            (events, stats, persisted)
+        };
+        let (events1, stats1, persisted1) = run(1);
+        let (events4, stats4, persisted4) = run(4);
+        prop_assert_eq!(&events1, &events4, "degraded runs must be byte-deterministic");
+        prop_assert_eq!(stats1.timeouts, stats4.timeouts);
+        prop_assert_eq!(stats1.degraded_modules, stats4.degraded_modules);
+        prop_assert_eq!(
+            persisted1,
+            (stats1.modules - stats1.degraded_modules) as u64,
+            "degraded modules must never reach the scan store"
+        );
+        prop_assert_eq!(persisted1, persisted4);
+    }
+}
