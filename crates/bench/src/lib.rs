@@ -11,8 +11,8 @@ use stack_core::{
     ScanStore, ScanTask, UbKind,
 };
 use stack_corpus::{
-    churn_archive, completeness_benchmark, figure9_corpus, generate, generate_archive,
-    ArchiveConfig, ArchiveFile, SynthConfig, UB_COLUMNS,
+    churn_archive, churn_functions, completeness_benchmark, duplicate_files, figure9_corpus,
+    generate, generate_archive, ArchiveConfig, ArchiveFile, SynthConfig, UB_COLUMNS,
 };
 use stack_opt::{lowest_discarding_level, survey_compilers};
 use stack_solver::DiskQueryStore;
@@ -839,7 +839,7 @@ pub struct ShardedScan {
     pub rows: Vec<RescanRow>,
     /// Entries in the merged query store.
     pub merged_query_entries: u64,
-    /// Module records in the merged scan store.
+    /// Function records in the merged scan store.
     pub merged_scan_entries: u64,
     /// Query-store entries that appeared in more than one shard (their
     /// value equality was asserted during the merge).
@@ -968,6 +968,277 @@ pub fn sharded_scan(cfg: &ScalingConfig) -> ShardedScan {
         speedup_merged_warm_vs_cold: speedup,
         merged_warm_skip_rate: skip_rate,
         merge_reports_identical: identical,
+    }
+}
+
+/// One measured configuration row of the `function_rescan` section.
+#[derive(Clone, Debug, Serialize)]
+pub struct FunctionRescanRow {
+    /// Human-readable configuration label.
+    pub label: String,
+    /// Percent of *functions* (not files) edited in place.
+    pub churn_pct: u32,
+    /// Modules (files) scanned.
+    pub files: usize,
+    /// Functions across the archive.
+    pub functions: usize,
+    /// Functions replayed from the scan store without solver work.
+    pub functions_skipped: usize,
+    /// Modules all of whose functions replayed.
+    pub modules_skipped: usize,
+    /// End-to-end scan wall clock, milliseconds (rounded).
+    pub wall_ms: u64,
+    /// End-to-end scan wall clock, microseconds.
+    pub wall_us: u64,
+    /// Solver queries issued.
+    pub queries: u64,
+    /// Reports produced.
+    pub reports: usize,
+    /// Whether this row's report stream is byte-identical to the cold
+    /// reference scan of the same churned archive (it must be).
+    pub reports_identical: bool,
+}
+
+/// The per-function incremental-rescan measurement: the same archive
+/// re-scanned after K *functions* (not files) were edited in place,
+/// comparing module-granular replay (one edited function re-analyzes its
+/// whole module — the pre-v4 cache behavior, reproduced via
+/// [`ScanPipeline::with_module_granularity`]) against function-granular
+/// replay (only the edited functions hit the solver). The archive uses
+/// wider files (12 functions each) than the other sections, because that
+/// is exactly the regime where module granularity loses: one edit
+/// invalidates 12 functions' worth of solver work. The section also
+/// measures cross-path dedup: the archive extended with byte-identical
+/// vendored duplicates, scanned with and without a fresh scan store — the
+/// path-independent replay key answers every duplicate's functions from
+/// the original's analysis.
+#[derive(Clone, Debug, Serialize)]
+pub struct FunctionRescan {
+    /// Workload description.
+    pub archive: String,
+    /// Files per scan.
+    pub files: usize,
+    /// Functions per scan.
+    pub functions: usize,
+    /// File-level pipeline workers used by every churn-row run.
+    pub jobs: usize,
+    /// Three rows (cold / module-granular warm / function-granular warm)
+    /// per churn level.
+    pub rows: Vec<FunctionRescanRow>,
+    /// Module-granular queries / function-granular queries at 5% function
+    /// churn — how much narrower the re-analysis frontier is when only
+    /// edited functions (instead of their whole modules) hit the solver.
+    pub speedup_function_rescan_vs_module: f64,
+    /// The function-granular 5%-churn row's skip rate
+    /// (`functions_skipped / functions`; the ground-truth bar is 0.95).
+    pub function_skip_rate_5pct: f64,
+    /// Vendored duplicate files appended for the dedup measurement.
+    pub dedup_duplicate_files: usize,
+    /// Queries saved by cross-path dedup: scanning archive + duplicates
+    /// without a scan store minus the same scan with a fresh (cold) scan
+    /// store, at jobs 1 — every saved query is a duplicate function
+    /// answered from the original's record.
+    pub dedup_queries_saved: u64,
+    /// Whether every measured run (churn rows and both dedup runs)
+    /// streamed byte-identical reports to its cold reference (they must).
+    pub reports_identical: bool,
+}
+
+/// Scan an archive population for the `function_rescan` section,
+/// returning the row and the rendered report stream. No store is saved:
+/// every measured run starts from the same primed file.
+fn function_rescan_run(
+    label: &str,
+    churn_pct: u32,
+    files: &[ArchiveFile],
+    config: CheckerConfig,
+    jobs: usize,
+    scan_store_path: Option<&std::path::Path>,
+    module_granular: bool,
+) -> (FunctionRescanRow, Vec<String>) {
+    let tasks: Vec<ScanTask> = files
+        .iter()
+        .map(|f| ScanTask {
+            name: f.name.clone(),
+            source: ScanSource::Inline(f.source.clone()),
+        })
+        .collect();
+    let session = AnalysisSession::new(config);
+    let mut pipeline = ScanPipeline::new(&session, jobs);
+    let scan_store = scan_store_path
+        .map(|path| Arc::new(ScanStore::open(path).expect("open function-rescan scan store")));
+    if let Some(store) = &scan_store {
+        pipeline = pipeline.with_scan_store(store.clone());
+    }
+    if module_granular {
+        pipeline = pipeline.with_module_granularity();
+    }
+    let mut reports = Vec::new();
+    let start = Instant::now();
+    let outcome = pipeline.run(&tasks, &mut |event| {
+        if let ScanEvent::Report(report) = event {
+            reports.push(format!("{report:?}"));
+        }
+    });
+    let elapsed = start.elapsed();
+    let stats = session.stats();
+    let row = FunctionRescanRow {
+        label: label.to_string(),
+        churn_pct,
+        files: outcome.files,
+        functions: stats.functions,
+        functions_skipped: outcome.functions_skipped,
+        modules_skipped: outcome.modules_skipped,
+        wall_ms: u64::try_from(elapsed.as_millis()).unwrap_or(u64::MAX),
+        wall_us: u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX),
+        queries: stats.queries,
+        reports: reports.len(),
+        reports_identical: true, // filled in by the caller against its reference
+    };
+    (row, reports)
+}
+
+/// Run the per-function incremental-rescan measurement. One priming scan
+/// of the base archive populates the scan store (the "previous run"); the
+/// churn rows then reopen that file read-only. No query store is attached
+/// anywhere in this section, so `queries` counts exactly the functions
+/// that were actually driven through the solver.
+pub fn function_rescan(cfg: &ScalingConfig) -> FunctionRescan {
+    static INVOCATION: AtomicU64 = AtomicU64::new(0);
+    let tag = format!(
+        "stack-bench-fnrescan-{}-{}",
+        std::process::id(),
+        INVOCATION.fetch_add(1, Ordering::Relaxed)
+    );
+    let scan_store_path = std::env::temp_dir().join(format!("{tag}.ss"));
+    let dedup_store_path = std::env::temp_dir().join(format!("{tag}-dedup.ss"));
+    let _ = std::fs::remove_file(&scan_store_path);
+    let _ = std::fs::remove_file(&dedup_store_path);
+
+    // Wider files than the default archive: 12 functions each, so one
+    // edited function strands 11 siblings' worth of replay — the gap this
+    // section measures.
+    let archive_cfg = ArchiveConfig {
+        packages: cfg.packages,
+        functions_per_file: 12,
+        ..ArchiveConfig::default()
+    };
+    let base = generate_archive(&archive_cfg);
+    let jobs = cfg.threads.iter().copied().max().unwrap_or(1);
+    let config = CheckerConfig {
+        query_budget: cfg.query_budget,
+        threads: Some(1),
+        ..CheckerConfig::default()
+    };
+
+    // Prime the scan store from the base archive.
+    {
+        let scan_store =
+            Arc::new(ScanStore::open(&scan_store_path).expect("open priming scan store"));
+        let session = AnalysisSession::new(config);
+        let tasks: Vec<ScanTask> = base
+            .iter()
+            .map(|f| ScanTask {
+                name: f.name.clone(),
+                source: ScanSource::Inline(f.source.clone()),
+            })
+            .collect();
+        ScanPipeline::new(&session, jobs)
+            .with_scan_store(scan_store.clone())
+            .run(&tasks, &mut |_| {});
+        scan_store.save().expect("save priming scan store");
+    }
+
+    let mut rows = Vec::new();
+    let mut reports_identical = true;
+    let mut speedup_function_rescan_vs_module = 0.0;
+    let mut function_skip_rate_5pct = 0.0;
+    let mut functions = 0usize;
+    for churn_pct in [0u32, 5, 20] {
+        let churned = churn_functions(&base, archive_cfg.seed, churn_pct as f64 / 100.0);
+        functions = churned.total_functions;
+        let (mut cold, cold_reports) = function_rescan_run(
+            &format!("{churn_pct}% fn churn, cold"),
+            churn_pct,
+            &churned.files,
+            config,
+            jobs,
+            None,
+            false,
+        );
+        cold.reports_identical = true;
+        let (mut module_row, module_reports) = function_rescan_run(
+            &format!("{churn_pct}% fn churn, module-granular rescan"),
+            churn_pct,
+            &churned.files,
+            config,
+            jobs,
+            Some(&scan_store_path),
+            true,
+        );
+        module_row.reports_identical = module_reports == cold_reports;
+        let (mut function_row, function_reports) = function_rescan_run(
+            &format!("{churn_pct}% fn churn, function-granular rescan"),
+            churn_pct,
+            &churned.files,
+            config,
+            jobs,
+            Some(&scan_store_path),
+            false,
+        );
+        function_row.reports_identical = function_reports == cold_reports;
+        reports_identical &= module_row.reports_identical && function_row.reports_identical;
+        if churn_pct == 5 {
+            speedup_function_rescan_vs_module =
+                module_row.queries.max(1) as f64 / function_row.queries.max(1) as f64;
+            function_skip_rate_5pct =
+                function_row.functions_skipped as f64 / function_row.functions.max(1) as f64;
+        }
+        rows.extend([cold, module_row, function_row]);
+    }
+
+    // Cross-path dedup: the archive plus vendored byte-identical copies,
+    // scanned sequentially (jobs 1, so every duplicate scans after its
+    // original) without any store, then with a fresh cold scan store.
+    let dedup_copies = base.len().max(1);
+    let extended = duplicate_files(&base, archive_cfg.seed, dedup_copies);
+    let (no_store, no_store_reports) = function_rescan_run(
+        "archive + duplicates, no store",
+        0,
+        &extended,
+        config,
+        1,
+        None,
+        false,
+    );
+    let (with_store, with_store_reports) = function_rescan_run(
+        "archive + duplicates, cold scan store (dedup)",
+        0,
+        &extended,
+        config,
+        1,
+        Some(&dedup_store_path),
+        false,
+    );
+    reports_identical &= no_store_reports == with_store_reports;
+    let dedup_queries_saved = no_store.queries.saturating_sub(with_store.queries);
+
+    let _ = std::fs::remove_file(&scan_store_path);
+    let _ = std::fs::remove_file(&dedup_store_path);
+    FunctionRescan {
+        archive: format!(
+            "wide-file overlap archive + function churn (packages={}, functions_per_file={}, seed={:#x})",
+            archive_cfg.packages, archive_cfg.functions_per_file, archive_cfg.seed
+        ),
+        files: base.len(),
+        functions,
+        jobs,
+        rows,
+        speedup_function_rescan_vs_module,
+        function_skip_rate_5pct,
+        dedup_duplicate_files: dedup_copies,
+        dedup_queries_saved,
+        reports_identical,
     }
 }
 
@@ -1139,6 +1410,10 @@ pub struct CheckerScaling {
     /// (`speedup_rescan_vs_cold` and `modules_skipped_rate` live here; CI
     /// fails the bench job if the speedup goes missing).
     pub rescan: IncrementalRescan,
+    /// The per-function incremental-rescan + cross-path dedup measurement
+    /// (`speedup_function_rescan_vs_module` and `dedup_queries_saved` live
+    /// here; CI fails the bench job if either goes missing).
+    pub function_rescan: FunctionRescan,
     /// The distributed-scan measurement (`speedup_merged_warm_vs_cold` and
     /// `merge_reports_identical` live here; CI fails the bench job if
     /// either goes missing).
@@ -1274,6 +1549,7 @@ pub fn checker_scaling(cfg: &ScalingConfig) -> CheckerScaling {
         best_incremental_label,
         scan: scan_persistence(cfg),
         rescan: incremental_rescan(cfg),
+        function_rescan: function_rescan(cfg),
         sharded_scan: sharded_scan(cfg),
         fault_tolerance: fault_tolerance(cfg),
     }
@@ -1362,6 +1638,32 @@ impl CheckerScaling {
         );
         let _ = writeln!(
             out,
+            "Per-function re-scan over {} ({} files, {} functions, {} jobs)",
+            self.function_rescan.archive,
+            self.function_rescan.files,
+            self.function_rescan.functions,
+            self.function_rescan.jobs
+        );
+        for r in &self.function_rescan.rows {
+            let _ = writeln!(
+                out,
+                "  {:<44} {:>8} {:>9} {:>9} {:>8}/{:<5} fns replayed",
+                r.label, r.wall_ms, r.queries, r.reports, r.functions_skipped, r.functions
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  function vs module granularity (5% fn churn): {:.2}x fewer queries; \
+             fn skip rate {:.1}%; dedup saved {} queries over {} duplicate files; \
+             reports identical: {}",
+            self.function_rescan.speedup_function_rescan_vs_module,
+            100.0 * self.function_rescan.function_skip_rate_5pct,
+            self.function_rescan.dedup_queries_saved,
+            self.function_rescan.dedup_duplicate_files,
+            self.function_rescan.reports_identical
+        );
+        let _ = writeln!(
+            out,
             "Distributed scan over {} ({} files, {} shards, {} jobs)",
             self.sharded_scan.archive,
             self.sharded_scan.files,
@@ -1377,7 +1679,7 @@ impl CheckerScaling {
         }
         let _ = writeln!(
             out,
-            "  merged stores: {} query entries ({} shard duplicates), {} module records",
+            "  merged stores: {} query entries ({} shard duplicates), {} function records",
             self.sharded_scan.merged_query_entries,
             self.sharded_scan.merged_query_duplicates,
             self.sharded_scan.merged_scan_entries
@@ -1591,6 +1893,9 @@ mod tests {
         assert!(json.contains("\"modules_skipped_rate\""));
         assert!(json.contains("\"speedup_merged_warm_vs_cold\""));
         assert!(json.contains("\"merge_reports_identical\""));
+        assert!(json.contains("\"function_rescan\""));
+        assert!(json.contains("\"speedup_function_rescan_vs_module\""));
+        assert!(json.contains("\"dedup_queries_saved\""));
         assert!(json.contains("\"degraded_queries\""));
         assert!(json.contains("\"salvaged_entries\""));
         assert!(json.contains("\"store_healed\""));
@@ -1631,9 +1936,66 @@ mod tests {
         assert!((sharded.merged_warm_skip_rate - 1.0).abs() < 1e-9);
         assert!(sharded.merge_reports_identical);
         assert_eq!(warm.reports, sharded.rows[0].reports);
-        // The merged stores hold every shard's state.
-        assert_eq!(sharded.merged_scan_entries, sharded.files as u64);
+        // The merged stores hold every shard's state: one record per
+        // function (5 per generated archive file), none colliding across
+        // shards (every generated function name — and so every key — is
+        // unique).
+        assert_eq!(sharded.merged_scan_entries, sharded.files as u64 * 5);
         assert!(sharded.merged_query_entries > 0);
+    }
+
+    #[test]
+    fn function_rescan_narrows_reanalysis_to_edited_functions() {
+        let cfg = ScalingConfig {
+            packages: 6,
+            seed: 13,
+            threads: vec![2],
+            query_budget: 500_000,
+        };
+        let section = function_rescan(&cfg);
+        assert_eq!(
+            section.rows.len(),
+            9,
+            "three configurations x three churn levels"
+        );
+        assert!(section.reports_identical);
+        for row in &section.rows {
+            assert!(row.reports_identical, "{row:?}");
+        }
+        // 0% churn: both granularities replay everything.
+        for row in &section.rows[1..3] {
+            assert_eq!(row.churn_pct, 0);
+            assert_eq!(row.functions_skipped, section.functions, "{row:?}");
+            assert_eq!(row.modules_skipped, row.files, "{row:?}");
+            assert_eq!(row.queries, 0, "{row:?}");
+        }
+        // 5% churn: the function-granular run re-analyzes exactly the
+        // edited functions; the module-granular run pays for whole modules.
+        let edited = (0.05 * section.functions as f64).round() as usize;
+        let module_row = &section.rows[4];
+        let function_row = &section.rows[5];
+        assert_eq!(function_row.functions_skipped, section.functions - edited);
+        assert!(
+            function_row.functions_skipped > module_row.functions_skipped,
+            "{} vs {}",
+            function_row.functions_skipped,
+            module_row.functions_skipped
+        );
+        assert!(function_row.queries > 0);
+        assert!(
+            section.speedup_function_rescan_vs_module >= 5.0,
+            "the acceptance bar is 5x fewer queries, got {:.2}x ({} vs {})",
+            section.speedup_function_rescan_vs_module,
+            module_row.queries,
+            function_row.queries
+        );
+        assert!((section.function_skip_rate_5pct - 0.95).abs() < 0.01);
+        // Cross-path dedup must have saved real solver work.
+        assert!(section.dedup_duplicate_files > 0);
+        assert!(
+            section.dedup_queries_saved > 0,
+            "duplicated files must replay from the original's records"
+        );
     }
 
     #[test]

@@ -38,9 +38,11 @@
 //! `scan`-only options: `--jobs N` runs `N` file-level workers (the outer
 //! level of the two-level pipeline; per-module `--threads` defaults to 1
 //! when `--jobs` > 1 so the levels don't oversubscribe), `--scan-cache
-//! <path>` persists per-module results keyed by canonical fingerprint so an
-//! unchanged module is *skipped entirely* on re-scan (its reports replay
-//! without a single solver query), `--compact-store N` prunes
+//! <path>` persists per-function results keyed by path-independent replay
+//! key so an edited module replays its unchanged functions and only the
+//! edited functions hit the solver (an unchanged module is skipped
+//! entirely, and identical vendored files share one analysis across
+//! paths), `--compact-store N` prunes
 //! query-store entries unused for `N` scans when the `--cache-file` is
 //! saved, and `--shard i/n` (1-based) analyzes only the modules a stable
 //! hash of each input's *content* assigns to shard `i` of `n` — the
@@ -438,6 +440,9 @@ struct ScanSummary {
     files: usize,
     failures: usize,
     modules_skipped: usize,
+    /// Functions replayed from the scan cache without solver work (the
+    /// per-function incremental re-scan counter).
+    functions_skipped: usize,
     functions: usize,
     reports: usize,
     queries: u64,
@@ -514,6 +519,7 @@ fn cmd_scan(args: &[String]) -> ExitCode {
         files: outcome.files,
         failures: outcome.failures,
         modules_skipped: outcome.modules_skipped,
+        functions_skipped: outcome.functions_skipped,
         functions: stats.functions,
         reports,
         queries: stats.queries,
@@ -556,7 +562,7 @@ fn cmd_scan(args: &[String]) -> ExitCode {
             Ok(entries) => {
                 if !opts.quiet {
                     eprintln!(
-                        "stack: saved {entries} module records to {}",
+                        "stack: saved {entries} function records to {}",
                         scan_store.path().display()
                     );
                 }
@@ -678,6 +684,13 @@ fn render_scan_summary(
             summary.modules_skipped,
             100.0 * summary.modules_skipped as f64 / summary.files.max(1) as f64,
             summary.files
+        );
+        let _ = writeln!(
+            out,
+            "  replayed {} unchanged functions ({:.1}% of {})",
+            summary.functions_skipped,
+            100.0 * summary.functions_skipped as f64 / summary.functions.max(1) as f64,
+            summary.functions
         );
     }
     let _ = writeln!(out, "  functions       {:>8}", summary.functions);
@@ -1093,38 +1106,52 @@ fn cmd_bench(args: &[String]) -> ExitCode {
 
 fn cmd_gen_archive(args: &[String]) -> ExitCode {
     let Some(dir) = args.first().filter(|a| !a.starts_with("--")) else {
-        eprintln!("usage: stack gen-archive <dir> [--packages N] [--seed S]");
+        eprintln!("usage: stack gen-archive <dir> [--packages N] [--seed S] [--edit-functions K]");
         return ExitCode::from(2);
     };
     let defaults = stack_corpus::ArchiveConfig::default();
-    let cfg = match (
+    let (cfg, edit_functions) = match (
         parse_flag_value::<usize>(args, "--packages"),
         parse_flag_value::<u64>(args, "--seed"),
+        parse_flag_value::<usize>(args, "--edit-functions"),
     ) {
-        (Ok(packages), Ok(seed)) => stack_corpus::ArchiveConfig {
-            packages: packages.unwrap_or(defaults.packages),
-            seed: seed.unwrap_or(defaults.seed),
-            ..defaults
-        },
-        (Err(e), _) | (_, Err(e)) => return fail(&e),
+        (Ok(packages), Ok(seed), Ok(edit_functions)) => (
+            stack_corpus::ArchiveConfig {
+                packages: packages.unwrap_or(defaults.packages),
+                seed: seed.unwrap_or(defaults.seed),
+                ..defaults
+            },
+            edit_functions.unwrap_or(0),
+        ),
+        (Err(e), _, _) | (_, Err(e), _) | (_, _, Err(e)) => return fail(&e),
     };
     // Validate the (deterministic) population before a single file is
     // written: a generator bug surfaces as one clean error, not a panic
-    // mid-write or a half-materialized archive.
-    let files = stack_corpus::generate_archive(&cfg);
+    // mid-write or a half-materialized archive. With --edit-functions K
+    // (the "developer touched K functions, now re-scan" workload), the
+    // edited population is what gets validated and written.
+    let mut files = stack_corpus::generate_archive(&cfg);
+    if edit_functions > 0 {
+        files = stack_corpus::churn_functions_count(&files, cfg.seed, edit_functions).files;
+    }
     if let Err(e) = stack_corpus::validate_sources(
         files.iter().map(|f| (f.name.as_str(), f.source.as_str())),
         |name, source| stack_minic::compile(source, name).map(|_| ()),
     ) {
         return fail(&format!("generated archive does not compile: {e}"));
     }
-    match stack_corpus::write_archive(&cfg, Path::new(dir)) {
+    match stack_corpus::write_archive_edited(&cfg, Path::new(dir), edit_functions) {
         Ok(paths) => {
             println!(
-                "stack: wrote {} archive files ({} packages, seed {}) under {dir}",
+                "stack: wrote {} archive files ({} packages, seed {}{}) under {dir}",
                 paths.len(),
                 cfg.packages,
-                cfg.seed
+                cfg.seed,
+                if edit_functions > 0 {
+                    format!(", {edit_functions} functions edited")
+                } else {
+                    String::new()
+                }
             );
             ExitCode::SUCCESS
         }

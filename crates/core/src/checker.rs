@@ -87,8 +87,13 @@ pub struct CheckStats {
     /// (fingerprint hit) instead of analyzed — the incremental re-scan
     /// counter. Always ≤ `modules`; 0 outside scan-store-backed pipelines.
     pub modules_skipped: usize,
-    /// Number of functions analyzed.
+    /// Number of functions covered (analyzed or replayed).
     pub functions: usize,
+    /// Functions whose reports were replayed from a persisted scan store
+    /// (per-function replay-key hit) instead of analyzed — the
+    /// function-granular incremental re-scan counter. Always ≤ `functions`;
+    /// 0 outside scan-store-backed pipelines.
+    pub functions_skipped: usize,
     /// Total solver queries issued (merged across worker threads).
     pub queries: u64,
     /// Degraded queries: queries that exhausted their propagation budget and
@@ -137,6 +142,7 @@ impl CheckStats {
         self.modules += other.modules;
         self.modules_skipped += other.modules_skipped;
         self.functions += other.functions;
+        self.functions_skipped += other.functions_skipped;
         self.queries += other.queries;
         self.timeouts += other.timeouts;
         self.degraded_modules += other.degraded_modules;

@@ -1,72 +1,86 @@
-//! Canonical module fingerprints: the "unchanged" test of incremental
-//! re-scan.
+//! Canonical fingerprints: the "unchanged" test of incremental re-scan.
 //!
 //! The paper's flagship deployment (§6.5) re-scans the Debian archive as it
 //! evolves, and between runs almost nothing changes. Skipping unchanged
-//! modules entirely needs a key for "unchanged" — and raw source bytes are
+//! work entirely needs a key for "unchanged" — and raw source bytes are
 //! the wrong key: a comment, a reformatting, or a reordering of definitions
 //! changes the bytes without changing anything the checker could observe.
 //! Following the structural-operational-semantics tradition (a program's
 //! meaning is its derived transition structure, not its spelling), the
-//! fingerprint hashes the **verified, lowered IR** in its pool-independent
-//! canonical print instead:
+//! keys hash the **verified, lowered IR** in its pool-independent canonical
+//! print instead:
 //!
 //! * formatting, comments, and macro-expansion spelling vanish during
-//!   lexing/lowering, so cosmetic edits keep the fingerprint stable;
-//! * function definition order is canonicalized away (per-function digests
-//!   are sorted before mixing), so moving a function within a file keeps the
-//!   fingerprint stable;
+//!   lexing/lowering, so cosmetic edits keep the keys stable;
 //! * any instruction change — including a changed constant, type, or UB
-//!   condition carrier — changes the print and therefore the fingerprint.
+//!   condition carrier — changes the print and therefore the keys.
 //!
-//! Two non-IR inputs are mixed in, because cached *reports* are only
-//! replayable when they would be re-derived identically:
+//! Two granularities are derived from the same per-function digests:
+//!
+//! * [`module_fingerprint`] — the whole-module key (per-function digests
+//!   sorted before mixing, so moving a function within a file keeps the
+//!   fingerprint stable; the module *name* participates, so the same bytes
+//!   under another path fingerprint differently).
+//! * [`function_replay_key`] — the per-function key the
+//!   [`ScanStore`](crate::ScanStore) uses, so an edited module replays the
+//!   reports of its unchanged functions and only the edited functions hit
+//!   the solver. Two deliberate asymmetries against the module key:
+//!
+//!   - the **path does not participate** — records are stored
+//!     path-normalized and rewritten to the scanning file on replay, so
+//!     identical vendored files across an archive share one analysis
+//!     (cross-path dedup);
+//!   - the **origin lines and kinds do participate** (via
+//!     [`origin_signature`]: every instruction's source line and
+//!     macro/inline provenance, but never its file) — replayed reports
+//!     embed line numbers, so a function whose lines shifted must miss and
+//!     re-analyze rather than replay stale locations. This closes, at
+//!     function granularity, the line-number sharp edge the module
+//!     fingerprint documents below.
+//!
+//! Two non-IR inputs are mixed into both keys, because cached *reports*
+//! are only replayable when they would be re-derived identically:
 //!
 //! * [`ENCODING_REVISION`] — a new encoder/solver revision may decide
-//!   queries differently, so every fingerprint of the old revision dies;
+//!   queries differently, so every key of the old revision dies;
 //! * the semantics-relevant [`CheckerConfig`] knobs (`query_budget`,
-//!   `report_compiler_generated`) — they change which reports a module
+//!   `report_compiler_generated`) — they change which reports a function
 //!   yields. Pure performance knobs (`threads`, `query_cache`,
 //!   `incremental`) deliberately do **not** participate: they change how a
 //!   result is computed, never what it is (see the determinism contract in
 //!   `session.rs`).
 //!
-//! The module *name* (its source path) participates too: reports embed the
-//! file name, so a byte-identical file under a different path must miss and
-//! re-analyze rather than replay reports naming the wrong file.
-//!
-//! One sharp edge is documented rather than fought: report line numbers come
-//! from instruction origins, which the canonical print excludes. A
-//! comment-only edit that shifts later lines therefore still *hits* — by
-//! design — and replays reports carrying the pre-edit line numbers. The
-//! churn generator (`stack_corpus::archive::churn_archive`) keeps its
-//! cosmetic edits line-preserving so end-to-end byte-identity holds; real
-//! deployments that care should treat replayed locations as "as of last
-//! analysis".
+//! One sharp edge of the *module* fingerprint is documented rather than
+//! fought: report line numbers come from instruction origins, which the
+//! canonical print excludes, so a comment-only edit that shifts later lines
+//! still keeps the module fingerprint — by design (reorder-invariance needs
+//! origin-free digests). The scan store no longer replays on the module
+//! fingerprint, so nothing stale can replay from it; the per-function key
+//! hashes origin lines precisely so its replays are always byte-exact.
 
 use crate::checker::CheckerConfig;
-use stack_ir::Module;
+use stack_ir::{Function, Module, OriginKind};
 use stack_solver::ENCODING_REVISION;
 
 /// A canonical module fingerprint (128 bits).
 pub type ModuleFingerprint = u128;
 
+/// A per-function replay key (128 bits): what the scan store is keyed on.
+pub type FunctionKey = u128;
+
 /// Revision of the fingerprint *scheme itself* (what is hashed and how).
 /// Bump when the canonicalization changes — e.g. new fields mixed in — so
-/// persisted scan stores from older schemes self-invalidate.
-pub const FINGERPRINT_REVISION: u32 = 1;
+/// persisted scan stores from older schemes self-invalidate. (2: the scan
+/// store moved from module fingerprints to per-function replay keys.)
+pub const FINGERPRINT_REVISION: u32 = 2;
 
 /// Fingerprint a lowered (and analysis-optimized) module under a
 /// configuration. See the module docs for exactly what participates.
 pub fn module_fingerprint(module: &Module, config: &CheckerConfig) -> ModuleFingerprint {
-    let mut digests: Vec<u128> = module
-        .functions()
-        .iter()
-        .map(|f| hash_bytes(stack_ir::print_function(f).as_bytes()))
-        .collect();
+    let mut digests: Vec<u128> = module.functions().iter().map(function_digest).collect();
     // Sorting makes the fingerprint invariant under function reordering:
     // functions are checked independently, so order affects only the order
-    // reports stream out in, which the scan store preserves per module.
+    // reports stream out in.
     digests.sort_unstable();
 
     let mut h = hash_bytes(module.name.as_bytes());
@@ -78,6 +92,51 @@ pub fn module_fingerprint(module: &Module, config: &CheckerConfig) -> ModuleFing
     for d in digests {
         h = mix(h, d);
     }
+    h
+}
+
+/// The structural digest of one function: a stable hash of its canonical
+/// print, which excludes origins entirely — the same body at any path, or
+/// shifted to different lines, digests identically.
+pub fn function_digest(func: &Function) -> u128 {
+    hash_bytes(stack_ir::print_function(func).as_bytes())
+}
+
+/// The origin signature of a function: every instruction's source *line*
+/// and macro/inline provenance, in print order — and never its *file*.
+/// Reports derive their locations and their suppression flag from exactly
+/// these fields, so two functions with equal [`function_digest`]s and equal
+/// origin signatures yield byte-identical reports up to the file name.
+pub fn origin_signature(func: &Function) -> u128 {
+    let mut h = 0x0717_51e6_0002_u128;
+    for block in func.block_ids() {
+        for &inst in &func.block(block).insts {
+            let origin = &func.inst(inst).origin;
+            h = mix(h, u128::from(origin.loc.line));
+            h = match &origin.kind {
+                OriginKind::Programmer => mix(h, 1),
+                OriginKind::MacroExpansion { macro_name } => {
+                    mix(mix(h, 2), hash_bytes(macro_name.as_bytes()))
+                }
+                OriginKind::Inlined { callee } => mix(mix(h, 3), hash_bytes(callee.as_bytes())),
+            };
+        }
+    }
+    h
+}
+
+/// The scan store's per-function replay key: structural digest + origin
+/// signature + the revision and config bits that decide what reports the
+/// function yields. Path-independent by construction — see the module docs
+/// for why that is safe (stored reports are path-normalized) and what it
+/// buys (cross-path dedup).
+pub fn function_replay_key(func: &Function, config: &CheckerConfig) -> FunctionKey {
+    let mut h = function_digest(func);
+    h = mix(h, origin_signature(func));
+    h = mix(h, u128::from(ENCODING_REVISION));
+    h = mix(h, u128::from(FINGERPRINT_REVISION));
+    h = mix(h, u128::from(config.query_budget));
+    h = mix(h, u128::from(config.report_compiler_generated));
     h
 }
 
@@ -96,7 +155,7 @@ pub fn source_fingerprint(
 
 /// The distributed-scan partition key of one scan input: a stable hash of
 /// the raw source **content** only. Deliberately path-independent and
-/// config-independent — unlike [`module_fingerprint`], which must miss
+/// config-independent — unlike [`module_fingerprint`], which must change
 /// when a file moves, the shard key must stay put when the archive around
 /// the file grows, shrinks, or renames siblings, so a re-sharded scan
 /// reassigns as few modules as possible (the consistent-hashing rationale
@@ -150,6 +209,17 @@ mod tests {
         source_fingerprint(src, "test.c", &CheckerConfig::default()).unwrap()
     }
 
+    /// Per-function replay keys of a compiled source, in definition order.
+    fn keys(src: &str, file: &str, config: &CheckerConfig) -> Vec<FunctionKey> {
+        let mut module = stack_minic::compile(src, file).unwrap();
+        stack_opt::optimize_for_analysis(&mut module);
+        module
+            .functions()
+            .iter()
+            .map(|f| function_replay_key(f, config))
+            .collect()
+    }
+
     const TWO_FUNCS: &str = "\
         int f(int x) { if (x + 7 < x) return 1; return 0; }\n\
         int g(int *p) { int v = *p; if (!p) return 1; return v; }\n";
@@ -161,14 +231,6 @@ mod tests {
         assert_eq!(
             base,
             fp("int f(int x) {   if (x + 7 < x)   return 1;  return 0; }\n\
-                int g(int *p) { int v = *p; if (!p) return 1; return v; }\n")
-        );
-        // Comments, including line-shifting ones: the print has no origins.
-        assert_eq!(
-            base,
-            fp("// a comment\n\
-                int f(int x) { if (x + 7 < x) return 1; return 0; }\n\
-                /* block\n comment */\n\
                 int g(int *p) { int v = *p; if (!p) return 1; return v; }\n")
         );
     }
@@ -218,7 +280,7 @@ mod tests {
         assert_ne!(
             base,
             source_fingerprint(TWO_FUNCS, "other.c", &cfg).unwrap(),
-            "same bytes under a different path must not replay the other file's reports"
+            "the module fingerprint identifies a (path, meaning) pair"
         );
         let budget = CheckerConfig {
             query_budget: cfg.query_budget + 1,
@@ -247,6 +309,99 @@ mod tests {
             base,
             source_fingerprint(TWO_FUNCS, "test.c", &perf).unwrap()
         );
+    }
+
+    #[test]
+    fn function_keys_are_path_independent_but_config_dependent() {
+        let cfg = CheckerConfig::default();
+        assert_eq!(
+            keys(TWO_FUNCS, "a/test.c", &cfg),
+            keys(TWO_FUNCS, "b/nested/copy.c", &cfg),
+            "the same bytes under any path must share one analysis"
+        );
+        let budget = CheckerConfig {
+            query_budget: cfg.query_budget + 1,
+            ..cfg
+        };
+        assert_ne!(
+            keys(TWO_FUNCS, "test.c", &cfg),
+            keys(TWO_FUNCS, "test.c", &budget)
+        );
+        let macros = CheckerConfig {
+            report_compiler_generated: true,
+            ..cfg
+        };
+        assert_ne!(
+            keys(TWO_FUNCS, "test.c", &cfg),
+            keys(TWO_FUNCS, "test.c", &macros)
+        );
+        let perf = CheckerConfig {
+            threads: Some(7),
+            query_cache: false,
+            incremental: false,
+            ..cfg
+        };
+        assert_eq!(
+            keys(TWO_FUNCS, "test.c", &cfg),
+            keys(TWO_FUNCS, "test.c", &perf)
+        );
+    }
+
+    #[test]
+    fn function_keys_track_lines_but_not_files() {
+        let cfg = CheckerConfig::default();
+        let base = keys(TWO_FUNCS, "test.c", &cfg);
+        // A same-line cosmetic edit keeps every key.
+        assert_eq!(
+            base,
+            keys(
+                "int f(int x) {   if (x + 7 < x)   return 1;  return 0; }\n\
+                 int g(int *p) { int v = *p; if (!p) return 1; return v; }\n",
+                "test.c",
+                &cfg
+            )
+        );
+        // A line-shifting comment moves g to line 3: f's key survives, g's
+        // dies — replayed reports embed line numbers, so a shifted function
+        // must re-analyze.
+        let shifted = keys(
+            "int f(int x) { if (x + 7 < x) return 1; return 0; }\n\
+             // pushed down\n\
+             int g(int *p) { int v = *p; if (!p) return 1; return v; }\n",
+            "test.c",
+            &cfg,
+        );
+        assert_eq!(base[0], shifted[0]);
+        assert_ne!(base[1], shifted[1]);
+        // Editing one function leaves the sibling's key untouched.
+        let edited = keys(
+            "int f(int x) { if (x + 8 < x) return 1; return 0; }\n\
+             int g(int *p) { int v = *p; if (!p) return 1; return v; }\n",
+            "test.c",
+            &cfg,
+        );
+        assert_ne!(base[0], edited[0]);
+        assert_eq!(base[1], edited[1]);
+    }
+
+    #[test]
+    fn origin_signature_separates_macro_provenance() {
+        let cfg = CheckerConfig::default();
+        // The same check spelled directly and via a macro lowers to the same
+        // print but different provenance — and different suppression
+        // behavior — so the keys must differ.
+        let direct = keys(
+            "int f(char *p) { long v = *p; if (p != 0) return 1; return 0; }\n",
+            "test.c",
+            &cfg,
+        );
+        let via_macro = keys(
+            "#define IS_VALID(p) (p != 0)\n\
+             int f(char *p) { long v = *p; if (IS_VALID(p)) return 1; return 0; }\n",
+            "test.c",
+            &cfg,
+        );
+        assert_ne!(direct, via_macro);
     }
 
     #[test]

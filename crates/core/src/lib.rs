@@ -45,10 +45,11 @@ pub use checker::{CheckResult, CheckStats, Checker, CheckerConfig};
 pub use classify::{classify_source, BugClass};
 pub use encoder::FunctionEncoder;
 pub use fingerprint::{
-    content_key, module_fingerprint, shard_assignment, source_fingerprint, ModuleFingerprint,
+    content_key, function_digest, function_replay_key, module_fingerprint, origin_signature,
+    shard_assignment, source_fingerprint, FunctionKey, ModuleFingerprint,
 };
 pub use report::{Algorithm, BugReport, UbSource};
 pub use scan::{ScanEvent, ScanOutcome, ScanPipeline, ScanSource, ScanTask};
-pub use scanstore::{ModuleRecord, ScanStore, ScanStoreStats};
-pub use session::AnalysisSession;
+pub use scanstore::{FunctionRecord, ScanStore, ScanStoreStats};
+pub use session::{AnalysisSession, FunctionCheck};
 pub use ubcond::{collect_ub_conditions, UbCondition, UbKind};

@@ -20,15 +20,23 @@
 //! holds only the out-of-order window, preserving the scan's
 //! bounded-memory property.
 //!
-//! **Incremental re-scan.** With a [`ScanStore`] attached, every compiled
-//! module is fingerprinted
-//! ([`module_fingerprint`]) before
-//! any solver work: a hit replays the stored reports without touching the
-//! solver and counts the module as skipped
-//! ([`CheckStats::modules_skipped`]); a miss analyzes normally and records
-//! the result for the next run. Replayed output is byte-identical to
-//! re-analysis by construction — the fingerprint guarantees the checker
-//! would have seen an identical module under identical semantics.
+//! **Incremental re-scan.** With a [`ScanStore`] attached, every function
+//! of a compiled module is keyed
+//! ([`function_replay_key`]) before any solver work: a hit replays the
+//! function's stored raw reports — path-rewritten to the scanning module's
+//! name — without touching the solver and counts the function as skipped
+//! ([`CheckStats::functions_skipped`]); a miss analyzes just that function
+//! and, when its budget was never exhausted, records it for the next run.
+//! An edited module therefore pays the solver only for its edited
+//! functions; a module whose functions all replay additionally counts as
+//! skipped ([`CheckStats::modules_skipped`]). The replay key is
+//! path-independent, so identical vendored files across an archive share
+//! one analysis (cross-path dedup). Replayed and fresh raw reports are
+//! re-assembled in function order and run through the *module-level*
+//! dedup/suppression filter, so the surviving stream is byte-identical to
+//! a cold scan's by construction — the key guarantees the checker would
+//! have produced identical raw reports under identical semantics, and the
+//! filter sees the same assembled stream either way.
 //!
 //! **Panic containment.** Each task's compile-and-analyze body runs under
 //! `catch_unwind`: a panic anywhere in the front end, the optimizer, or
@@ -36,16 +44,16 @@
 //! [`ScanEvent::Failure`] carrying the panic payload — the scan, the
 //! other workers, and the exit-code semantics continue as if the module
 //! had failed to compile. A panicking module is never recorded in the
-//! scan store (the insert is unreachable past the panic), and never
-//! persisted as a query answer (the unwound query never returned one).
-//! Because failures are emitted through the same reorder buffer as
-//! reports, a panicking module produces the identical event stream at
-//! every `jobs` width.
+//! scan store (record inserts happen only after every selected function
+//! returned), and never persisted as a query answer (the unwound query
+//! never returned one). Because failures are emitted through the same
+//! reorder buffer as reports, a panicking module produces the identical
+//! event stream at every `jobs` width.
 
 use crate::checker::CheckStats;
-use crate::fingerprint::module_fingerprint;
+use crate::fingerprint::function_replay_key;
 use crate::report::BugReport;
-use crate::scanstore::{ModuleRecord, ScanStore};
+use crate::scanstore::{FunctionRecord, ScanStore};
 use crate::session::AnalysisSession;
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -91,8 +99,10 @@ pub struct ScanOutcome {
     pub files: usize,
     /// Tasks that failed to read or compile.
     pub failures: usize,
-    /// Modules replayed from the scan store without solver work.
+    /// Modules all of whose functions replayed from the scan store.
     pub modules_skipped: usize,
+    /// Functions replayed from the scan store without solver work.
+    pub functions_skipped: usize,
 }
 
 /// The file-parallel scan driver. See the module docs for the pipeline
@@ -101,6 +111,7 @@ pub struct ScanPipeline<'s> {
     session: &'s AnalysisSession,
     scan_store: Option<Arc<ScanStore>>,
     jobs: usize,
+    module_granular: bool,
     /// Fault injection: panic while analyzing any module whose name
     /// contains this fragment (tests of the containment boundary).
     panic_on: Option<String>,
@@ -108,9 +119,17 @@ pub struct ScanPipeline<'s> {
 
 /// What one worker produced for one task, parked until its turn to emit.
 enum TaskResult {
-    Analyzed { reports: Vec<BugReport> },
-    Skipped { reports: Vec<BugReport> },
-    Failed { error: String },
+    Analyzed {
+        reports: Vec<BugReport>,
+        functions_skipped: usize,
+    },
+    Skipped {
+        reports: Vec<BugReport>,
+        functions_skipped: usize,
+    },
+    Failed {
+        error: String,
+    },
 }
 
 impl<'s> ScanPipeline<'s> {
@@ -121,14 +140,25 @@ impl<'s> ScanPipeline<'s> {
             session,
             scan_store: None,
             jobs: jobs.max(1),
+            module_granular: false,
             panic_on: None,
         }
     }
 
-    /// Attach a persisted report cache: fingerprint hits replay their
-    /// recorded reports instead of re-analyzing, misses are recorded.
+    /// Attach a persisted report cache: function replay-key hits replay
+    /// their recorded reports instead of re-analyzing, misses are recorded.
     pub fn with_scan_store(mut self, store: Arc<ScanStore>) -> ScanPipeline<'s> {
         self.scan_store = Some(store);
+        self
+    }
+
+    /// Degrade replay to module granularity: a module replays only when
+    /// *every* one of its functions hits; otherwise the whole module
+    /// re-analyzes, like the pre-v4 fingerprint cache did. This exists as
+    /// the bench/test baseline per-function replay is measured against —
+    /// production scans have no reason to enable it.
+    pub fn with_module_granularity(mut self) -> ScanPipeline<'s> {
+        self.module_granular = true;
         self
     }
 
@@ -169,8 +199,15 @@ impl<'s> ScanPipeline<'s> {
                             .unwrap_or_else(std::sync::PoisonError::into_inner);
                         match &result {
                             TaskResult::Failed { .. } => outcome.failures += 1,
-                            TaskResult::Skipped { .. } => outcome.modules_skipped += 1,
-                            TaskResult::Analyzed { .. } => {}
+                            TaskResult::Skipped {
+                                functions_skipped, ..
+                            } => {
+                                outcome.modules_skipped += 1;
+                                outcome.functions_skipped += functions_skipped;
+                            }
+                            TaskResult::Analyzed {
+                                functions_skipped, ..
+                            } => outcome.functions_skipped += functions_skipped,
                         }
                     }
                     emitter
@@ -185,7 +222,7 @@ impl<'s> ScanPipeline<'s> {
         outcome
     }
 
-    /// Process one task end to end: load, compile, fingerprint, replay or
+    /// Process one task end to end: load, compile, key, replay or
     /// analyze. Everything past the source read runs under
     /// `catch_unwind`, so a panic anywhere in the stack degrades the task
     /// to a `Failed` result instead of aborting the scan.
@@ -219,8 +256,9 @@ impl<'s> ScanPipeline<'s> {
         }
     }
 
-    /// The panic-containable body of one task: compile, fingerprint,
-    /// replay or analyze, record.
+    /// The panic-containable body of one task: compile, key every
+    /// function, replay hits, analyze misses, record clean results,
+    /// re-assemble and filter the module's report stream.
     fn analyze_task(&self, source: &str, name: &str) -> TaskResult {
         if let Some(fragment) = &self.panic_on {
             if name.contains(fragment.as_str()) {
@@ -238,38 +276,91 @@ impl<'s> ScanPipeline<'s> {
         };
         stack_opt::optimize_for_analysis(&mut module);
 
-        let fp = self
-            .scan_store
-            .as_ref()
-            .map(|_| module_fingerprint(&module, self.session.config()));
-        if let (Some(store), Some(fp)) = (&self.scan_store, fp) {
-            if let Some(record) = store.lookup(fp) {
-                self.session.absorb_stats(&replayed_stats(&record));
-                return TaskResult::Skipped {
-                    reports: record.reports,
-                };
-            }
-        }
+        let Some(store) = &self.scan_store else {
+            // No store: the session's streaming driver does everything
+            // (including merging its stats into the aggregate).
+            let mut reports = Vec::new();
+            self.session
+                .check_module_streaming(&module, &mut |r| reports.push(r));
+            return TaskResult::Analyzed {
+                reports,
+                functions_skipped: 0,
+            };
+        };
 
-        let mut reports = Vec::new();
-        let stats = self
-            .session
-            .check_module_streaming(&module, &mut |r| reports.push(r));
-        // A module with budget-exhausted (degraded) queries is never
-        // recorded: its report set reflects the budget, not the module,
-        // and a later run with a higher budget must re-analyze it.
-        if stats.timeouts == 0 {
-            if let (Some(store), Some(fp)) = (&self.scan_store, fp) {
+        let start = Instant::now();
+        let config = self.session.config();
+        let keys: Vec<u128> = module
+            .functions()
+            .iter()
+            .map(|f| function_replay_key(f, config))
+            .collect();
+        let mut replayed: Vec<Option<FunctionRecord>> =
+            keys.iter().map(|&key| store.lookup(key)).collect();
+        if self.module_granular && replayed.iter().any(Option::is_none) {
+            // Baseline mode: one miss re-analyzes the whole module.
+            replayed = vec![None; keys.len()];
+        }
+        let skipped = replayed.iter().filter(|r| r.is_some()).count();
+        let select: Vec<bool> = replayed.iter().map(Option::is_none).collect();
+
+        let (checks, mut stats) = if select.contains(&true) {
+            self.session.check_functions_selected(&module, &select)
+        } else {
+            (Vec::new(), CheckStats::default())
+        };
+        // A function with budget-exhausted (degraded) queries is never
+        // recorded: its report set reflects the budget, not the function,
+        // and a later run with a higher budget must re-analyze it. Its
+        // healthy siblings still record and will replay next run.
+        for check in &checks {
+            if check.timeouts == 0 {
                 store.insert(
-                    fp,
-                    ModuleRecord {
-                        functions: module.len(),
-                        reports: reports.clone(),
-                    },
+                    keys[check.index],
+                    FunctionRecord::normalized(&check.reports, name),
                 );
             }
         }
-        TaskResult::Analyzed { reports }
+
+        // Re-assemble the module's raw report stream in function order —
+        // replays path-rewritten to this module's name — and apply the
+        // module-level dedup/suppression filter exactly as a cold
+        // analysis would.
+        let mut fresh: HashMap<usize, Vec<BugReport>> =
+            checks.into_iter().map(|c| (c.index, c.reports)).collect();
+        let raw: Vec<BugReport> = replayed
+            .iter()
+            .enumerate()
+            .flat_map(|(i, slot)| match slot {
+                Some(record) => record.replay(name),
+                None => fresh.remove(&i).unwrap_or_default(),
+            })
+            .collect();
+        let mut by_algorithm = HashMap::new();
+        let mut reports = Vec::new();
+        self.session
+            .filter_module_reports(raw, &mut by_algorithm, &mut |r| reports.push(r));
+
+        let fully_skipped = skipped == keys.len() && !keys.is_empty();
+        stats.modules = 1;
+        stats.modules_skipped = usize::from(fully_skipped);
+        stats.functions += skipped;
+        stats.functions_skipped = skipped;
+        stats.by_algorithm = by_algorithm;
+        stats.elapsed = start.elapsed();
+        self.session.absorb_stats(&stats);
+
+        if fully_skipped {
+            TaskResult::Skipped {
+                reports,
+                functions_skipped: skipped,
+            }
+        } else {
+            TaskResult::Analyzed {
+                reports,
+                functions_skipped: skipped,
+            }
+        }
     }
 }
 
@@ -282,28 +373,6 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
         .map(String::as_str)
         .or_else(|| payload.downcast_ref::<&str>().copied())
         .unwrap_or("<opaque panic payload>")
-}
-
-/// The statistics a replayed module contributes to the session aggregate:
-/// its functions and reports count as covered, `modules_skipped` marks it,
-/// and every solver-side counter is zero — no query was issued. Stored
-/// reports are the post-suppression stream of the run that recorded them,
-/// and the fingerprint bakes in `report_compiler_generated`, so every
-/// replayed report counts — no re-filtering.
-fn replayed_stats(record: &ModuleRecord) -> CheckStats {
-    let start = Instant::now();
-    let mut by_algorithm = HashMap::new();
-    for report in &record.reports {
-        *by_algorithm.entry(report.algorithm).or_insert(0) += 1;
-    }
-    CheckStats {
-        modules: 1,
-        modules_skipped: 1,
-        functions: record.functions,
-        by_algorithm,
-        elapsed: start.elapsed(),
-        ..CheckStats::default()
-    }
 }
 
 /// The reorder buffer: workers park finished results under their task index
@@ -321,7 +390,7 @@ impl Emitter<'_> {
         while let Some(result) = self.pending.remove(&self.next) {
             let name = &tasks[self.next].name;
             match result {
-                TaskResult::Analyzed { reports } | TaskResult::Skipped { reports } => {
+                TaskResult::Analyzed { reports, .. } | TaskResult::Skipped { reports, .. } => {
                     for report in reports {
                         (self.sink)(ScanEvent::Report(report));
                     }
@@ -352,6 +421,7 @@ mod tests {
     }
 
     /// A small mixed task list: unstable, stable, and broken modules.
+    /// Every compiling module has 2 functions.
     fn tasks() -> Vec<ScanTask> {
         let mut out = Vec::new();
         for i in 0..6 {
@@ -406,6 +476,7 @@ mod tests {
             .with_scan_store(store.clone())
             .run(&tasks, &mut |e| cold.push(format!("{e:?}")));
         assert_eq!(outcome.modules_skipped, 0);
+        assert_eq!(outcome.functions_skipped, 0);
         assert_eq!(outcome.failures, 1);
         assert!(store.save().unwrap() > 0);
 
@@ -418,9 +489,11 @@ mod tests {
         assert_eq!(cold, warm, "replayed stream must be byte-identical");
         // Every compiling module is skipped; the broken file still fails.
         assert_eq!(outcome.modules_skipped, tasks.len() - 1);
+        assert_eq!(outcome.functions_skipped, 2 * (tasks.len() - 1));
         assert_eq!(outcome.failures, 1);
         let stats = warm_session.stats();
         assert_eq!(stats.modules_skipped, tasks.len() - 1);
+        assert_eq!(stats.functions_skipped, 2 * (tasks.len() - 1));
         assert_eq!(
             stats.queries, 0,
             "a full-skip re-scan never touches the solver"
@@ -463,11 +536,211 @@ mod tests {
                 &mut |_| {},
             );
         assert_eq!(outcome.modules_skipped, 0);
+        assert_eq!(outcome.functions_skipped, 0);
         let outcome = ScanPipeline::new(&session2, 1).with_scan_store(store2).run(
             &edited("int f(int x) {  /* note */ if (x + 1 < x) return 1; return 0; }\n"),
             &mut |_| {},
         );
         assert_eq!(outcome.modules_skipped, 1);
+        assert_eq!(outcome.functions_skipped, 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn edited_function_reanalyzes_while_siblings_replay() {
+        let path = temp_path("partial");
+        let config = CheckerConfig::default();
+        let src = |k: u32| {
+            format!(
+                "int f(int x) {{ if (x + {k} < x) return 1; return 0; }}\n\
+                 int g(int a, int b) {{ if (b == 0) return -1; return a / b; }}\n\
+                 int h(int x) {{ return x; }}\n"
+            )
+        };
+        let task = |source: String| {
+            vec![ScanTask {
+                name: "m.c".to_string(),
+                source: ScanSource::Inline(source),
+            }]
+        };
+        let store = Arc::new(ScanStore::open(&path).unwrap());
+        let session = AnalysisSession::new(config);
+        let mut cold = Vec::new();
+        ScanPipeline::new(&session, 1)
+            .with_scan_store(store.clone())
+            .run(&task(src(1)), &mut |e| cold.push(format!("{e:?}")));
+        store.save().unwrap();
+
+        // Edit only f: g and h replay, f re-analyzes; the module is NOT
+        // counted skipped, and the stream matches a cold scan of the
+        // edited source.
+        let cold_session = AnalysisSession::new(config);
+        let mut reference = Vec::new();
+        ScanPipeline::new(&cold_session, 1)
+            .run(&task(src(2)), &mut |e| reference.push(format!("{e:?}")));
+        let store2 = Arc::new(ScanStore::open(&path).unwrap());
+        let warm_session = AnalysisSession::new(config);
+        let mut warm = Vec::new();
+        let outcome = ScanPipeline::new(&warm_session, 1)
+            .with_scan_store(store2.clone())
+            .run(&task(src(2)), &mut |e| warm.push(format!("{e:?}")));
+        assert_eq!(reference, warm);
+        assert_eq!(outcome.modules_skipped, 0);
+        assert_eq!(outcome.functions_skipped, 2, "g and h replayed");
+        let stats = warm_session.stats();
+        assert_eq!(stats.functions, 3);
+        assert_eq!(stats.functions_skipped, 2);
+        assert!(
+            stats.queries > 0 && stats.queries < cold_session.stats().queries,
+            "only the edited function touched the solver: {} vs cold {}",
+            stats.queries,
+            cold_session.stats().queries
+        );
+        // The edited f was recorded: a further rescan is a full skip.
+        store2.save().unwrap();
+        let store3 = Arc::new(ScanStore::open(&path).unwrap());
+        let session3 = AnalysisSession::new(config);
+        let outcome = ScanPipeline::new(&session3, 1)
+            .with_scan_store(store3)
+            .run(&task(src(2)), &mut |_| {});
+        assert_eq!(outcome.modules_skipped, 1);
+        assert_eq!(outcome.functions_skipped, 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn module_granularity_discards_partial_hits() {
+        let path = temp_path("granular");
+        let config = CheckerConfig::default();
+        let src = |k: u32| {
+            format!(
+                "int f(int x) {{ if (x + {k} < x) return 1; return 0; }}\n\
+                 int g(int a, int b) {{ if (b == 0) return -1; return a / b; }}\n"
+            )
+        };
+        let task = |source: String| {
+            vec![ScanTask {
+                name: "m.c".to_string(),
+                source: ScanSource::Inline(source),
+            }]
+        };
+        let store = Arc::new(ScanStore::open(&path).unwrap());
+        let session = AnalysisSession::new(config);
+        ScanPipeline::new(&session, 1)
+            .with_scan_store(store.clone())
+            .run(&task(src(1)), &mut |_| {});
+        store.save().unwrap();
+
+        // One edited function: module granularity re-analyzes everything.
+        let store2 = Arc::new(ScanStore::open(&path).unwrap());
+        let session2 = AnalysisSession::new(config);
+        let outcome = ScanPipeline::new(&session2, 1)
+            .with_scan_store(store2.clone())
+            .with_module_granularity()
+            .run(&task(src(2)), &mut |_| {});
+        assert_eq!(outcome.functions_skipped, 0);
+        assert_eq!(session2.stats().functions, 2);
+        // An unchanged module still fully replays in this mode.
+        let outcome = ScanPipeline::new(&session2, 1)
+            .with_scan_store(store2)
+            .with_module_granularity()
+            .run(&task(src(1)), &mut |_| {});
+        assert_eq!(outcome.modules_skipped, 1);
+        assert_eq!(outcome.functions_skipped, 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn duplicate_files_share_one_analysis() {
+        let path = temp_path("dedup");
+        let config = CheckerConfig::default();
+        let src = "int f(int x) { if (x + 7 < x) return 1; return 0; }\n";
+        let single = vec![ScanTask {
+            name: "a/vendored.c".to_string(),
+            source: ScanSource::Inline(src.to_string()),
+        }];
+        let cold_session = AnalysisSession::new(config);
+        ScanPipeline::new(&cold_session, 1).run(&single, &mut |_| {});
+        let one_file_queries = cold_session.stats().queries;
+        assert!(one_file_queries > 0);
+
+        // Two copies under different paths, cold store, jobs 1: the second
+        // copy replays the first's record — path-rewritten.
+        let both = vec![
+            single[0].clone(),
+            ScanTask {
+                name: "b/deep/copy.c".to_string(),
+                source: ScanSource::Inline(src.to_string()),
+            },
+        ];
+        let store = Arc::new(ScanStore::open(&path).unwrap());
+        let session = AnalysisSession::new(config);
+        let mut events = Vec::new();
+        let outcome = ScanPipeline::new(&session, 1)
+            .with_scan_store(store.clone())
+            .run(&both, &mut |e| events.push(e));
+        assert_eq!(
+            session.stats().queries,
+            one_file_queries,
+            "the duplicate must not issue new queries"
+        );
+        assert_eq!(outcome.functions_skipped, 1);
+        assert_eq!(outcome.modules_skipped, 1);
+        assert_eq!(store.stats().entries, 1, "one record serves both paths");
+        // Each copy's reports carry its own path.
+        let files: Vec<&str> = events
+            .iter()
+            .filter_map(|e| match e {
+                ScanEvent::Report(r) => Some(r.file.as_str()),
+                ScanEvent::Failure { .. } => None,
+            })
+            .collect();
+        assert!(files.contains(&"a/vendored.c"), "{files:?}");
+        assert!(files.contains(&"b/deep/copy.c"), "{files:?}");
+        // The store was never saved to disk in this test; nothing to clean.
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn budget_degraded_function_is_not_recorded_but_siblings_are() {
+        let path = temp_path("budget");
+        // f is query-hungry (several checks), h is trivial; a tiny budget
+        // degrades f but leaves h clean.
+        let src = "int f(int x, int y) { if (x + 1 < x) return 1; if (y + 2 < y) return 2; \
+                   if (x + 3 < x) return 3; return x / y; }\n\
+                   int h(int x) { return x; }\n";
+        let tasks = vec![ScanTask {
+            name: "m.c".to_string(),
+            source: ScanSource::Inline(src.to_string()),
+        }];
+        let config = CheckerConfig {
+            query_budget: 1,
+            ..CheckerConfig::default()
+        };
+        let store = Arc::new(ScanStore::open(&path).unwrap());
+        let session = AnalysisSession::new(config);
+        ScanPipeline::new(&session, 1)
+            .with_scan_store(store.clone())
+            .run(&tasks, &mut |_| {});
+        assert!(session.stats().timeouts > 0, "budget must actually bite");
+        assert_eq!(
+            store.stats().entries,
+            1,
+            "only the clean sibling is recorded"
+        );
+        store.save().unwrap();
+
+        // Rescan at the same budget: h replays, f re-analyzes (and again
+        // fails to record).
+        let store2 = Arc::new(ScanStore::open(&path).unwrap());
+        let session2 = AnalysisSession::new(config);
+        let outcome = ScanPipeline::new(&session2, 1)
+            .with_scan_store(store2.clone())
+            .run(&tasks, &mut |_| {});
+        assert_eq!(outcome.functions_skipped, 1);
+        assert_eq!(outcome.modules_skipped, 0);
+        assert!(session2.stats().queries > 0);
+        assert_eq!(store2.stats().entries, 1);
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -490,8 +763,9 @@ mod tests {
                 .any(|e| e.contains("injected fault: panic while analyzing mod3.c")),
             "{events:?}"
         );
-        // The panicking module is never cached: only the clean compiles are.
-        assert_eq!(store.stats().entries, tasks.len() as u64 - 2);
+        // The panicking module's functions are never cached: only the
+        // clean compiles' are (2 functions per compiling module).
+        assert_eq!(store.stats().entries, 2 * (tasks.len() as u64 - 2));
         store.save().unwrap();
         std::fs::remove_file(&path).unwrap();
     }

@@ -1,74 +1,90 @@
-//! The persisted report cache: fingerprint → replayable module results.
+//! The persisted report cache: function replay key → replayable reports.
 //!
 //! [`ScanStore`] is the second persistence layer of incremental re-scan,
 //! sibling to the query-level
 //! [`DiskQueryStore`](stack_solver::DiskQueryStore). Where the query store
-//! makes a repeated *query* free, the scan store makes a repeated *module*
-//! free: a module whose canonical fingerprint
-//! ([`module_fingerprint`](crate::fingerprint::module_fingerprint)) is
-//! already recorded replays its saved [`BugReport`]s — in their original
-//! stream order — without issuing a single solver query, and is counted as
-//! skipped ([`CheckStats::modules_skipped`](crate::CheckStats)).
+//! makes a repeated *query* free, the scan store makes a repeated
+//! *function* free: a function whose replay key
+//! ([`function_replay_key`](crate::fingerprint::function_replay_key)) is
+//! already recorded replays its saved raw [`BugReport`]s — in their
+//! original discovery order — without issuing a single solver query, and is
+//! counted as skipped
+//! ([`CheckStats::functions_skipped`](crate::CheckStats)). An edited module
+//! therefore pays the solver only for its edited functions; a module whose
+//! functions all replay is additionally counted in
+//! [`CheckStats::modules_skipped`](crate::CheckStats).
+//!
+//! **Path normalization.** Replay keys are path-independent, so one record
+//! serves the same function under every path — identical vendored files
+//! across an archive share one analysis. To make that sound, records are
+//! stored *path-normalized*: at insert, every occurrence of the recording
+//! module's file name in a report (the `file` field and the `file:line`
+//! prefixes of `ub_sources`) is replaced with a reserved placeholder;
+//! [`FunctionRecord::replay`] substitutes the scanning module's name back
+//! in. Records for one key are thus byte-identical no matter which path
+//! recorded them — which is exactly what lets shard scans that saw the
+//! same function under different paths merge without conflict.
 //!
 //! The file discipline is the one the query store established:
 //!
 //! * **versioned header** — format version,
 //!   [`ENCODING_REVISION`](stack_solver::ENCODING_REVISION), and
 //!   [`FINGERPRINT_REVISION`]; any mismatch discards the whole file and
-//!   [`was_invalidated`] reports it. The fingerprints additionally bake
-//!   both revisions and the semantics-relevant config knobs into their own
-//!   bits, so even a same-format file can never replay reports computed
-//!   under different semantics.
+//!   [`was_invalidated`] reports it (a v3 module-keyed store
+//!   self-invalidates the same way — that *is* the migration). The replay
+//!   keys additionally bake both revisions and the semantics-relevant
+//!   config knobs into their own bits, so even a same-format file can
+//!   never replay reports computed under different semantics.
 //! * **atomic saves** — serialize to a pid-suffixed temp file, rename over
 //!   the target; a crash mid-save never leaves a truncated store.
 //! * **per-line checksums and salvage** — every body line carries a
-//!   trailing ` !<crc32>` (v3). A torn, truncated, or bit-flipped body is
-//!   salvaged module by module at [`open`](ScanStore::open): a module
-//!   record survives only if its `M` line and all of its `R` lines verify
+//!   trailing ` !<crc32>`. A torn, truncated, or bit-flipped body is
+//!   salvaged entry by entry at [`open`](ScanStore::open): a function
+//!   record survives only if its `F` line and all of its `R` lines verify
 //!   and parse; everything else is dropped and counted
 //!   ([`salvage`](ScanStore::salvage)), and the next save rewrites the
-//!   file canonically. Duplicate fingerprints (a torn write splicing two
-//!   file versions) keep the first record.
-//! * **byte-determinism** — entries sorted by fingerprint, reports kept in
-//!   their recorded stream order; saving the same logical store twice
-//!   produces byte-identical files.
+//!   file canonically. Duplicate keys (a torn write splicing two file
+//!   versions) keep the first record.
+//! * **byte-determinism** — entries sorted by key, reports kept in their
+//!   recorded order; saving the same logical store twice produces
+//!   byte-identical files.
 //! * **generations and compaction** — every [`open`](ScanStore::open)
 //!   starts a new generation (the persisted one plus one); a lookup hit or
 //!   an insert stamps its record with it, and with
 //!   [`set_compaction`](ScanStore::set_compaction)`(Some(n))` a save drops
 //!   records unused for `n` or more generations. Without compaction a
-//!   long-lived shared store accumulates the fingerprint of every module
-//!   version it ever saw; with it, dead fingerprints age out exactly like
-//!   the query store's dead entries.
+//!   long-lived shared store accumulates the key of every function version
+//!   it ever saw; with it, dead keys age out exactly like the query
+//!   store's dead entries.
 //!
 //! ## Format
 //!
 //! ```text
-//! stack-scan-store v3 enc1 fpr1 gen3
-//! M g<gen> <fp> f<functions> r<reports> !<crc32>
+//! stack-scan-store v4 enc1 fpr2 gen3
+//! F g<gen> <key> r<reports> !<crc32>
 //! R <alg> <line> <cg> <function> <file> <description> u <kind>@<loc> ... !<crc32>
 //! ```
 //!
-//! `M` opens one module entry (last-used generation stamp, fingerprint in
-//! lower-case hex, function count, report count); exactly `r` `R` lines
-//! follow, one per report in stream order; every line ends with its
-//! CRC-32. String fields are percent-escaped so they never contain
-//! whitespace or `%`.
+//! `F` opens one function entry (last-used generation stamp, replay key in
+//! lower-case hex, report count); exactly `r` `R` lines follow, one per
+//! raw report in discovery order; every line ends with its CRC-32. String
+//! fields are percent-escaped so they never contain whitespace or `%`; the
+//! path placeholder is the (never-graphic) byte `0x01`, escaped as `%01`.
 //!
 //! ## Merging
 //!
 //! [`merge`](ScanStore::merge) folds several scan-store files into one —
-//! the distributed-scan fan-in: shard scans record disjoint (or, for
-//! identical modules, byte-identical) module sets, and the merged store
+//! the distributed-scan fan-in: shard scans record disjoint (or, thanks to
+//! path normalization, byte-identical) function sets, and the merged store
 //! warm-starts the next full scan. Merge semantics match the query
 //! store's: strict header compatibility (a revision mismatch is a loud
-//! [`MergeError::Incompatible`], never a silent discard), duplicate
-//! fingerprints assert record equality, stamps take the max, and the
-//! output is saved through the same atomic byte-deterministic path.
+//! [`MergeError::Incompatible`], never a silent discard), duplicate keys
+//! assert record equality, stamps take the max, and the output is written
+//! through the same atomic byte-deterministic path.
 //!
 //! [`was_invalidated`]: ScanStore::was_invalidated
 
-use crate::fingerprint::{ModuleFingerprint, FINGERPRINT_REVISION};
+use crate::fingerprint::{FunctionKey, FINGERPRINT_REVISION};
 use crate::report::{Algorithm, BugReport, UbSource};
 use crate::ubcond::UbKind;
 use stack_solver::store::{
@@ -87,12 +103,20 @@ use std::sync::Mutex;
 /// On-disk layout version of the scan-store file. Bump when the syntax
 /// changes. (v2 added the header generation and per-record last-used
 /// stamps; v3 added the per-line ` !<crc32>` checksum that makes torn or
-/// truncated stores salvageable record by record. Older files
-/// self-invalidate, as any stale cache does.)
-pub const SCAN_STORE_FORMAT_VERSION: u32 = 3;
+/// truncated stores salvageable record by record; v4 moved from
+/// module-fingerprint entries to per-function replay keys with
+/// path-normalized reports. Older files self-invalidate, as any stale
+/// cache does.)
+pub const SCAN_STORE_FORMAT_VERSION: u32 = 4;
 
 /// The first token of every scan-store header line.
 const SCAN_STORE_HEADER_PREFIX: &str = "stack-scan-store";
+
+/// The in-record stand-in for the recording module's file name. A control
+/// byte, so it can never collide with a real (percent-escaped, graphic)
+/// path, and never survives into user-visible reports — replay always
+/// substitutes the scanning module's name.
+const PATH_PLACEHOLDER: &str = "\u{1}";
 
 /// The header fields (beyond the format version) that must match the
 /// running binary for a file to be loaded or merged.
@@ -104,34 +128,82 @@ fn expected_header_fields() -> [(&'static str, u64); 3] {
     ]
 }
 
-/// The replayable record of one analyzed module.
+/// The replayable record of one analyzed function: its raw (pre-filter)
+/// reports in discovery order, path-normalized. Build with
+/// [`normalized`](FunctionRecord::normalized), read back with
+/// [`replay`](FunctionRecord::replay).
 #[derive(Clone, Debug, PartialEq)]
-pub struct ModuleRecord {
-    /// Functions the module contained when analyzed (replayed into
-    /// [`CheckStats::functions`](crate::CheckStats)).
-    pub functions: usize,
-    /// The module's surviving reports, in stream order.
+pub struct FunctionRecord {
+    /// The function's raw reports with the recording path replaced by the
+    /// placeholder. Not user-visible as-is — replay rewrites them.
     pub reports: Vec<BugReport>,
+}
+
+impl FunctionRecord {
+    /// Normalize a function's freshly computed raw reports for storage:
+    /// every mention of `file` (the recording module's name) becomes the
+    /// placeholder, so the record is identical no matter which path the
+    /// function was analyzed under.
+    pub fn normalized(reports: &[BugReport], file: &str) -> FunctionRecord {
+        FunctionRecord {
+            reports: reports
+                .iter()
+                .map(|r| rewrite_report_path(r, file, PATH_PLACEHOLDER))
+                .collect(),
+        }
+    }
+
+    /// Reconstitute the raw reports for a replay under `file` (the
+    /// scanning module's name): the placeholder is substituted back, so
+    /// the replayed stream is byte-identical to what a fresh analysis of
+    /// this function in that module would produce.
+    pub fn replay(&self, file: &str) -> Vec<BugReport> {
+        self.reports
+            .iter()
+            .map(|r| rewrite_report_path(r, PATH_PLACEHOLDER, file))
+            .collect()
+    }
+}
+
+/// Rewrite every mention of file name `from` in a report to `to`: the
+/// report's own `file` field and the `from:`-prefixed `ub_sources`
+/// locations. Locations naming *other* files (or no file — unknown
+/// origins render as `:0`) pass through untouched.
+fn rewrite_report_path(report: &BugReport, from: &str, to: &str) -> BugReport {
+    if from.is_empty() {
+        return report.clone();
+    }
+    let mut out = report.clone();
+    if out.file == from {
+        out.file = to.to_string();
+    }
+    let prefix = format!("{from}:");
+    for src in &mut out.ub_sources {
+        if let Some(rest) = src.location.strip_prefix(&prefix) {
+            src.location = format!("{to}:{rest}");
+        }
+    }
+    out
 }
 
 /// Hit/miss counters of a scan store (lifetime of this instance).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ScanStoreStats {
-    /// Lookups answered from the store (modules skipped).
+    /// Lookups answered from the store (functions skipped).
     pub hits: u64,
-    /// Lookups that missed (modules analyzed and recorded).
+    /// Lookups that missed (functions analyzed and, when clean, recorded).
     pub misses: u64,
-    /// Module records currently stored.
+    /// Function records currently stored.
     pub entries: u64,
 }
 
-/// A disk-backed fingerprint → module-record table. Shared across the scan
-/// pipeline's file-level workers through an `Arc`, so all methods take
-/// `&self`. Each record carries its last-used generation stamp.
+/// A disk-backed replay-key → function-record table. Shared across the
+/// scan pipeline's file-level workers through an `Arc`, so all methods
+/// take `&self`. Each record carries its last-used generation stamp.
 #[derive(Debug)]
 pub struct ScanStore {
     path: PathBuf,
-    records: Mutex<HashMap<ModuleFingerprint, (ModuleRecord, u64)>>,
+    records: Mutex<HashMap<FunctionKey, (FunctionRecord, u64)>>,
     generation: u64,
     compact_after: AtomicU64,
     hits: AtomicU64,
@@ -194,14 +266,14 @@ impl ScanStore {
         Ok(store)
     }
 
-    /// Look up the record for a fingerprint, counting a hit or miss. A hit
+    /// Look up the record for a replay key, counting a hit or miss. A hit
     /// refreshes the record's last-used stamp to this run's generation.
-    pub fn lookup(&self, fp: ModuleFingerprint) -> Option<ModuleRecord> {
+    pub fn lookup(&self, key: FunctionKey) -> Option<FunctionRecord> {
         let found = match self
             .records
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .get_mut(&fp)
+            .get_mut(&key)
         {
             Some(slot) => {
                 slot.1 = self.generation;
@@ -221,15 +293,15 @@ impl ScanStore {
         }
     }
 
-    /// Record a freshly analyzed module, stamped with this run's
-    /// generation. First insert wins for the record itself (records for
-    /// one fingerprint are interchangeable by construction).
-    pub fn insert(&self, fp: ModuleFingerprint, record: ModuleRecord) {
+    /// Record a freshly analyzed function, stamped with this run's
+    /// generation. First insert wins for the record itself (normalized
+    /// records for one key are identical by construction).
+    pub fn insert(&self, key: FunctionKey, record: FunctionRecord) {
         match self
             .records
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .entry(fp)
+            .entry(key)
         {
             std::collections::hash_map::Entry::Occupied(mut occupied) => {
                 occupied.get_mut().1 = self.generation;
@@ -241,22 +313,22 @@ impl ScanStore {
     }
 
     /// Write every record back to the backing file (temp file + rename, so a
-    /// crash never truncates the store; entries sorted by fingerprint, so
-    /// saving the same logical store twice is byte-identical). When a
-    /// compaction horizon is set ([`set_compaction`](Self::set_compaction)),
-    /// records unused for that many generations are dropped. Returns the
-    /// number of module records written.
+    /// crash never truncates the store; entries sorted by key, so saving
+    /// the same logical store twice is byte-identical). When a compaction
+    /// horizon is set ([`set_compaction`](Self::set_compaction)), records
+    /// unused for that many generations are dropped. Returns the number of
+    /// function records written.
     pub fn save(&self) -> io::Result<usize> {
         let compact = self.compact_after.load(Ordering::Relaxed);
-        let mut entries: Vec<(ModuleFingerprint, ModuleRecord, u64)> = self
+        let mut entries: Vec<(FunctionKey, FunctionRecord, u64)> = self
             .records
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .iter()
             .filter(|(_, (_, stamp))| compact == 0 || self.generation - stamp < compact)
-            .map(|(fp, (record, stamp))| (*fp, record.clone(), *stamp))
+            .map(|(key, (record, stamp))| (*key, record.clone(), *stamp))
             .collect();
-        entries.sort_by_key(|(fp, _, _)| *fp);
+        entries.sort_by_key(|(key, _, _)| *key);
         write_scan_store_file(&self.path, self.generation, &entries)?;
         Ok(entries.len())
     }
@@ -264,18 +336,19 @@ impl ScanStore {
     /// Merge several scan-store files into one at `out` — the
     /// distributed-scan fan-in. Strict where [`open`](Self::open) is
     /// forgiving: a revision-mismatched or malformed input is a loud
-    /// error, duplicate fingerprints must carry byte-identical records
-    /// (their stamps take the max), and the output header's generation is
-    /// the max across inputs. With `compact_after = Some(n)`, merged
-    /// records unused for `n` or more generations are pruned. The output
-    /// is written through the same atomic byte-deterministic path as
-    /// [`save`](Self::save).
+    /// error, duplicate keys must carry byte-identical records (their
+    /// stamps take the max — path normalization guarantees this for the
+    /// same function recorded by different shards under different paths),
+    /// and the output header's generation is the max across inputs. With
+    /// `compact_after = Some(n)`, merged records unused for `n` or more
+    /// generations are pruned. The output is written through the same
+    /// atomic byte-deterministic path as [`save`](Self::save).
     pub fn merge(
         out: impl AsRef<Path>,
         inputs: &[PathBuf],
         compact_after: Option<u64>,
     ) -> Result<MergeStats, MergeError> {
-        let mut merged: HashMap<ModuleFingerprint, (ModuleRecord, u64)> = HashMap::new();
+        let mut merged: HashMap<FunctionKey, (FunctionRecord, u64)> = HashMap::new();
         let mut stats = MergeStats {
             inputs: inputs.len(),
             ..MergeStats::default()
@@ -313,14 +386,14 @@ impl ScanStore {
             }
             stats.generation = stats.generation.max(file_generation);
             stats.entries_in += records.len() as u64;
-            for (fp, (record, stamp)) in records {
-                match merged.entry(fp) {
+            for (key, (record, stamp)) in records {
+                match merged.entry(key) {
                     std::collections::hash_map::Entry::Occupied(mut occupied) => {
                         stats.duplicates += 1;
                         if occupied.get().0 != record {
                             return Err(MergeError::Conflict {
                                 path: path.clone(),
-                                key: format!("{fp:032x}"),
+                                key: format!("{key:032x}"),
                             });
                         }
                         let slot = occupied.get_mut();
@@ -335,12 +408,12 @@ impl ScanStore {
         let compact = compact_after.unwrap_or(0);
         let generation = stats.generation.max(1);
         stats.generation = generation;
-        let mut entries: Vec<(ModuleFingerprint, ModuleRecord, u64)> = merged
+        let mut entries: Vec<(FunctionKey, FunctionRecord, u64)> = merged
             .into_iter()
             .filter(|(_, (_, stamp))| compact == 0 || generation - stamp < compact)
-            .map(|(fp, (record, stamp))| (fp, record, stamp))
+            .map(|(key, (record, stamp))| (key, record, stamp))
             .collect();
-        entries.sort_by_key(|(fp, _, _)| *fp);
+        entries.sort_by_key(|(key, _, _)| *key);
         stats.entries_out = entries.len() as u64;
         stats.pruned = stats.entries_in - stats.duplicates - stats.entries_out;
         write_scan_store_file(out.as_ref(), generation, &entries).map_err(|error| {
@@ -397,7 +470,7 @@ impl ScanStore {
         }
     }
 
-    /// Number of module records loaded from disk at [`open`](Self::open).
+    /// Number of function records loaded from disk at [`open`](Self::open).
     pub fn loaded_entries(&self) -> u64 {
         self.loaded
     }
@@ -417,7 +490,8 @@ impl ScanStore {
     }
 
     /// Whether `open` found a file it had to discard (written by a different
-    /// format/encoding/fingerprint revision).
+    /// format/encoding/fingerprint revision — including pre-v4
+    /// module-keyed stores).
     pub fn was_invalidated(&self) -> bool {
         self.invalidated
     }
@@ -442,18 +516,14 @@ impl ScanStore {
 fn write_scan_store_file(
     path: &Path,
     generation: u64,
-    entries: &[(ModuleFingerprint, ModuleRecord, u64)],
+    entries: &[(FunctionKey, FunctionRecord, u64)],
 ) -> io::Result<()> {
     let mut out = ScanStore::header(generation);
     out.push('\n');
-    for (fp, record, stamp) in entries {
+    for (key, record, stamp) in entries {
         write_checksummed_line(
             &mut out,
-            &format!(
-                "M g{stamp} {fp:032x} f{} r{}",
-                record.functions,
-                record.reports.len()
-            ),
+            &format!("F g{stamp} {key:032x} r{}", record.reports.len()),
         );
         for report in &record.reports {
             write_checksummed_line(&mut out, &report_payload(report));
@@ -501,7 +571,7 @@ fn parse_store(
     text: &str,
 ) -> Option<(
     u64,
-    HashMap<ModuleFingerprint, (ModuleRecord, u64)>,
+    HashMap<FunctionKey, (FunctionRecord, u64)>,
     SalvageReport,
 )> {
     let first = text.lines().next()?;
@@ -517,37 +587,37 @@ fn parse_store(
         generation,
         entries
             .into_iter()
-            .map(|(fp, record, stamp)| (fp, (record, stamp)))
+            .map(|(key, record, stamp)| (key, (record, stamp)))
             .collect(),
         salvage,
     ))
 }
 
-/// Salvage-parse the module records of a store body (everything from
-/// `body_start` on). The salvage unit is one record: an `M` line plus its
+/// Salvage-parse the function records of a store body (everything from
+/// `body_start` on). The salvage unit is one record: an `F` line plus its
 /// `r` `R` lines. A record survives only if every one of its lines
-/// checksums and parses, its stamp is not from the future, and its
-/// fingerprint was not already seen (a duplicate is the signature of a
-/// torn write — the first record wins). A failed record drops its `M`
-/// line and resynchronizes at the next line, so orphaned `R` lines after
-/// damage drop individually.
+/// checksums and parses, its stamp is not from the future, and its key was
+/// not already seen (a duplicate is the signature of a torn write — the
+/// first record wins). A failed record drops its `F` line and
+/// resynchronizes at the next line, so orphaned `R` lines after damage
+/// drop individually.
 #[allow(clippy::type_complexity)]
 fn parse_body(
     text: &str,
     body_start: usize,
     generation: u64,
-) -> (Vec<(ModuleFingerprint, ModuleRecord, u64)>, SalvageReport) {
+) -> (Vec<(FunctionKey, FunctionRecord, u64)>, SalvageReport) {
     let mut entries = Vec::new();
     let mut seen = HashSet::new();
     let mut salvage = SalvageReport::default();
     let mut lines = body_lines(text, body_start).peekable();
     while let Some((line, offset, terminated)) = lines.next() {
         let header = if terminated {
-            verify_checksummed_line(line).and_then(|payload| parse_module_line(payload, generation))
+            verify_checksummed_line(line).and_then(|payload| parse_entry_line(payload, generation))
         } else {
             None
         };
-        let Some((fp, stamp, functions, nreports)) = header else {
+        let Some((key, stamp, nreports)) = header else {
             salvage.bad(offset);
             continue;
         };
@@ -569,33 +639,31 @@ fn parse_body(
                 None => break,
             }
         }
-        if reports.len() < nreports || !seen.insert(fp) {
+        if reports.len() < nreports || !seen.insert(key) {
             salvage.bad(offset);
             continue;
         }
-        entries.push((fp, ModuleRecord { functions, reports }, stamp));
+        entries.push((key, FunctionRecord { reports }, stamp));
         salvage.entry();
     }
     (entries, salvage)
 }
 
-/// Parse one verified `M` line payload into (fingerprint, stamp,
-/// functions, report count). Stamps from beyond `generation` are
-/// malformed.
-fn parse_module_line(payload: &str, generation: u64) -> Option<(u128, u64, usize, usize)> {
-    let rest = payload.strip_prefix("M ")?;
+/// Parse one verified `F` line payload into (key, stamp, report count).
+/// Stamps from beyond `generation` are malformed.
+fn parse_entry_line(payload: &str, generation: u64) -> Option<(u128, u64, usize)> {
+    let rest = payload.strip_prefix("F ")?;
     let mut parts = rest.split(' ');
     let stamp: u64 = parts.next()?.strip_prefix('g')?.parse().ok()?;
     if stamp > generation {
         return None;
     }
-    let fp = u128::from_str_radix(parts.next()?, 16).ok()?;
-    let functions: usize = parts.next()?.strip_prefix('f')?.parse().ok()?;
+    let key = u128::from_str_radix(parts.next()?, 16).ok()?;
     let nreports: usize = parts.next()?.strip_prefix('r')?.parse().ok()?;
     if parts.next().is_some() {
         return None;
     }
-    Some((fp, stamp, functions, nreports))
+    Some((key, stamp, nreports))
 }
 
 /// Parse one `R` line back into a report.
@@ -664,7 +732,8 @@ fn parse_ub_kind(tag: &str) -> Option<UbKind> {
 }
 
 /// Percent-escape a string so it never contains whitespace, `@`, or `%`
-/// (the characters the line format relies on).
+/// (the characters the line format relies on). The path placeholder byte
+/// `0x01` is non-graphic, so it always renders as `%01`.
 fn escape(text: &str) -> String {
     let mut out = String::with_capacity(text.len());
     for byte in text.bytes() {
@@ -733,35 +802,28 @@ mod tests {
         }
     }
 
+    fn record(lines: &[u32]) -> FunctionRecord {
+        FunctionRecord {
+            reports: lines.iter().map(|&l| sample_report(l)).collect(),
+        }
+    }
+
     #[test]
     fn roundtrip_preserves_records_and_report_order() {
         let path = temp_path("roundtrip");
         let store = ScanStore::open(&path).unwrap();
-        store.insert(
-            7,
-            ModuleRecord {
-                functions: 3,
-                reports: vec![sample_report(5), sample_report(2)],
-            },
-        );
-        store.insert(
-            u128::MAX,
-            ModuleRecord {
-                functions: 1,
-                reports: Vec::new(),
-            },
-        );
+        store.insert(7, record(&[5, 2]));
+        store.insert(u128::MAX, record(&[]));
         assert_eq!(store.save().unwrap(), 2);
 
         let reloaded = ScanStore::open(&path).unwrap();
         assert_eq!(reloaded.loaded_entries(), 2);
         assert!(!reloaded.was_invalidated());
-        let record = reloaded.lookup(7).expect("record survives");
-        assert_eq!(record.functions, 3);
+        let found = reloaded.lookup(7).expect("record survives");
         assert_eq!(
-            record.reports,
+            found.reports,
             vec![sample_report(5), sample_report(2)],
-            "reports replay in their recorded stream order"
+            "reports replay in their recorded order"
         );
         assert_eq!(reloaded.lookup(u128::MAX).unwrap().reports.len(), 0);
         assert!(reloaded.lookup(8).is_none());
@@ -771,17 +833,51 @@ mod tests {
     }
 
     #[test]
+    fn normalization_makes_records_path_independent_and_replay_rewrites() {
+        // The same function analyzed under two paths: reports differ only in
+        // the file they name.
+        let report_under = |file: &str| BugReport {
+            function: "f".to_string(),
+            file: file.to_string(),
+            line: 2,
+            algorithm: Algorithm::SimplifyBoolean,
+            description: "check always true".to_string(),
+            ub_sources: vec![
+                UbSource {
+                    kind: UbKind::SignedIntegerOverflow,
+                    location: format!("{file}:1"),
+                },
+                UbSource {
+                    kind: UbKind::NullPointerDereference,
+                    location: "other.c:9".to_string(), // inlined from elsewhere
+                },
+            ],
+            compiler_generated: false,
+        };
+        let a = FunctionRecord::normalized(&[report_under("a/vendored.c")], "a/vendored.c");
+        let b = FunctionRecord::normalized(&[report_under("b/deep/copy.c")], "b/deep/copy.c");
+        assert_eq!(a, b, "normalized records must not depend on the path");
+        // Replay under a third path reconstructs exactly what a fresh
+        // analysis there would report — including the untouched foreign
+        // ub-source location.
+        assert_eq!(a.replay("c/new.c"), vec![report_under("c/new.c")]);
+        // And the normalized form survives a disk roundtrip (the
+        // placeholder byte is escaped).
+        let path = temp_path("normalized");
+        let store = ScanStore::open(&path).unwrap();
+        store.insert(1, a.clone());
+        store.save().unwrap();
+        let reloaded = ScanStore::open(&path).unwrap();
+        assert_eq!(reloaded.lookup(1).unwrap(), a);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
     fn save_is_byte_deterministic() {
         let path = temp_path("deterministic");
         let store = ScanStore::open(&path).unwrap();
-        for fp in [9u128, 1, 4] {
-            store.insert(
-                fp,
-                ModuleRecord {
-                    functions: fp as usize,
-                    reports: vec![sample_report(fp as u32)],
-                },
-            );
+        for key in [9u128, 1, 4] {
+            store.insert(key, record(&[key as u32]));
         }
         store.save().unwrap();
         let first = std::fs::read_to_string(&path).unwrap();
@@ -814,14 +910,15 @@ mod tests {
     #[test]
     fn mismatched_revision_self_invalidates() {
         let bad_headers = [
-            "stack-scan-store v2 enc1 fpr1\n".to_string(), // the pre-checksum format
+            // The v3 module-keyed format (its fpr1 keys died with it).
+            "stack-scan-store v3 enc1 fpr1 gen1\n".to_string(),
             format!(
                 "stack-scan-store v{SCAN_STORE_FORMAT_VERSION} enc999 fpr{FINGERPRINT_REVISION} gen1\n"
             ),
         ];
         for header in &bad_headers {
             let path = temp_path("stale");
-            std::fs::write(&path, format!("{header}{}", line("M g1 1 f1 r0"))).unwrap();
+            std::fs::write(&path, format!("{header}{}", line("F g1 1 r0"))).unwrap();
             let store = ScanStore::open(&path).unwrap();
             assert!(store.was_invalidated(), "header {header:?}");
             assert_eq!(store.loaded_entries(), 0);
@@ -833,10 +930,10 @@ mod tests {
     fn bad_records_are_salvaged_not_fatal() {
         for bad in [
             "garbage\n".to_string(),
-            line("M 3 f1 r0"),         // stamp missing
-            line("M g2 3 f1 r0"),      // stamp beyond the header generation
-            line("M g1 nothex f1 r0"), // bad fingerprint
-            line("M g1 3 f1 r1"),      // missing R line
+            line("F 3 r0"),         // stamp missing
+            line("F g2 3 r0"),      // stamp beyond the header generation
+            line("F g1 nothex r0"), // bad key
+            line("F g1 3 r1"),      // missing R line
         ] {
             let path = temp_path("salvaged");
             // One good record on each side of the damage.
@@ -845,8 +942,8 @@ mod tests {
                 format!(
                     "{}\n{}{bad}{}",
                     ScanStore::header(1),
-                    line("M g1 1 f1 r0"),
-                    line("M g1 2 f2 r0")
+                    line("F g1 1 r0"),
+                    line("F g1 2 r0")
                 ),
             )
             .unwrap();
@@ -861,7 +958,7 @@ mod tests {
             assert_eq!(salvage.salvaged_entries, 2);
             assert_eq!(
                 salvage.first_bad_offset,
-                Some((ScanStore::header(1).len() + 1 + line("M g1 1 f1 r0").len()) as u64)
+                Some((ScanStore::header(1).len() + 1 + line("F g1 1 r0").len()) as u64)
             );
             // A save rewrites the file canonically; the re-open is clean.
             store.save().unwrap();
@@ -874,8 +971,8 @@ mod tests {
 
     #[test]
     fn record_with_bad_report_line_drops_as_a_unit() {
-        // The M line verifies but its R line does not: the whole record
-        // drops (M counted, then the orphan R line counted on resync) and
+        // The F line verifies but its R line does not: the whole record
+        // drops (F counted, then the orphan R line counted on resync) and
         // the following record still loads.
         let path = temp_path("bad-report");
         std::fs::write(
@@ -883,9 +980,9 @@ mod tests {
             format!(
                 "{}\n{}{}{}",
                 ScanStore::header(1),
-                line("M g1 1 f1 r1"),
+                line("F g1 1 r1"),
                 line("R wat 1 0 f g d"),
-                line("M g1 2 f2 r0")
+                line("F g1 2 r0")
             ),
         )
         .unwrap();
@@ -901,22 +998,27 @@ mod tests {
     }
 
     #[test]
-    fn duplicate_fingerprints_keep_the_first_record() {
+    fn duplicate_keys_keep_the_first_record() {
         let path = temp_path("dup");
         std::fs::write(
             &path,
             format!(
-                "{}\n{}{}",
+                "{}\n{}{}{}",
                 ScanStore::header(2),
-                line("M g2 1 f3 r0"),
-                line("M g1 1 f5 r0")
+                line("F g2 1 r1"),
+                line(&report_payload(&sample_report(3))),
+                line("F g1 1 r0")
             ),
         )
         .unwrap();
         let store = ScanStore::open(&path).unwrap();
         assert!(!store.was_invalidated());
         assert_eq!(store.loaded_entries(), 1);
-        assert_eq!(store.lookup(1).unwrap().functions, 3, "first record wins");
+        assert_eq!(
+            store.lookup(1).unwrap().reports.len(),
+            1,
+            "first record wins"
+        );
         assert_eq!(store.salvage().unwrap().dropped_lines, 1);
         std::fs::remove_file(&path).unwrap();
     }
@@ -946,11 +1048,7 @@ mod tests {
         let torn = temp_path("merge-salvage-torn");
         std::fs::write(
             &torn,
-            format!(
-                "{}\n{}garbage\n",
-                ScanStore::header(1),
-                line("M g1 2 f1 r0")
-            ),
+            format!("{}\n{}garbage\n", ScanStore::header(1), line("F g1 2 r0")),
         )
         .unwrap();
         let out = temp_path("merge-salvage-out");
@@ -976,18 +1074,12 @@ mod tests {
     }
 
     /// Build a store file at a fresh temp path holding the given
-    /// (fingerprint, functions) pairs, each with one sample report.
-    fn store_with(tag: &str, entries: &[(u128, usize)]) -> PathBuf {
+    /// (key, report line number) pairs, each with one sample report.
+    fn store_with(tag: &str, entries: &[(u128, u32)]) -> PathBuf {
         let path = temp_path(tag);
         let store = ScanStore::open(&path).unwrap();
-        for &(fp, functions) in entries {
-            store.insert(
-                fp,
-                ModuleRecord {
-                    functions,
-                    reports: vec![sample_report(functions as u32)],
-                },
-            );
+        for &(key, report_line) in entries {
+            store.insert(key, record(&[report_line]));
         }
         store.save().unwrap();
         path
@@ -996,7 +1088,7 @@ mod tests {
     #[test]
     fn generations_advance_and_stamps_refresh_on_use() {
         let path = store_with("generations", &[(1, 1), (2, 2)]);
-        // Generation 2: touch only fingerprint 1.
+        // Generation 2: touch only key 1.
         let store = ScanStore::open(&path).unwrap();
         assert_eq!(store.generation(), 2);
         assert!(store.lookup(1).is_some());
@@ -1004,11 +1096,11 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.starts_with(&ScanStore::header(2)), "{text}");
         assert!(
-            text.contains("M g2 00000000000000000000000000000001"),
+            text.contains("F g2 00000000000000000000000000000001"),
             "{text}"
         );
         assert!(
-            text.contains("M g1 00000000000000000000000000000002"),
+            text.contains("F g1 00000000000000000000000000000002"),
             "{text}"
         );
         std::fs::remove_file(&path).unwrap();
@@ -1017,7 +1109,7 @@ mod tests {
     #[test]
     fn compaction_prunes_unused_records() {
         let path = store_with("compaction", &[(1, 1), (2, 2)]);
-        // Two more generations touching only fingerprint 1.
+        // Two more generations touching only key 1.
         for expected_gen in [2, 3] {
             let store = ScanStore::open(&path).unwrap();
             assert_eq!(store.generation(), expected_gen);
@@ -1025,8 +1117,8 @@ mod tests {
             store.set_compaction(Some(2));
             store.save().unwrap();
         }
-        // Fingerprint 2 (last used at generation 1) fell behind the
-        // 2-generation horizon at the generation-3 save.
+        // Key 2 (last used at generation 1) fell behind the 2-generation
+        // horizon at the generation-3 save.
         let reloaded = ScanStore::open(&path).unwrap();
         assert_eq!(reloaded.loaded_entries(), 1);
         assert!(reloaded.lookup(1).is_some());
@@ -1056,10 +1148,10 @@ mod tests {
         assert_eq!(stats.pruned, 0);
         let merged = ScanStore::open(&out).unwrap();
         assert_eq!(merged.loaded_entries(), 3);
-        for fp in [1u128, 2, 3] {
+        for key in [1u128, 2, 3] {
             assert_eq!(
-                merged.lookup(fp).expect("merged record").functions,
-                fp as usize
+                merged.lookup(key).expect("merged record").reports[0].line,
+                key as u32
             );
         }
         for path in [a, b, out] {
@@ -1105,11 +1197,11 @@ mod tests {
         }
         assert!(!out.exists(), "a failed merge must not write an output");
 
-        // Same fingerprint, different record: loud conflict.
+        // Same key, different record: loud conflict.
         let conflicting = store_with("merge-conflict", &[(1, 5)]);
         match ScanStore::merge(&out, &[good.clone(), conflicting.clone()], None) {
             Err(MergeError::Conflict { key, .. }) => {
-                assert!(key.contains('1'), "key names the fingerprint: {key}");
+                assert!(key.contains('1'), "key names the replay key: {key}");
             }
             other => panic!("expected Conflict, got {other:?}"),
         }
@@ -1120,27 +1212,26 @@ mod tests {
 
     #[test]
     fn merge_takes_max_stamps_and_compacts() {
-        // Store a: generation 3, fingerprint 1 stamped g3, fingerprint 2
-        // stamped g1.
+        // Store a: generation 3, key 1 stamped g3, key 2 stamped g1.
         let a = temp_path("merge-stamps-a");
         std::fs::write(
             &a,
             format!(
                 "{}\n{}{}",
                 ScanStore::header(3),
-                line("M g3 00000000000000000000000000000001 f1 r0"),
-                line("M g1 00000000000000000000000000000002 f1 r0")
+                line("F g3 00000000000000000000000000000001 r0"),
+                line("F g1 00000000000000000000000000000002 r0")
             ),
         )
         .unwrap();
-        // Store b: generation 2, fingerprint 1 stamped g2 (older than a's).
+        // Store b: generation 2, key 1 stamped g2 (older than a's).
         let b = temp_path("merge-stamps-b");
         std::fs::write(
             &b,
             format!(
                 "{}\n{}",
                 ScanStore::header(2),
-                line("M g2 00000000000000000000000000000001 f1 r0")
+                line("F g2 00000000000000000000000000000001 r0")
             ),
         )
         .unwrap();
@@ -1154,7 +1245,7 @@ mod tests {
         assert_eq!(stats.pruned, 1);
         let text = std::fs::read_to_string(&out).unwrap();
         assert!(
-            text.contains("M g3 00000000000000000000000000000001"),
+            text.contains("F g3 00000000000000000000000000000001"),
             "{text}"
         );
         for path in [a, b, out] {
@@ -1186,7 +1277,7 @@ mod tests {
             format!(
                 "stack-scan-store v{SCAN_STORE_FORMAT_VERSION} enc1 fpr{} gen4\n{}",
                 FINGERPRINT_REVISION + 9,
-                line("M g2 1 f1 r0")
+                line("F g2 1 r0")
             ),
         )
         .unwrap();
@@ -1210,11 +1301,12 @@ mod tests {
 
     #[test]
     fn escape_roundtrip() {
-        for text in ["plain", "a b@c%d", "héllo\nworld", ""] {
+        for text in ["plain", "a b@c%d", "héllo\nworld", "", PATH_PLACEHOLDER] {
             assert_eq!(unescape(&escape(text)).as_deref(), Some(text));
         }
         let escaped = escape("a b@c");
         assert!(!escaped.contains(' '));
         assert!(!escaped.contains('@'));
+        assert_eq!(escape(PATH_PLACEHOLDER), "%01");
     }
 }

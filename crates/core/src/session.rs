@@ -47,6 +47,23 @@ pub struct AnalysisSession {
     aggregate: Mutex<CheckStats>,
 }
 
+/// The outcome of checking one selected function of a module: its **raw**
+/// reports — in discovery order, before the module-level dedup/suppression
+/// filter — and its per-function solver degradation. Produced by
+/// [`AnalysisSession::check_functions_selected`]; the scan pipeline
+/// persists exactly this unit per replay key.
+#[derive(Debug)]
+pub struct FunctionCheck {
+    /// Index of the function in the module's function list.
+    pub index: usize,
+    /// The function's raw (pre-filter) reports.
+    pub reports: Vec<BugReport>,
+    /// Budget-exhausted queries this function's analysis hit. A function
+    /// with `timeouts > 0` has a budget-shaped report set, so it is never
+    /// recorded for replay — its healthy siblings still are.
+    pub timeouts: u64,
+}
+
 impl Default for AnalysisSession {
     fn default() -> AnalysisSession {
         AnalysisSession::new(CheckerConfig::default())
@@ -188,36 +205,73 @@ impl AnalysisSession {
         sink: &mut dyn FnMut(BugReport),
     ) -> CheckStats {
         let start = Instant::now();
-        let functions = module.functions();
-        let threads = self.resolve_threads(functions.len());
-        let (per_function, solver_stats) = if threads <= 1 {
-            let mut solver = self.make_solver();
-            let per_function: Vec<Vec<BugReport>> = functions
-                .iter()
-                .map(|func| self.check_function(func, &mut solver))
-                .collect();
-            (per_function, solver.stats())
-        } else {
-            self.check_functions_parallel(functions, threads)
-        };
-        // Deduplicate identical (location, function, algorithm) reports and
-        // apply the macro/inline suppression, then stream what survives.
-        let mut seen = HashSet::new();
+        let select = vec![true; module.len()];
+        let (checks, mut stats) = self.check_functions_selected(module, &select);
         let mut by_algorithm: HashMap<Algorithm, usize> = HashMap::new();
-        for report in per_function.into_iter().flatten() {
-            if !seen.insert((report.location(), report.function.clone(), report.algorithm)) {
-                continue;
-            }
-            if !self.config.report_compiler_generated && report.compiler_generated {
-                continue;
-            }
-            *by_algorithm.entry(report.algorithm).or_insert(0) += 1;
-            sink(report);
-        }
+        self.filter_module_reports(
+            checks.into_iter().flat_map(|c| c.reports),
+            &mut by_algorithm,
+            sink,
+        );
+        stats.by_algorithm = by_algorithm;
+        stats.elapsed = start.elapsed();
+        self.aggregate
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .merge(&stats);
+        stats
+    }
+
+    /// Check a *selected subset* of a module's functions — the primitive
+    /// under both [`check_module_streaming`] (everything selected) and the
+    /// scan pipeline's per-function incremental re-scan (only the functions
+    /// whose replay keys missed the scan store). Returns one
+    /// [`FunctionCheck`] per selected function, in function order, carrying
+    /// **raw** reports — the crate-internal module-level dedup/suppression
+    /// filter is the caller's job, because replayed and fresh reports must
+    /// pass through it together — plus the statistics of the work done
+    /// (`functions` counts only the selection; nothing is merged into the
+    /// session aggregate — callers compose the final per-module statistics
+    /// and absorb them once).
+    ///
+    /// [`check_module_streaming`]: AnalysisSession::check_module_streaming
+    pub fn check_functions_selected(
+        &self,
+        module: &Module,
+        select: &[bool],
+    ) -> (Vec<FunctionCheck>, CheckStats) {
+        let start = Instant::now();
+        let functions = module.functions();
+        assert_eq!(
+            select.len(),
+            functions.len(),
+            "one select flag per function"
+        );
+        let indices: Vec<usize> = (0..functions.len()).filter(|&i| select[i]).collect();
+        let threads = self.resolve_threads(indices.len());
+        let (checks, solver_stats) = if threads <= 1 {
+            let mut solver = self.make_solver();
+            let checks: Vec<FunctionCheck> = indices
+                .iter()
+                .map(|&i| {
+                    let before = solver.stats().timeouts;
+                    let reports = self.check_function(&functions[i], &mut solver);
+                    FunctionCheck {
+                        index: i,
+                        reports,
+                        timeouts: solver.stats().timeouts - before,
+                    }
+                })
+                .collect();
+            (checks, solver.stats())
+        } else {
+            self.check_functions_parallel(functions, &indices, threads)
+        };
         let stats = CheckStats {
             modules: 1,
             modules_skipped: 0,
-            functions: functions.len(),
+            functions: indices.len(),
+            functions_skipped: 0,
             queries: solver_stats.queries,
             timeouts: solver_stats.timeouts,
             degraded_modules: usize::from(solver_stats.timeouts > 0),
@@ -227,19 +281,42 @@ impl AnalysisSession {
             reused_clauses: solver_stats.reused_clauses,
             threads,
             elapsed: start.elapsed(),
-            by_algorithm,
+            by_algorithm: HashMap::new(),
         };
-        self.aggregate
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .merge(&stats);
-        stats
+        (checks, stats)
     }
 
-    /// The parallel driver: `threads` scoped workers draw function indices
-    /// from a shared counter and return `(index, reports)` pairs plus their
-    /// private solver's statistics, which are merged field-by-field (so the
-    /// aggregate equals what one sequential solver would have counted).
+    /// The module-level report filter: deduplicate identical (location,
+    /// function, algorithm) reports, then apply the macro/inline
+    /// suppression, streaming what survives to `sink` and counting it in
+    /// `by_algorithm`. Order-sensitive (the seen-set is first-wins), so
+    /// callers feed the assembled per-function streams in function order —
+    /// which is why the scan store records raw pre-filter reports.
+    pub(crate) fn filter_module_reports(
+        &self,
+        raw: impl IntoIterator<Item = BugReport>,
+        by_algorithm: &mut HashMap<Algorithm, usize>,
+        sink: &mut dyn FnMut(BugReport),
+    ) {
+        let mut seen = HashSet::new();
+        for report in raw {
+            if !seen.insert((report.location(), report.function.clone(), report.algorithm)) {
+                continue;
+            }
+            if !self.config.report_compiler_generated && report.compiler_generated {
+                continue;
+            }
+            *by_algorithm.entry(report.algorithm).or_insert(0) += 1;
+            sink(report);
+        }
+    }
+
+    /// The parallel driver: `threads` scoped workers draw positions in the
+    /// selected-index list from a shared counter and return their
+    /// [`FunctionCheck`]s plus their private solver's statistics, which are
+    /// merged field-by-field (so the aggregate equals what one sequential
+    /// solver would have counted). Per-function `timeouts` come from
+    /// snapshotting the worker solver's counter around each call.
     ///
     /// Each per-function check runs under `catch_unwind`, and a panicking
     /// worker stops drawing work. After every worker has drained, the panic
@@ -250,10 +327,12 @@ impl AnalysisSession {
     fn check_functions_parallel(
         &self,
         functions: &[Function],
+        indices: &[usize],
         threads: usize,
-    ) -> (Vec<Vec<BugReport>>, SolverStats) {
+    ) -> (Vec<FunctionCheck>, SolverStats) {
         let next = AtomicUsize::new(0);
-        let mut per_function: Vec<Vec<BugReport>> = vec![Vec::new(); functions.len()];
+        let mut slots: Vec<Option<FunctionCheck>> = Vec::new();
+        slots.resize_with(indices.len(), || None);
         let mut solver_stats = SolverStats::default();
         let mut first_panic: Option<(usize, Box<dyn std::any::Any + Send>)> = None;
         std::thread::scope(|scope| {
@@ -262,15 +341,23 @@ impl AnalysisSession {
                     let next = &next;
                     scope.spawn(move || {
                         let mut solver = self.make_solver();
-                        let mut local: Vec<(usize, Vec<BugReport>)> = Vec::new();
+                        let mut local: Vec<(usize, FunctionCheck)> = Vec::new();
                         let mut panicked: Option<(usize, Box<dyn std::any::Any + Send>)> = None;
                         loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            let Some(func) = functions.get(i) else { break };
+                            let k = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(&i) = indices.get(k) else { break };
+                            let before = solver.stats().timeouts;
                             match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                self.check_function(func, &mut solver)
+                                self.check_function(&functions[i], &mut solver)
                             })) {
-                                Ok(reports) => local.push((i, reports)),
+                                Ok(reports) => local.push((
+                                    k,
+                                    FunctionCheck {
+                                        index: i,
+                                        reports,
+                                        timeouts: solver.stats().timeouts - before,
+                                    },
+                                )),
                                 Err(payload) => {
                                     panicked = Some((i, payload));
                                     break;
@@ -286,8 +373,8 @@ impl AnalysisSession {
                     .join()
                     .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
                 solver_stats.merge(&stats);
-                for (i, reports) in local {
-                    per_function[i] = reports;
+                for (k, check) in local {
+                    slots[k] = Some(check);
                 }
                 if let Some((i, payload)) = panicked {
                     match &first_panic {
@@ -300,7 +387,7 @@ impl AnalysisSession {
         if let Some((_, payload)) = first_panic {
             std::panic::resume_unwind(payload);
         }
-        (per_function, solver_stats)
+        (slots.into_iter().flatten().collect(), solver_stats)
     }
 
     /// Check a single function.

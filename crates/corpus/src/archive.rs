@@ -257,19 +257,196 @@ pub fn churn_archive(base: &[ArchiveFile], seed: u64, pct: f64) -> ChurnedArchiv
     }
 }
 
+/// One function-granular churned archive: the edited population plus the
+/// exact ground truth a per-function incremental re-scan is measured
+/// against — [`edited_functions`](FunctionChurn::edited_functions) is the
+/// number of functions whose replay key must miss, and every other
+/// function must replay.
+#[derive(Clone, Debug)]
+pub struct FunctionChurn {
+    /// The edited copy of the population, in the original file order.
+    pub files: Vec<ArchiveFile>,
+    /// Total functions across the population (unchanged by the churn).
+    pub total_functions: usize,
+    /// Functions whose body was edited in place: a function-granular
+    /// re-scan must re-analyze exactly these.
+    pub edited_functions: usize,
+    /// Files containing at least one edited function: a *module*-granular
+    /// re-scan must re-analyze every function of these, which is the gap
+    /// the `function_rescan` bench section measures.
+    pub edited_files: usize,
+}
+
+impl FunctionChurn {
+    /// The fraction of functions a function-granular re-scan should
+    /// replay: everything except the edited ones.
+    pub fn expected_function_skip_rate(&self) -> f64 {
+        if self.total_functions == 0 {
+            return 0.0;
+        }
+        (self.total_functions - self.edited_functions) as f64 / self.total_functions as f64
+    }
+}
+
+/// Whether `line` holds one generated function definition (the archive
+/// emits one function per line; churned files may also carry appended
+/// comment lines, which are not slots).
+fn is_function_line(line: &str) -> bool {
+    line.starts_with("int ") && line.contains('{')
+}
+
+/// Edit one generated function line in place: the first digit run after
+/// the opening brace (every template body embeds at least one literal)
+/// becomes the fresh constant `k`. The edit is line-preserving and keeps
+/// the source compiling, but changes the lowered IR — so the function's
+/// digest (and only its digest) changes, exercising exactly the
+/// "developer touched one function" shape. The function *name* is never
+/// edited (its digits precede the brace).
+fn edit_function_line(line: &str, k: u64) -> String {
+    let brace = line.find('{').expect("function line has a body");
+    let body = &line[brace..];
+    let start = body
+        .find(|c: char| c.is_ascii_digit())
+        .expect("every template body embeds a literal");
+    let end = start
+        + body[start..]
+            .find(|c: char| !c.is_ascii_digit())
+            .unwrap_or(body.len() - start);
+    format!("{}{}{k}{}", &line[..brace], &body[..start], &body[end..])
+}
+
+/// Produce a copy of `base` with exactly `count` functions (archive-wide,
+/// chosen by Fisher–Yates over every function slot) edited in place, each
+/// receiving a distinct fresh constant in its body. This
+/// is the function-granular sibling of [`churn_archive`]: instead of
+/// *appending* a function (which edits the module but no existing
+/// function), it mutates existing bodies — the workload where
+/// per-function replay keying pays off. Deterministic given `seed`.
+pub fn churn_functions_count(base: &[ArchiveFile], seed: u64, count: usize) -> FunctionChurn {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xF0_57C4);
+    // Every (file, line) function slot, archive-wide.
+    let mut slots: Vec<(usize, usize)> = Vec::new();
+    for (fi, file) in base.iter().enumerate() {
+        for (li, line) in file.source.lines().enumerate() {
+            if is_function_line(line) {
+                slots.push((fi, li));
+            }
+        }
+    }
+    let total_functions = slots.len();
+    let count = count.min(total_functions);
+    for i in (1..slots.len()).rev() {
+        slots.swap(i, rng.gen_range(0..=i));
+    }
+    let mut chosen: Vec<(usize, usize)> = slots[..count].to_vec();
+    // Assign fresh constants in (file, line) order so the edit is a pure
+    // function of the chosen set, not of the shuffle order.
+    chosen.sort_unstable();
+    let edited: std::collections::HashMap<(usize, usize), u64> = chosen
+        .iter()
+        .enumerate()
+        // 20_000 + i: disjoint from every generated variant constant
+        // (3 + 13·v), from churn_archive's 1_000 + i, and from each other.
+        .map(|(i, &slot)| (slot, 20_000 + i as u64))
+        .collect();
+    let mut files = Vec::with_capacity(base.len());
+    let mut edited_files = 0usize;
+    for (fi, file) in base.iter().enumerate() {
+        let mut touched = false;
+        let mut source = String::with_capacity(file.source.len());
+        for (li, line) in file.source.lines().enumerate() {
+            match edited.get(&(fi, li)) {
+                Some(&k) => {
+                    source.push_str(&edit_function_line(line, k));
+                    touched = true;
+                }
+                None => source.push_str(line),
+            }
+            source.push('\n');
+        }
+        if touched {
+            edited_files += 1;
+        }
+        files.push(ArchiveFile {
+            source,
+            ..file.clone()
+        });
+    }
+    FunctionChurn {
+        files,
+        total_functions,
+        edited_functions: count,
+        edited_files,
+    }
+}
+
+/// [`churn_functions_count`] with the count derived from a fraction:
+/// exactly `round(pct * total_functions)` functions change.
+pub fn churn_functions(base: &[ArchiveFile], seed: u64, pct: f64) -> FunctionChurn {
+    let total: usize = base
+        .iter()
+        .map(|f| f.source.lines().filter(|l| is_function_line(l)).count())
+        .sum();
+    let count = ((pct.clamp(0.0, 1.0) * total as f64).round() as usize).min(total);
+    churn_functions_count(base, seed, count)
+}
+
+/// Extend `base` with `copies` duplicates of randomly chosen files under
+/// new vendored paths (`vendor{j}/<original name>`): byte-identical
+/// sources whose every function the path-independent replay key should
+/// serve from the original's analysis — the cross-path dedup workload.
+/// Deterministic given `seed`; the duplicates keep their source file's
+/// `injected` ground truth.
+pub fn duplicate_files(base: &[ArchiveFile], seed: u64, copies: usize) -> Vec<ArchiveFile> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD0_9B1E);
+    let mut files = base.to_vec();
+    for j in 0..copies {
+        if base.is_empty() {
+            break;
+        }
+        let original = &base[rng.gen_range(0..base.len())];
+        files.push(ArchiveFile {
+            package: format!("vendor{j}"),
+            name: format!("vendor{j}/{}", original.name),
+            source: original.source.clone(),
+            injected: original.injected,
+        });
+    }
+    files
+}
+
 /// Materialize the archive population as `.mc` files under `dir` (created
 /// if needed), returning the written paths in generation order. This is
 /// what `stack gen-archive` uses to give the `scan` subcommand a real
-/// directory to walk.
-pub fn write_archive(config: &ArchiveConfig, dir: &Path) -> io::Result<Vec<PathBuf>> {
+/// directory to walk. With `edit_functions > 0`, the written population is
+/// the [`churn_functions_count`] edit of the generated one (the CLI's
+/// "touch K functions, then re-scan" smoke workload); file names and
+/// counts are unchanged either way.
+pub fn write_archive_edited(
+    config: &ArchiveConfig,
+    dir: &Path,
+    edit_functions: usize,
+) -> io::Result<Vec<PathBuf>> {
     std::fs::create_dir_all(dir)?;
+    let mut files = generate_archive(config);
+    if edit_functions > 0 {
+        files = churn_functions_count(&files, config.seed, edit_functions).files;
+    }
     let mut paths = Vec::new();
-    for file in generate_archive(config) {
+    for file in files {
         let path = dir.join(&file.name);
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
         std::fs::write(&path, &file.source)?;
         paths.push(path);
     }
     Ok(paths)
+}
+
+/// [`write_archive_edited`] with no function edits.
+pub fn write_archive(config: &ArchiveConfig, dir: &Path) -> io::Result<Vec<PathBuf>> {
+    write_archive_edited(config, dir, 0)
 }
 
 #[cfg(test)]
@@ -414,6 +591,94 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn function_churn_edits_exactly_the_requested_count_in_place() {
+        let base = generate_archive(&ArchiveConfig {
+            packages: 6,
+            ..ArchiveConfig::default()
+        });
+        let total: usize = base.iter().map(|f| f.source.lines().count()).sum();
+        let churned = churn_functions(&base, 9, 0.05);
+        assert_eq!(churned.total_functions, total);
+        assert_eq!(
+            churned.edited_functions,
+            ((0.05 * total as f64).round() as usize),
+            "count must be exact, not a per-function coin flip"
+        );
+        assert!(churned.edited_files >= 1);
+        assert!(
+            (churned.expected_function_skip_rate() - 0.95).abs() < 0.01,
+            "{}",
+            churned.expected_function_skip_rate()
+        );
+        // Determinism.
+        let again = churn_functions(&base, 9, 0.05);
+        for (x, y) in churned.files.iter().zip(again.files.iter()) {
+            assert_eq!(x.source, y.source);
+        }
+        // Every edit is line-preserving and touches only the chosen lines.
+        let mut changed_lines = 0usize;
+        for (before, after) in base.iter().zip(churned.files.iter()) {
+            assert_eq!(before.source.lines().count(), after.source.lines().count());
+            for (a, b) in before.source.lines().zip(after.source.lines()) {
+                if a != b {
+                    changed_lines += 1;
+                    // The function name (everything before '(') is intact.
+                    assert_eq!(a.split_once('(').unwrap().0, b.split_once('(').unwrap().0);
+                }
+            }
+        }
+        assert_eq!(changed_lines, churned.edited_functions);
+        // And the edited population still compiles.
+        crate::validate_sources(
+            churned
+                .files
+                .iter()
+                .map(|f| (f.name.as_str(), f.source.as_str())),
+            |name, source| stack_minic::compile(source, name).map(|_| ()),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn function_churn_count_zero_is_the_identity() {
+        let base = generate_archive(&ArchiveConfig::default());
+        let churned = churn_functions_count(&base, 5, 0);
+        assert_eq!(churned.edited_functions, 0);
+        assert_eq!(churned.edited_files, 0);
+        for (x, y) in base.iter().zip(churned.files.iter()) {
+            assert_eq!(x.source, y.source);
+        }
+    }
+
+    #[test]
+    fn duplicate_files_append_byte_identical_copies_under_new_paths() {
+        let base = generate_archive(&ArchiveConfig {
+            packages: 4,
+            ..ArchiveConfig::default()
+        });
+        let extended = duplicate_files(&base, 3, 5);
+        assert_eq!(extended.len(), base.len() + 5);
+        let names: HashSet<&str> = extended.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names.len(), extended.len(), "paths must be unique");
+        for copy in &extended[base.len()..] {
+            assert!(copy.name.starts_with("vendor"), "{}", copy.name);
+            let original = base
+                .iter()
+                .find(|f| copy.name.ends_with(&f.name))
+                .expect("every duplicate names its source file");
+            assert_eq!(copy.source, original.source, "copies are byte-identical");
+        }
+        // Determinism.
+        let again = duplicate_files(&base, 3, 5);
+        for (x, y) in extended.iter().zip(again.iter()) {
+            assert_eq!(
+                (x.name.as_str(), x.source.as_str()),
+                (y.name.as_str(), y.source.as_str())
+            );
         }
     }
 

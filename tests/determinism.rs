@@ -212,6 +212,10 @@ fn zero_churn_rescan_skips_every_module_with_identical_output() {
             "every module must be skipped (jobs={jobs}): {warm_stats:?}"
         );
         assert_eq!(warm_stats.modules_skipped, base.len());
+        assert_eq!(
+            warm_stats.functions_skipped, cold_stats.functions,
+            "every function must replay (jobs={jobs}): {warm_stats:?}"
+        );
         assert_eq!(warm_stats.queries, 0, "jobs={jobs}: {warm_stats:?}");
         assert_eq!(warm_stats.functions, cold_stats.functions);
     }
@@ -323,7 +327,10 @@ fn sharded_scan_with_merged_stores_matches_unsharded_run() {
     let merged = std::env::temp_dir().join(format!("{tag}-merged.ss"));
     let inputs: Vec<std::path::PathBuf> = (0..SHARDS).map(shard_path).collect();
     let stats = ScanStore::merge(&merged, &inputs, None).expect("merge shard scan stores");
-    assert_eq!(stats.entries_out, base.len() as u64);
+    // One record per *function* since the store keys on function replay
+    // keys; generated function names are unique, so no two shards ever
+    // record the same key.
+    assert_eq!(stats.entries_out, reference_stats.functions as u64);
     assert_eq!(stats.duplicates, 0, "shards are disjoint");
 
     for jobs in [1, 4] {
@@ -334,6 +341,7 @@ fn sharded_scan_with_merged_stores_matches_unsharded_run() {
             base.len(),
             "every module must replay from the merged store (jobs={jobs}): {warm_stats:?}"
         );
+        assert_eq!(warm_stats.functions_skipped, reference_stats.functions);
         assert_eq!(warm_stats.queries, 0, "jobs={jobs}: {warm_stats:?}");
         assert_eq!(warm_stats.functions, reference_stats.functions);
     }

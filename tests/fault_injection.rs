@@ -5,9 +5,13 @@
 //! or duplicate entry — a warm scan against the damaged file streams the
 //! same reports as a store-less reference run — and (c) heal on the next
 //! save: re-opening the healed file reports a clean store holding every
-//! salvaged entry. Budget degradation rides the same harness: a scan
-//! under an arbitrary tiny query budget must stream identical events at
-//! every file-parallelism width and never persist a degraded module.
+//! salvaged entry. The scan store is keyed per function, so "never a
+//! wrong or duplicate entry" means every surviving function record
+//! replays (the warm scan's `functions_skipped` equals exactly the
+//! salvaged record count) and every lost one recomputes. Budget
+//! degradation rides the same harness: a scan under an arbitrary tiny
+//! query budget must stream identical events at every file-parallelism
+//! width and never persist a budget-degraded function.
 
 use proptest::prelude::*;
 use stack_repro::core::faultinject::{flip_bit, torn_write, truncate_at};
@@ -183,7 +187,7 @@ proptest! {
         std::fs::remove_file(&path).unwrap();
     }
 
-    /// Scan store: the same contract at the module-record layer.
+    /// Scan store: the same contract at the function-record layer.
     #[test]
     fn corrupted_scan_store_salvages_and_heals(
         kind in 0usize..3,
@@ -205,11 +209,13 @@ proptest! {
             prop_assert!(salvage.dropped_lines > 0);
             prop_assert_eq!(salvage.salvaged_entries, loaded);
         }
-        // Surviving records replay and missing ones recompute — either way
-        // the stream matches the reference run.
+        // Surviving function records replay and missing ones recompute —
+        // either way the stream matches the reference run, and the replay
+        // count is exactly the salvaged record count (never a phantom or
+        // wrong-function replay).
         let (events, stats) = scan(2, CheckerConfig::default().query_budget, None, Some(&path));
         prop_assert_eq!(&events, &fx.reference);
-        prop_assert_eq!(stats.modules_skipped as u64, loaded);
+        prop_assert_eq!(stats.functions_skipped as u64, loaded);
 
         store.save().expect("healing save");
         let healed = ScanStore::open(&path).expect("healed open");
@@ -220,32 +226,105 @@ proptest! {
     }
 }
 
+/// A store that needed salvage must never merge: the distributed fan-in
+/// refuses it with an error naming the salvage (a merge must not bake a
+/// shard's data loss into a fleet-shared artifact), while the same store
+/// healed by a canonical re-save — what `store fsck --repair` runs —
+/// merges fine. A header-damaged input is rejected as incompatible
+/// outright.
+#[test]
+fn salvaged_store_never_merges() {
+    use stack_repro::solver::MergeError;
+    let fx = fixture();
+    let clean_a = temp_path("ss");
+    let clean_b = temp_path("ss");
+    std::fs::write(&clean_a, &fx.scan_gen2).unwrap();
+    std::fs::write(&clean_b, &fx.scan_gen2).unwrap();
+    let out = temp_path("ss");
+    let stats =
+        ScanStore::merge(&out, &[clean_a.clone(), clean_b.clone()], None).expect("clean merge");
+    assert_eq!(stats.entries_out, fx.scan_entries);
+
+    // Damage one body line of an otherwise-valid store: open() salvages
+    // around it, merge() refuses until the store is healed.
+    let text = String::from_utf8(fx.scan_gen2.clone()).unwrap();
+    let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+    assert!(lines.len() > 1, "fixture store must have body lines");
+    let last = lines.len() - 1;
+    lines[last].push('x');
+    let hurt = temp_path("ss");
+    std::fs::write(&hurt, lines.join("\n") + "\n").unwrap();
+    let store = ScanStore::open(&hurt).expect("salvaging open");
+    assert!(
+        store.salvage().is_some(),
+        "a damaged body line must need salvage"
+    );
+    match ScanStore::merge(&out, &[clean_a.clone(), hurt.clone()], None) {
+        Err(MergeError::Incompatible { reason, .. }) => {
+            assert!(
+                reason.contains("salvage"),
+                "refusal must name the salvage: {reason}"
+            );
+        }
+        other => panic!("merge of a salvage-needed store must fail, got {other:?}"),
+    }
+    store.save().expect("healing save");
+    let stats =
+        ScanStore::merge(&out, &[clean_a.clone(), hurt.clone()], None).expect("healed merge");
+    assert_eq!(stats.entries_out, fx.scan_entries);
+
+    let bad_header = text.replacen("stack-scan-store", "stack-scan-stale", 1);
+    std::fs::write(&hurt, bad_header).unwrap();
+    match ScanStore::merge(&out, &[clean_a.clone(), hurt.clone()], None) {
+        Err(MergeError::Incompatible { .. }) => {}
+        other => panic!("a header-damaged store must be incompatible, got {other:?}"),
+    }
+    for path in [clean_a, clean_b, hurt, out] {
+        let _ = std::fs::remove_file(path);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
     /// Budget degradation is deterministic and never persisted: for an
     /// arbitrary tiny budget, jobs-1 and jobs-4 scans stream identical
     /// events with identical degraded-query counts, and the scan store
-    /// records exactly the non-degraded modules.
+    /// records only functions whose own checks stayed within budget. A
+    /// warm re-scan under the same budget then replays exactly the
+    /// persisted functions, recomputes the degraded ones (the per-query
+    /// budget resets every solve call, so they degrade identically), and
+    /// streams the same events again.
     #[test]
     fn degraded_scans_are_deterministic_and_never_persisted(budget in 20u64..200) {
         let run = |jobs: usize| {
             let path = temp_path("ss");
             let (events, stats) = scan(jobs, budget, None, Some(&path));
             let persisted = ScanStore::open(&path).unwrap().loaded_entries();
-            std::fs::remove_file(&path).unwrap();
-            (events, stats, persisted)
+            (events, stats, persisted, path)
         };
-        let (events1, stats1, persisted1) = run(1);
-        let (events4, stats4, persisted4) = run(4);
+        let (events1, stats1, persisted1, path1) = run(1);
+        let (events4, stats4, persisted4, path4) = run(4);
         prop_assert_eq!(&events1, &events4, "degraded runs must be byte-deterministic");
         prop_assert_eq!(stats1.timeouts, stats4.timeouts);
         prop_assert_eq!(stats1.degraded_modules, stats4.degraded_modules);
-        prop_assert_eq!(
-            persisted1,
-            (stats1.modules - stats1.degraded_modules) as u64,
-            "degraded modules must never reach the scan store"
-        );
         prop_assert_eq!(persisted1, persisted4);
+        prop_assert!(persisted1 <= stats1.functions as u64);
+        if stats1.timeouts > 0 {
+            prop_assert!(
+                persisted1 < stats1.functions as u64,
+                "a budget-degraded function must never reach the scan store"
+            );
+        } else {
+            prop_assert_eq!(persisted1, stats1.functions as u64);
+        }
+        // Warm re-scan against the degraded-run store, same budget: the
+        // persisted (within-budget) functions replay, the rest recompute
+        // and degrade the same way.
+        let (warm_events, warm_stats) = scan(2, budget, None, Some(&path1));
+        prop_assert_eq!(&warm_events, &events1);
+        prop_assert_eq!(warm_stats.functions_skipped as u64, persisted1);
+        std::fs::remove_file(&path1).unwrap();
+        std::fs::remove_file(&path4).unwrap();
     }
 }
