@@ -1376,6 +1376,175 @@ pub fn fault_tolerance(cfg: &ScalingConfig) -> FaultTolerance {
     }
 }
 
+/// One raw-solver-speed measurement: the high-churn archive scanned with
+/// the query cache fully disabled (no memo store, no disk stores), so every
+/// query pays the solver and the row isolates per-query solver cost.
+#[derive(Clone, Debug, Serialize)]
+pub struct SolverSpeedRow {
+    /// Human-readable configuration label.
+    pub label: String,
+    /// Whether CNF preprocessing (probing, subsumption, vivification, and
+    /// fresh-mode BVE) was enabled. `false` is the pre-preprocessing solver.
+    pub preprocess: bool,
+    /// Solver-instance granularity: `"function"` (one incremental instance
+    /// per function) or `"fragment"` (a fresh instance per code fragment).
+    pub granularity: String,
+    /// Wall-clock time for the scan, in milliseconds.
+    pub wall_ms: u64,
+    /// Wall-clock time for the scan, in microseconds.
+    pub wall_us: u64,
+    /// Solver queries issued (all misses — the cache is disabled).
+    pub queries: u64,
+    /// Queries that exhausted their budget and degraded to Unknown.
+    pub timeouts: u64,
+    /// Total unit propagations — the deterministic currency solver budgets
+    /// are denominated in, and this section's measure of raw solver work.
+    pub propagations: u64,
+    /// Total conflicts across all queries.
+    pub conflicts: u64,
+    /// Total solver restarts across all queries.
+    pub restarts: u64,
+    /// Learned clauses retained across all queries.
+    pub learned_clauses: u64,
+    /// Learned clauses evicted by glue-aware clause-database reduction.
+    pub deleted_clauses: u64,
+    /// Mean LBD (glue) over all learned clauses.
+    pub avg_lbd: f64,
+    /// Clauses and variables removed by the preprocessing passes.
+    pub preprocess_eliminations: u64,
+    /// Reports emitted (must match across every row).
+    pub reports: usize,
+}
+
+/// Results of the solver-speed benchmark: a cache-disabled, high-churn scan
+/// where every query reaches the SAT solver, comparing the preprocessing +
+/// LBD-aware solver against the prior solver (preprocessing off) and the
+/// per-fragment instance granularity against per-function.
+#[derive(Clone, Debug, Serialize)]
+pub struct SolverSpeed {
+    /// Description of the synthetic archive the rows scanned.
+    pub archive: String,
+    /// Files in the churned archive.
+    pub files: usize,
+    /// Pipeline worker width used for every row.
+    pub jobs: usize,
+    /// Churn rate applied to the base archive before scanning.
+    pub churn_pct: u32,
+    /// Per-query propagation budget shared by every row.
+    pub query_budget: u64,
+    /// One row per solver configuration.
+    pub rows: Vec<SolverSpeedRow>,
+    /// Baseline propagations divided by default-configuration propagations
+    /// (per-function rows): how much less solver work the preprocessing +
+    /// LBD solver does than the prior solver on the same queries.
+    pub speedup_solver_vs_baseline: f64,
+    /// Baseline wall time divided by default-configuration wall time.
+    pub speedup_wall_vs_baseline: f64,
+    /// Per-fragment wall time divided by per-function wall time: values
+    /// above 1.0 mean per-function instances win and stay the default.
+    pub speedup_function_vs_fragment: f64,
+    /// The granularity shipped as the default, decided by this benchmark.
+    pub default_granularity: String,
+    /// Every configuration produced byte-identical report streams.
+    pub reports_identical: bool,
+}
+
+/// Run the solver-speed measurement. The cache is disabled (no memo store,
+/// no disk stores) so the scan is the pure worst case — a high-churn tree
+/// where nothing can be reused — and the rows compare raw solver cost:
+/// the prior solver (preprocessing off) as the baseline, the preprocessing
+/// + LBD solver per-function, and the same solver per-fragment.
+pub fn solver_speed(cfg: &ScalingConfig) -> SolverSpeed {
+    let archive_cfg = ArchiveConfig {
+        packages: cfg.packages,
+        ..ArchiveConfig::default()
+    };
+    let base = generate_archive(&archive_cfg);
+    const CHURN_PCT: u32 = 20;
+    let churned = churn_archive(&base, archive_cfg.seed, f64::from(CHURN_PCT) / 100.0);
+    let jobs = cfg.threads.iter().copied().max().unwrap_or(1);
+    let tasks: Vec<ScanTask> = churned
+        .files
+        .iter()
+        .map(|f| ScanTask {
+            name: f.name.clone(),
+            source: ScanSource::Inline(f.source.clone()),
+        })
+        .collect();
+
+    let mut rows = Vec::new();
+    let mut report_streams: Vec<Vec<String>> = Vec::new();
+    let mut run = |label: &str, preprocess: bool, fragment_instances: bool| {
+        let config = CheckerConfig {
+            query_budget: cfg.query_budget,
+            threads: Some(1),
+            query_cache: false,
+            preprocess,
+            fragment_instances,
+            ..CheckerConfig::default()
+        };
+        let session = AnalysisSession::new(config);
+        let pipeline = ScanPipeline::new(&session, jobs);
+        let mut reports = Vec::new();
+        let start = Instant::now();
+        pipeline.run(&tasks, &mut |event| {
+            if let ScanEvent::Report(report) = event {
+                reports.push(format!("{report:?}"));
+            }
+        });
+        let elapsed = start.elapsed();
+        let stats = session.stats();
+        rows.push(SolverSpeedRow {
+            label: label.to_string(),
+            preprocess,
+            granularity: if fragment_instances {
+                "fragment"
+            } else {
+                "function"
+            }
+            .to_string(),
+            wall_ms: u64::try_from(elapsed.as_millis()).unwrap_or(u64::MAX),
+            wall_us: u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX),
+            queries: stats.queries,
+            timeouts: stats.timeouts,
+            propagations: stats.propagations,
+            conflicts: stats.conflicts,
+            restarts: stats.restarts,
+            learned_clauses: stats.learned_clauses,
+            deleted_clauses: stats.deleted_clauses,
+            avg_lbd: stats.avg_lbd(),
+            preprocess_eliminations: stats.preprocess_eliminations,
+            reports: reports.len(),
+        });
+        report_streams.push(reports);
+    };
+    run(
+        "baseline: prior solver (no preprocess), per-function",
+        false,
+        false,
+    );
+    run("preprocess + LBD solver, per-function", true, false);
+    run("preprocess + LBD solver, per-fragment", true, true);
+
+    let ratio = |num: u64, den: u64| num as f64 / den.max(1) as f64;
+    let baseline = &rows[0];
+    let function = &rows[1];
+    let fragment = &rows[2];
+    SolverSpeed {
+        archive: format!("{} packages, seed {}", cfg.packages, archive_cfg.seed),
+        files: churned.files.len(),
+        jobs,
+        churn_pct: CHURN_PCT,
+        query_budget: cfg.query_budget,
+        speedup_solver_vs_baseline: ratio(baseline.propagations, function.propagations),
+        speedup_wall_vs_baseline: ratio(baseline.wall_us, function.wall_us),
+        speedup_function_vs_fragment: ratio(fragment.wall_us, function.wall_us),
+        default_granularity: "function".to_string(),
+        reports_identical: report_streams.windows(2).all(|w| w[0] == w[1]),
+        rows,
+    }
+}
+
 /// Results of the checker-scaling benchmark: the uncached sequential seed
 /// path as the baseline, then cached runs (the PR 2 configuration) and
 /// cached+incremental runs at each requested thread count.
@@ -1422,6 +1591,10 @@ pub struct CheckerScaling {
     /// `salvaged_entries` live here; CI fails the bench job if either goes
     /// missing).
     pub fault_tolerance: FaultTolerance,
+    /// The raw-solver-speed measurement on a cache-disabled high-churn scan
+    /// (`speedup_solver_vs_baseline` lives here; CI fails the bench job if
+    /// it goes missing).
+    pub solver_speed: SolverSpeed,
 }
 
 /// Run the checker-scaling benchmark: analyze one synthetic population under
@@ -1552,6 +1725,7 @@ pub fn checker_scaling(cfg: &ScalingConfig) -> CheckerScaling {
         function_rescan: function_rescan(cfg),
         sharded_scan: sharded_scan(cfg),
         fault_tolerance: fault_tolerance(cfg),
+        solver_speed: solver_speed(cfg),
     }
 }
 
@@ -1714,6 +1888,36 @@ impl CheckerScaling {
                 .first_bad_offset
                 .map_or("-".to_string(), |o| o.to_string()),
             self.fault_tolerance.store_healed
+        );
+        let _ = writeln!(
+            out,
+            "Solver speed over {} ({} files, {}% churn, cache disabled, {} jobs)",
+            self.solver_speed.archive,
+            self.solver_speed.files,
+            self.solver_speed.churn_pct,
+            self.solver_speed.jobs
+        );
+        for r in &self.solver_speed.rows {
+            let _ = writeln!(
+                out,
+                "  {:<44} {:>8} {:>10} props {:>7} conf {:>6} elim  lbd {:>4.1}",
+                r.label,
+                r.wall_ms,
+                r.propagations,
+                r.conflicts,
+                r.preprocess_eliminations,
+                r.avg_lbd
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  solver vs baseline: {:.2}x fewer propagations ({:.2}x wall); \
+             fragment vs function: {:.2}x (default: per-{}); reports identical: {}",
+            self.solver_speed.speedup_solver_vs_baseline,
+            self.solver_speed.speedup_wall_vs_baseline,
+            self.solver_speed.speedup_function_vs_fragment,
+            self.solver_speed.default_granularity,
+            self.solver_speed.reports_identical
         );
         out
     }
@@ -1899,6 +2103,15 @@ mod tests {
         assert!(json.contains("\"degraded_queries\""));
         assert!(json.contains("\"salvaged_entries\""));
         assert!(json.contains("\"store_healed\""));
+        assert!(json.contains("\"solver_speed\""));
+        assert!(json.contains("\"speedup_solver_vs_baseline\""));
+        // The solver-speed section must measure real work and stay
+        // verdict-stable across every configuration it compares.
+        let ss = &scaling.solver_speed;
+        assert_eq!(ss.rows.len(), 3, "{ss:?}");
+        assert!(ss.rows.iter().all(|r| r.propagations > 0), "{ss:?}");
+        assert!(ss.reports_identical, "{ss:?}");
+        assert!(ss.speedup_solver_vs_baseline > 1.0, "{ss:?}");
         // The fault-tolerance section must actually measure something.
         let ft = &scaling.fault_tolerance;
         assert!(ft.degraded_queries > 0, "{ft:?}");

@@ -19,7 +19,14 @@
 //! Shared analysis options: `--threads N` pins the parallel per-function
 //! driver to `N` workers (default: available parallelism; `1` is fully
 //! sequential), `--no-cache` disables the memoized query store,
-//! `--no-incremental` falls back to from-scratch solving per query, and
+//! `--no-incremental` falls back to from-scratch solving per query,
+//! `--no-preprocess` turns off the SAT core's pre/inprocessing layer
+//! (failed-literal probing, subsumption, bounded variable elimination,
+//! clause vivification, LBD-aware clause-database reduction) — the
+//! pre-LBD solver, kept reachable as the benchmark baseline —
+//! `--instance-granularity <function|fragment>` picks whether incremental
+//! solving keeps one persistent instance per function (default; fragments
+//! share the encoding) or starts fresh per fragment, and
 //! `--include-macros` keeps macro-origin reports. `--cache-file <path>`
 //! backs the query store with a disk file: existing entries warm-start the
 //! run, and the (possibly grown) store is saved back on success — the
@@ -109,6 +116,12 @@ struct AnalysisOpts {
     threads: Option<usize>,
     query_cache: bool,
     incremental: bool,
+    /// `--no-preprocess` turns the SAT core's pre/inprocessing layer off
+    /// (the pre-LBD solver, kept as the benchmark baseline).
+    preprocess: bool,
+    /// `--instance-granularity fragment` starts a fresh incremental solver
+    /// instance per checker fragment instead of per function.
+    fragment_instances: bool,
     /// Per-query propagation budget (`Some(0)` = unlimited).
     query_budget: Option<u64>,
     cache_file: Option<PathBuf>,
@@ -154,12 +167,23 @@ impl AnalysisOpts {
             Some(text) => Some(parse_shard(text)?),
             None => None,
         };
+        let fragment_instances = match flag_value(args, "--instance-granularity")? {
+            None | Some("function") => false,
+            Some("fragment") => true,
+            Some(other) => {
+                return Err(format!(
+                    "--instance-granularity: expected `function` or `fragment`, got `{other}`"
+                ))
+            }
+        };
         Ok(AnalysisOpts {
             json: has_flag(args, "--json"),
             include_macros: has_flag(args, "--include-macros"),
             threads,
             query_cache: !has_flag(args, "--no-cache"),
             incremental: !has_flag(args, "--no-incremental"),
+            preprocess: !has_flag(args, "--no-preprocess"),
+            fragment_instances,
             query_budget: parse_flag_value::<u64>(args, "--query-budget")?,
             cache_file,
             out: flag_value(args, "--out")?.map(PathBuf::from),
@@ -188,6 +212,8 @@ impl AnalysisOpts {
             threads: self.threads,
             query_cache: self.query_cache,
             incremental: self.incremental,
+            preprocess: self.preprocess,
+            fragment_instances: self.fragment_instances,
             query_budget: self
                 .query_budget
                 .unwrap_or(CheckerConfig::default().query_budget),
@@ -453,6 +479,25 @@ struct ScanSummary {
     /// budget, never recorded in the scan cache.
     degraded_modules: usize,
     timeouts: u64,
+    /// Total SAT-core propagations, including the propagation-equivalents
+    /// charged for pre/inprocessing work — the deterministic currency
+    /// query budgets are denominated in.
+    propagations: u64,
+    /// Total SAT-core conflicts.
+    conflicts: u64,
+    /// Total SAT-core restarts.
+    restarts: u64,
+    /// Clauses learned by conflict analysis.
+    learned_clauses: u64,
+    /// Learned clauses evicted by LBD-aware clause-database reduction.
+    deleted_clauses: u64,
+    /// Average learn-time literal-block-distance ("glue") of learned
+    /// clauses; 0 when nothing was learned.
+    avg_lbd: f64,
+    /// Simplification steps by the solver's pre/inprocessing layer (failed
+    /// literals, subsumed/strengthened clauses, eliminated variables,
+    /// vivified clauses).
+    preprocess_eliminations: u64,
     store_hits: u64,
     store_misses: u64,
     store_hit_rate: f64,
@@ -526,6 +571,13 @@ fn cmd_scan(args: &[String]) -> ExitCode {
         degraded_queries: stats.timeouts,
         degraded_modules: stats.degraded_modules,
         timeouts: stats.timeouts,
+        propagations: stats.propagations,
+        conflicts: stats.conflicts,
+        restarts: stats.restarts,
+        learned_clauses: stats.learned_clauses,
+        deleted_clauses: stats.deleted_clauses,
+        avg_lbd: stats.avg_lbd(),
+        preprocess_eliminations: stats.preprocess_eliminations,
         store_hits: stats.cache_hits,
         store_misses: stats.cache_misses,
         store_hit_rate: stats.cache_hit_rate(),
@@ -708,6 +760,19 @@ fn render_scan_summary(
             summary.degraded_modules, summary.degraded_queries
         );
     }
+    let _ = writeln!(
+        out,
+        "  solver          {:>8} propagations, {} conflicts, {} restarts",
+        summary.propagations, summary.conflicts, summary.restarts
+    );
+    let _ = writeln!(
+        out,
+        "  clause db       {:>8} learned (avg LBD {:.1}, {} evicted), {} simplifications",
+        summary.learned_clauses,
+        summary.avg_lbd,
+        summary.deleted_clauses,
+        summary.preprocess_eliminations
+    );
     let _ = writeln!(
         out,
         "  query store     {:>8} hits / {} misses ({:.1}% hit rate)",

@@ -60,6 +60,26 @@ pub struct CheckerConfig {
     /// instance absorbs the misses) and with `threads` (each worker's solver
     /// owns its own instances).
     pub incremental: bool,
+    /// Whether the SAT core runs its pre/inprocessing layer: a one-shot
+    /// simplification pass (failed-literal probing, subsumption and
+    /// self-subsumption strengthening, and — for throwaway instances —
+    /// bounded variable elimination) before solving, plus clause
+    /// vivification between restarts and LBD-aware clause-database
+    /// reduction during search. All simplification work is charged to
+    /// `query_budget`, so degraded verdicts stay deterministic. Decided
+    /// verdicts — and therefore reports — are identical with the layer on
+    /// or off; off (`--no-preprocess`) restores the pre-LBD solver as the
+    /// benchmark baseline.
+    pub preprocess: bool,
+    /// Incremental-instance granularity: `false` (default) shares one
+    /// persistent SAT instance across a whole function; `true` starts a
+    /// fresh instance per fragment. Sharing wins on the synthetic
+    /// population (see `BENCH_checker.json`, `solver_speed`) because later
+    /// fragments reuse the function's encoding and learned clauses;
+    /// per-fragment stays reachable for workloads with very large
+    /// functions where instance bloat could dominate. No effect unless
+    /// `incremental` is on.
+    pub fragment_instances: bool,
 }
 
 impl Default for CheckerConfig {
@@ -70,6 +90,8 @@ impl Default for CheckerConfig {
             threads: None,
             query_cache: true,
             incremental: true,
+            preprocess: true,
+            fragment_instances: false,
         }
     }
 }
@@ -109,6 +131,27 @@ pub struct CheckStats {
     pub cache_hits: u64,
     /// Queries that consulted the store and missed.
     pub cache_misses: u64,
+    /// Total SAT-core propagations across all queries, including the
+    /// propagation-equivalents charged for pre/inprocessing work (merged
+    /// across worker threads). This is the deterministic currency solver
+    /// budgets are denominated in, and the `solver_speed` benchmark's
+    /// measure of raw solver work.
+    pub propagations: u64,
+    /// Total SAT-core conflicts across all queries.
+    pub conflicts: u64,
+    /// Total SAT-core restarts across all queries.
+    pub restarts: u64,
+    /// Clauses learned by conflict analysis across all queries.
+    pub learned_clauses: u64,
+    /// Learned clauses evicted by LBD-aware clause-database reduction.
+    pub deleted_clauses: u64,
+    /// Sum of learn-time literal-block-distance values over all learned
+    /// clauses; `lbd_sum / learned_clauses` is the average glue.
+    pub lbd_sum: u64,
+    /// Simplification steps performed by the solver's pre/inprocessing
+    /// layer: failed literals asserted, clauses subsumed or strengthened,
+    /// variables eliminated, learned clauses vivified.
+    pub preprocess_eliminations: u64,
     /// Queries decided by a persistent incremental solver instance (merged
     /// across worker threads; 0 when `CheckerConfig::incremental` is off).
     pub incremental_queries: u64,
@@ -135,6 +178,16 @@ impl CheckStats {
         }
     }
 
+    /// Average learn-time literal-block-distance across all learned clauses
+    /// (0 when nothing was learned).
+    pub fn avg_lbd(&self) -> f64 {
+        if self.learned_clauses == 0 {
+            0.0
+        } else {
+            self.lbd_sum as f64 / self.learned_clauses as f64
+        }
+    }
+
     /// Fold another run's counters into this one (the session aggregate):
     /// counts and times add, `threads` takes the maximum, and the
     /// per-algorithm report counts merge keywise.
@@ -148,6 +201,13 @@ impl CheckStats {
         self.degraded_modules += other.degraded_modules;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
+        self.propagations += other.propagations;
+        self.conflicts += other.conflicts;
+        self.restarts += other.restarts;
+        self.learned_clauses += other.learned_clauses;
+        self.deleted_clauses += other.deleted_clauses;
+        self.lbd_sum += other.lbd_sum;
+        self.preprocess_eliminations += other.preprocess_eliminations;
         self.incremental_queries += other.incremental_queries;
         self.reused_clauses += other.reused_clauses;
         self.threads = self.threads.max(other.threads);
@@ -518,6 +578,93 @@ mod tests {
             );
             assert_eq!(baseline.stats.queries, incremental.stats.queries);
         }
+    }
+
+    #[test]
+    fn preprocessing_off_and_granularity_match_defaults() {
+        // Every simplification the solver's pre/inprocessing layer performs
+        // preserves satisfiability, and instance granularity only changes
+        // which persistent instance decides a query — so reports must be
+        // identical with the layer off, with per-fragment instances, across
+        // thread counts.
+        let baseline = Checker::new()
+            .check_source(MULTI_FUNCTION_SRC, "multi.c")
+            .unwrap();
+        for (threads, preprocess, fragment_instances) in [
+            (1, false, false),
+            (4, false, false),
+            (1, true, true),
+            (4, true, true),
+        ] {
+            let variant = Checker::with_config(CheckerConfig {
+                threads: Some(threads),
+                preprocess,
+                fragment_instances,
+                ..CheckerConfig::default()
+            })
+            .check_source(MULTI_FUNCTION_SRC, "multi.c")
+            .unwrap();
+            assert_eq!(
+                format!("{:?}", baseline.reports),
+                format!("{:?}", variant.reports),
+                "threads={threads} preprocess={preprocess} fragments={fragment_instances}"
+            );
+            assert_eq!(baseline.stats.queries, variant.stats.queries);
+        }
+    }
+
+    #[test]
+    fn solver_counters_surface_in_check_stats() {
+        let result = check_with_inc(Some(1), false, true);
+        assert!(result.stats.propagations > 0, "{:?}", result.stats);
+        assert!(result.stats.conflicts > 0, "{:?}", result.stats);
+        assert!(result.stats.learned_clauses > 0, "{:?}", result.stats);
+        assert!(result.stats.avg_lbd() > 0.0, "{:?}", result.stats);
+        assert!(
+            result.stats.preprocess_eliminations > 0,
+            "{:?}",
+            result.stats
+        );
+        let off = Checker::with_config(CheckerConfig {
+            threads: Some(1),
+            query_cache: false,
+            preprocess: false,
+            ..CheckerConfig::default()
+        })
+        .check_source(MULTI_FUNCTION_SRC, "multi.c")
+        .unwrap();
+        assert_eq!(off.stats.preprocess_eliminations, 0, "{:?}", off.stats);
+        assert!(off.stats.propagations > 0);
+    }
+
+    #[test]
+    fn budget_exhausted_during_preprocessing_degrades_and_never_persists() {
+        // A one-propagation budget is exhausted by the preprocessing pass
+        // itself, before any CDCL search: the query must degrade to
+        // `Unknown`, be counted as a timeout and a degraded module, and
+        // leave nothing behind in the query store.
+        let checker = Checker::with_config(CheckerConfig {
+            threads: Some(1),
+            query_budget: 1,
+            ..CheckerConfig::default()
+        });
+        let src = "int f(int x, int y) { if (x * y + 1 < x * y) return 1; return 0; }";
+        let first = checker.check_source(src, "deg.c").unwrap();
+        assert!(first.stats.timeouts > 0, "{:?}", first.stats);
+        assert_eq!(first.stats.degraded_modules, 1);
+        assert!(
+            first.reports.is_empty(),
+            "Unknown must never become a report"
+        );
+        assert_eq!(
+            checker.cache_stats().entries,
+            0,
+            "degraded verdicts must never be persisted"
+        );
+        // Re-running reproduces the same degradation — nothing was cached.
+        let second = checker.check_source(src, "deg.c").unwrap();
+        assert_eq!(first.stats.timeouts, second.stats.timeouts);
+        assert_eq!(checker.cache_stats().hits, 0);
     }
 
     #[test]

@@ -81,7 +81,6 @@ pub struct InstanceStats {
 /// assert!(instance.check_assuming(&[l_pos, l_neg]).is_unsat());
 /// assert!(instance.check_assuming(&[l_neg]).is_sat());
 /// ```
-#[derive(Default)]
 pub struct SolverInstance {
     sat: SatSolver,
     blaster: BitBlaster,
@@ -92,7 +91,31 @@ pub struct SolverInstance {
     /// Clauses emitted by [`literal_for`](SolverInstance::literal_for) since
     /// the last query; everything older counts as reused by the next query.
     fresh_clauses: usize,
+    /// Run the deterministic preprocessing pass before the first query.
+    /// Bounded variable elimination stays off either way: later
+    /// [`literal_for`](SolverInstance::literal_for) calls may add clauses
+    /// over existing variables, which elimination does not survive. Probing,
+    /// subsumption, and strengthening preserve logical equivalence, so they
+    /// are safe under incremental additions.
+    preprocess: bool,
+    /// Whether the one-shot preprocessing pass has already run.
+    preprocessed: bool,
     stats: InstanceStats,
+}
+
+impl Default for SolverInstance {
+    fn default() -> SolverInstance {
+        SolverInstance {
+            sat: SatSolver::new(),
+            blaster: BitBlaster::default(),
+            budget: Budget::default(),
+            epoch: None,
+            fresh_clauses: 0,
+            preprocess: true,
+            preprocessed: false,
+            stats: InstanceStats::default(),
+        }
+    }
 }
 
 impl std::fmt::Debug for SolverInstance {
@@ -125,6 +148,15 @@ impl SolverInstance {
         self.budget = budget;
     }
 
+    /// Enable or disable the preprocessing/inprocessing layer (on by
+    /// default). Off restores the pre-LBD solver behaviour: no simplification
+    /// pass, no vivification between restarts, activity-only clause-database
+    /// reduction.
+    pub fn set_preprocessing(&mut self, on: bool) {
+        self.preprocess = on;
+        self.sat.set_preprocessing(on);
+    }
+
     /// Epoch of the pool this instance is tied to (`None` until the first
     /// term is registered).
     pub fn epoch(&self) -> Option<u64> {
@@ -155,9 +187,9 @@ impl SolverInstance {
         );
         self.epoch = Some(pool.epoch());
         debug_assert!(pool.sort(term).is_bool());
-        // Blasting adds clauses, which is only legal at the root level; after
-        // a Sat answer the trail is still populated for model extraction.
-        self.sat.cancel_until_root();
+        // Blasting may add clauses; `add_clause` cancels to the root itself
+        // when it does. Leaving the trail alone on the (common) all-cached
+        // path lets the next solve reuse it for shared assumptions.
         let before = self.sat.num_clauses();
         let lit = self.blaster.blast_bool(pool, &mut self.sat, term);
         let added = self.sat.num_clauses() - before;
@@ -182,6 +214,18 @@ impl SolverInstance {
         let reused = self.sat.num_clauses().saturating_sub(self.fresh_clauses);
         self.stats.reused_clauses += reused as u64;
         self.fresh_clauses = 0;
+        if self.preprocess && !self.preprocessed {
+            self.preprocessed = true;
+            // Simplification rewrites clauses, which is only legal at the
+            // root level. Its cost is charged to the budget and carried into
+            // the solve below, so degraded verdicts stay byte-reproducible.
+            self.sat.cancel_until_root();
+            match self.sat.preprocess(self.budget, false) {
+                Some(SatResult::Unsat) => return QueryResult::Unsat,
+                Some(SatResult::Unknown) => return QueryResult::Unknown,
+                _ => {}
+            }
+        }
         match self.sat.solve_with(assumptions, self.budget) {
             SatResult::Unsat => QueryResult::Unsat,
             SatResult::Unknown => QueryResult::Unknown,

@@ -66,6 +66,20 @@ pub struct SolverStats {
     pub propagations: u64,
     /// Total conflicts across all queries.
     pub conflicts: u64,
+    /// Total restarts across all queries.
+    pub restarts: u64,
+    /// Clauses learned by conflict analysis across all queries.
+    pub learned_clauses: u64,
+    /// Learned clauses evicted by clause-database reduction.
+    pub deleted_clauses: u64,
+    /// Sum of literal-block-distance values over all learned clauses; divide
+    /// by [`learned_clauses`](SolverStats::learned_clauses) for the average
+    /// (see [`SolverStats::avg_lbd`]).
+    pub lbd_sum: u64,
+    /// Simplification steps by pre/inprocessing: failed literals asserted,
+    /// clauses subsumed or strengthened, variables eliminated, learned
+    /// clauses vivified.
+    pub preprocess_eliminations: u64,
     /// Queries answered from the shared [`QueryCache`](crate::cache::QueryCache) without bit-blasting.
     pub cache_hits: u64,
     /// Queries that consulted the cache and missed.
@@ -91,10 +105,26 @@ impl SolverStats {
         self.timeouts += other.timeouts;
         self.propagations += other.propagations;
         self.conflicts += other.conflicts;
+        self.restarts += other.restarts;
+        self.learned_clauses += other.learned_clauses;
+        self.deleted_clauses += other.deleted_clauses;
+        self.lbd_sum += other.lbd_sum;
+        self.preprocess_eliminations += other.preprocess_eliminations;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.incremental_queries += other.incremental_queries;
         self.reused_clauses += other.reused_clauses;
+    }
+
+    /// Average literal-block-distance over all learned clauses (0.0 when
+    /// nothing was learned). Low averages mean the solver mostly learns
+    /// "glue" clauses that tie few decision levels together.
+    pub fn avg_lbd(&self) -> f64 {
+        if self.learned_clauses == 0 {
+            0.0
+        } else {
+            self.lbd_sum as f64 / self.learned_clauses as f64
+        }
     }
 }
 
@@ -108,6 +138,12 @@ pub struct BvSolver {
     /// Whether cache misses are decided by a persistent [`SolverInstance`]
     /// (one per pool epoch) instead of a from-scratch bit-blast.
     incremental: bool,
+    /// Whether the SAT core runs its pre/inprocessing layer (on by default).
+    preprocess: bool,
+    /// In incremental mode, start a fresh [`SolverInstance`] per checker
+    /// fragment ([`BvSolver::begin_fragment`]) instead of sharing one across
+    /// the whole pool/function.
+    fragment_instances: bool,
     instance: Option<SolverInstance>,
 }
 
@@ -132,6 +168,8 @@ impl BvSolver {
             store: None,
             memo: FingerprintMemo::default(),
             incremental: false,
+            preprocess: true,
+            fragment_instances: false,
             instance: None,
         }
     }
@@ -171,13 +209,71 @@ impl BvSolver {
         self
     }
 
+    /// Enable or disable the SAT core's pre/inprocessing layer (on by
+    /// default). With preprocessing on, fresh-mode queries run bounded
+    /// variable elimination, subsumption/self-subsumption, and failed-literal
+    /// probing before the CDCL loop, incremental instances run the
+    /// elimination-free subset once before their first query, and the solve
+    /// loop vivifies learned clauses between restarts and reduces the clause
+    /// database LBD-first. Off restores the pre-LBD solver behaviour — the
+    /// benchmark baseline, reachable from the CLI as `--no-preprocess`.
+    ///
+    /// Decided (`Sat`/`Unsat`) answers are identical either way: every
+    /// simplification preserves satisfiability, and `Sat` models are
+    /// reconstructed over eliminated variables. Only where a propagation
+    /// budget runs out — and therefore which queries degrade to `Unknown` —
+    /// can differ between the two settings.
+    pub fn set_preprocessing(&mut self, on: bool) {
+        self.preprocess = on;
+        if let Some(instance) = &mut self.instance {
+            instance.set_preprocessing(on);
+        }
+    }
+
+    /// Builder-style variant of [`BvSolver::set_preprocessing`].
+    pub fn with_preprocessing(mut self, on: bool) -> BvSolver {
+        self.set_preprocessing(on);
+        self
+    }
+
+    /// Choose the incremental instance granularity: `false` (default) keeps
+    /// one [`SolverInstance`] per [`TermPool`] — in the checker, one per
+    /// function — while `true` starts a fresh instance at every
+    /// [`BvSolver::begin_fragment`] call. Per-fragment instances trade the
+    /// shared encoding and learned clauses of the function-wide instance for
+    /// smaller CNFs per query; measurement (see `BENCH_checker.json`,
+    /// `solver_speed`) says sharing wins, so per-function is the default.
+    /// Has no effect outside incremental mode.
+    pub fn set_fragment_instances(&mut self, on: bool) {
+        self.fragment_instances = on;
+    }
+
+    /// Builder-style variant of [`BvSolver::set_fragment_instances`].
+    pub fn with_fragment_instances(mut self, on: bool) -> BvSolver {
+        self.set_fragment_instances(on);
+        self
+    }
+
+    /// Notify the solver that the checker is starting a new fragment. In
+    /// incremental mode with per-fragment granularity
+    /// ([`BvSolver::set_fragment_instances`]) this retires the current
+    /// persistent instance so the fragment's queries start on a fresh one;
+    /// in every other configuration it is a no-op.
+    pub fn begin_fragment(&mut self) {
+        if self.incremental && self.fragment_instances {
+            self.instance = None;
+        }
+    }
+
     /// The persistent instance for `pool`, creating or replacing it as
     /// needed. Only meaningful in incremental mode.
     fn instance_for(&mut self, pool: &TermPool) -> &mut SolverInstance {
         let stale =
             !matches!(&self.instance, Some(i) if i.epoch().is_none_or(|e| e == pool.epoch()));
         if stale {
-            self.instance = Some(SolverInstance::with_budget(self.budget));
+            let mut instance = SolverInstance::with_budget(self.budget);
+            instance.set_preprocessing(self.preprocess);
+            self.instance = Some(instance);
         }
         self.instance.as_mut().expect("instance just ensured")
     }
@@ -303,19 +399,37 @@ impl BvSolver {
     /// blast every assertion, assert its literal, solve once.
     fn solve_fresh(&mut self, pool: &TermPool, simplified: &[TermId]) -> QueryResult {
         let mut sat = SatSolver::new();
+        sat.set_preprocessing(self.preprocess);
         let mut blaster = BitBlaster::new();
         for &a in simplified {
             let lit = blaster.blast_bool(pool, &mut sat, a);
             sat.add_clause(&[lit]);
         }
-        let result = sat.solve_with(&[], self.budget);
-        self.stats.propagations += sat.stats().propagations;
-        self.stats.conflicts += sat.stats().conflicts;
+        // The instance is throwaway, so the full preprocessing pass — with
+        // bounded variable elimination, which is only sound when no further
+        // clauses will be added — runs before the solve. Its cost is charged
+        // to the same budget the solve uses.
+        let result = match sat.preprocess(self.budget, true) {
+            Some(decided) => decided,
+            None => sat.solve_with(&[], self.budget),
+        };
+        self.accumulate_sat_stats(&sat.stats());
         match result {
             SatResult::Unsat => QueryResult::Unsat,
             SatResult::Unknown => QueryResult::Unknown,
             SatResult::Sat => QueryResult::Sat(blaster.extract_model(&sat)),
         }
+    }
+
+    /// Fold a SAT core's counters into the aggregate statistics.
+    fn accumulate_sat_stats(&mut self, sat: &crate::sat::SatStats) {
+        self.stats.propagations += sat.propagations;
+        self.stats.conflicts += sat.conflicts;
+        self.stats.restarts += sat.restarts;
+        self.stats.learned_clauses += sat.learned_clauses;
+        self.stats.deleted_clauses += sat.deleted_clauses;
+        self.stats.lbd_sum += sat.lbd_sum;
+        self.stats.preprocess_eliminations += sat.preprocess_eliminations;
     }
 
     /// Decide a (pre-simplified) assertion set on the persistent instance for
@@ -328,6 +442,12 @@ impl BvSolver {
         let (sat_after, inst_after) = (instance.sat_stats(), instance.stats());
         self.stats.propagations += sat_after.propagations - sat_before.propagations;
         self.stats.conflicts += sat_after.conflicts - sat_before.conflicts;
+        self.stats.restarts += sat_after.restarts - sat_before.restarts;
+        self.stats.learned_clauses += sat_after.learned_clauses - sat_before.learned_clauses;
+        self.stats.deleted_clauses += sat_after.deleted_clauses - sat_before.deleted_clauses;
+        self.stats.lbd_sum += sat_after.lbd_sum - sat_before.lbd_sum;
+        self.stats.preprocess_eliminations +=
+            sat_after.preprocess_eliminations - sat_before.preprocess_eliminations;
         self.stats.incremental_queries += 1;
         self.stats.reused_clauses += inst_after.reused_clauses - inst_before.reused_clauses;
         outcome

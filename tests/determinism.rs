@@ -72,6 +72,62 @@ fn cache_does_not_change_reports() {
     assert_eq!(sorted(cached), sorted(uncached));
 }
 
+/// The solver-configuration contract from the cache-miss critical path
+/// work: with every query decided (no budget), the pre/inprocessing layer
+/// and the incremental-instance granularity may change how much work the
+/// SAT core does, but never which verdicts come back — so the report
+/// stream must be byte-identical with preprocessing on or off, with
+/// per-function or per-fragment instances, at every parallelism width,
+/// all compared against the uncached sequential reference.
+#[test]
+fn preprocessing_and_granularity_do_not_change_reports() {
+    let archive_cfg = ArchiveConfig {
+        packages: 6,
+        seed: 0x50AC,
+        ..ArchiveConfig::default()
+    };
+    let files = generate_archive(&archive_cfg);
+    let tasks: Vec<ScanTask> = files
+        .iter()
+        .map(|f| ScanTask {
+            name: f.name.clone(),
+            source: ScanSource::Inline(f.source.clone()),
+        })
+        .collect();
+    let run = |preprocess: bool, fragment_instances: bool, jobs: usize| {
+        let session = AnalysisSession::new(CheckerConfig {
+            threads: Some(1),
+            query_cache: false,
+            preprocess,
+            fragment_instances,
+            ..CheckerConfig::default()
+        });
+        let mut reports = Vec::new();
+        ScanPipeline::new(&session, jobs).run(&tasks, &mut |event| {
+            if let ScanEvent::Report(r) = event {
+                reports.push(format!("{r:?}"));
+            }
+        });
+        reports
+    };
+
+    let reference = run(true, false, 1);
+    assert!(!reference.is_empty(), "the archive must produce reports");
+    for (preprocess, fragment_instances, jobs) in [
+        (false, false, 1),
+        (true, true, 1),
+        (true, false, 4),
+        (false, false, 4),
+        (true, true, 4),
+    ] {
+        assert_eq!(
+            reference,
+            run(preprocess, fragment_instances, jobs),
+            "preprocess={preprocess} fragment_instances={fragment_instances} jobs={jobs}"
+        );
+    }
+}
+
 /// One archive pass through a session backed by the given cache file:
 /// every report rendered in order, plus the session's aggregate stats.
 fn archive_run(path: &std::path::Path) -> (Vec<String>, stack_repro::core::CheckStats) {

@@ -5,7 +5,9 @@
 //! * the `proptest! { #![proptest_config(...)] #[test] fn f(x in strat) {...} }`
 //!   block form;
 //! * integer-range strategies (`0usize..10`, `1u32..1000`) and
-//!   `any::<T>()` for unsigned integers;
+//!   `any::<T>()` for unsigned integers and `bool`;
+//! * tuple strategies (`(0..8, any::<bool>())`) and
+//!   `prop::collection::vec(element, len_range)`;
 //! * `prop_assert!` (a message-forwarding `assert!`).
 //!
 //! Inputs are drawn from a deterministic SplitMix64 stream, so failures are
@@ -91,6 +93,53 @@ pub trait Arbitrary {
     fn arbitrary(rng: &mut TestRng) -> Self;
 }
 
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Tuples of strategies sample component-wise, left to right.
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s whose length is drawn from a range.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// A vector of `len` elements, each sampled from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = Strategy::sample(&self.len, rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
 /// Strategy returned by [`any`].
 #[derive(Clone, Copy, Debug)]
 pub struct Any<T>(std::marker::PhantomData<T>);
@@ -153,6 +202,7 @@ macro_rules! proptest {
 }
 
 pub mod prelude {
+    pub use crate as prop;
     pub use crate::{
         any, prop_assert, prop_assert_eq, proptest, Arbitrary, ProptestConfig, Strategy,
     };
