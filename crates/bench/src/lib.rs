@@ -427,6 +427,10 @@ pub struct ScalingRow {
     pub incremental_queries: u64,
     /// Clause slots those queries reused instead of re-blasting.
     pub reused_clauses: u64,
+    /// `minimal_ub_set` queries skipped because a memoized assumption core
+    /// proved the candidate condition irrelevant (incremental rows only;
+    /// `queries + minimization_queries_saved` matches the seed row).
+    pub minimization_queries_saved: u64,
     /// Total reports produced (must agree across every row).
     pub reports: usize,
 }
@@ -1386,6 +1390,12 @@ pub struct SolverSpeedRow {
     /// Whether CNF preprocessing (probing, subsumption, vivification, and
     /// fresh-mode BVE) was enabled. `false` is the pre-preprocessing solver.
     pub preprocess: bool,
+    /// Whether assumption-core memoization (the Unsat fast path) was
+    /// enabled. `false` with `preprocess` on is the PR 9 solver.
+    pub core_cache: bool,
+    /// Whether hyper-binary resolution during failed-literal probing was
+    /// enabled.
+    pub hbr: bool,
     /// Solver-instance granularity: `"function"` (one incremental instance
     /// per function) or `"fragment"` (a fresh instance per code fragment).
     pub granularity: String,
@@ -1400,6 +1410,9 @@ pub struct SolverSpeedRow {
     /// Total unit propagations — the deterministic currency solver budgets
     /// are denominated in, and this section's measure of raw solver work.
     pub propagations: u64,
+    /// Propagations spent on queries that ended Unsat — the share the
+    /// Unsat fast path (core cache, HBR, tiered db) is able to attack.
+    pub unsat_propagations: u64,
     /// Total conflicts across all queries.
     pub conflicts: u64,
     /// Total solver restarts across all queries.
@@ -1412,6 +1425,17 @@ pub struct SolverSpeedRow {
     pub avg_lbd: f64,
     /// Clauses and variables removed by the preprocessing passes.
     pub preprocess_eliminations: u64,
+    /// Queries the solver answered Unsat (the side the core cache serves).
+    pub unsat_queries: u64,
+    /// Queries answered Unsat in zero propagations from a memoized
+    /// assumption core.
+    pub core_cache_hits: u64,
+    /// Assumption cores extracted from final conflicts.
+    pub cores_recorded: u64,
+    /// Binary clauses added by hyper-binary resolution during probing.
+    pub hbr_binaries_added: u64,
+    /// `minimal_ub_set` queries skipped by core-seeded minimization.
+    pub minimization_queries_saved: u64,
     /// Reports emitted (must match across every row).
     pub reports: usize,
 }
@@ -1443,6 +1467,21 @@ pub struct SolverSpeed {
     /// Per-fragment wall time divided by per-function wall time: values
     /// above 1.0 mean per-function instances win and stay the default.
     pub speedup_function_vs_fragment: f64,
+    /// PR 9 Unsat-side propagations (preprocess on, core cache + HBR off)
+    /// divided by default-configuration Unsat-side propagations
+    /// (per-function rows): the Unsat-path payoff of assumption-core
+    /// memoization, HBR, and the tiered clause database on the same
+    /// queries. Sat-side work is excluded — it is identical across the two
+    /// rows and would otherwise drown the signal.
+    pub speedup_unsat_vs_pr9: f64,
+    /// Core-cache hits divided by Unsat answers on the default row: the
+    /// fraction of Unsat verdicts served in zero propagations.
+    pub core_cache_hit_rate: f64,
+    /// Binary clauses hyper-binary resolution added on the default row.
+    pub hbr_binaries_added: u64,
+    /// `minimal_ub_set` queries the core-seeded search skipped on the
+    /// default row (vs PR 9's full greedy loop).
+    pub minimization_queries_saved: u64,
     /// The granularity shipped as the default, decided by this benchmark.
     pub default_granularity: String,
     /// Every configuration produced byte-identical report streams.
@@ -1474,62 +1513,95 @@ pub fn solver_speed(cfg: &ScalingConfig) -> SolverSpeed {
 
     let mut rows = Vec::new();
     let mut report_streams: Vec<Vec<String>> = Vec::new();
-    let mut run = |label: &str, preprocess: bool, fragment_instances: bool| {
-        let config = CheckerConfig {
-            query_budget: cfg.query_budget,
-            threads: Some(1),
-            query_cache: false,
-            preprocess,
-            fragment_instances,
-            ..CheckerConfig::default()
+    let mut run =
+        |label: &str, preprocess: bool, core_cache: bool, hbr: bool, fragment_instances: bool| {
+            let config = CheckerConfig {
+                query_budget: cfg.query_budget,
+                threads: Some(1),
+                query_cache: false,
+                preprocess,
+                core_cache,
+                hbr,
+                fragment_instances,
+                ..CheckerConfig::default()
+            };
+            let session = AnalysisSession::new(config);
+            let pipeline = ScanPipeline::new(&session, jobs);
+            let mut reports = Vec::new();
+            let start = Instant::now();
+            pipeline.run(&tasks, &mut |event| {
+                if let ScanEvent::Report(report) = event {
+                    reports.push(format!("{report:?}"));
+                }
+            });
+            let elapsed = start.elapsed();
+            let stats = session.stats();
+            rows.push(SolverSpeedRow {
+                label: label.to_string(),
+                preprocess,
+                core_cache,
+                hbr,
+                granularity: if fragment_instances {
+                    "fragment"
+                } else {
+                    "function"
+                }
+                .to_string(),
+                wall_ms: u64::try_from(elapsed.as_millis()).unwrap_or(u64::MAX),
+                wall_us: u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX),
+                queries: stats.queries,
+                timeouts: stats.timeouts,
+                propagations: stats.propagations,
+                unsat_propagations: stats.unsat_propagations,
+                conflicts: stats.conflicts,
+                restarts: stats.restarts,
+                learned_clauses: stats.learned_clauses,
+                deleted_clauses: stats.deleted_clauses,
+                avg_lbd: stats.avg_lbd(),
+                preprocess_eliminations: stats.preprocess_eliminations,
+                unsat_queries: stats.unsat_queries,
+                core_cache_hits: stats.core_cache_hits,
+                cores_recorded: stats.cores_recorded,
+                hbr_binaries_added: stats.hbr_binaries_added,
+                minimization_queries_saved: stats.minimization_queries_saved,
+                reports: reports.len(),
+            });
+            report_streams.push(reports);
         };
-        let session = AnalysisSession::new(config);
-        let pipeline = ScanPipeline::new(&session, jobs);
-        let mut reports = Vec::new();
-        let start = Instant::now();
-        pipeline.run(&tasks, &mut |event| {
-            if let ScanEvent::Report(report) = event {
-                reports.push(format!("{report:?}"));
-            }
-        });
-        let elapsed = start.elapsed();
-        let stats = session.stats();
-        rows.push(SolverSpeedRow {
-            label: label.to_string(),
-            preprocess,
-            granularity: if fragment_instances {
-                "fragment"
-            } else {
-                "function"
-            }
-            .to_string(),
-            wall_ms: u64::try_from(elapsed.as_millis()).unwrap_or(u64::MAX),
-            wall_us: u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX),
-            queries: stats.queries,
-            timeouts: stats.timeouts,
-            propagations: stats.propagations,
-            conflicts: stats.conflicts,
-            restarts: stats.restarts,
-            learned_clauses: stats.learned_clauses,
-            deleted_clauses: stats.deleted_clauses,
-            avg_lbd: stats.avg_lbd(),
-            preprocess_eliminations: stats.preprocess_eliminations,
-            reports: reports.len(),
-        });
-        report_streams.push(reports);
-    };
     run(
         "baseline: prior solver (no preprocess), per-function",
         false,
         false,
+        false,
+        false,
     );
-    run("preprocess + LBD solver, per-function", true, false);
-    run("preprocess + LBD solver, per-fragment", true, true);
+    run(
+        "PR 9: preprocess + LBD solver (no core cache / HBR), per-function",
+        true,
+        false,
+        false,
+        false,
+    );
+    run(
+        "core cache + HBR + tiered db solver, per-function",
+        true,
+        true,
+        true,
+        false,
+    );
+    run(
+        "core cache + HBR + tiered db solver, per-fragment",
+        true,
+        true,
+        true,
+        true,
+    );
 
     let ratio = |num: u64, den: u64| num as f64 / den.max(1) as f64;
     let baseline = &rows[0];
-    let function = &rows[1];
-    let fragment = &rows[2];
+    let pr9 = &rows[1];
+    let function = &rows[2];
+    let fragment = &rows[3];
     SolverSpeed {
         archive: format!("{} packages, seed {}", cfg.packages, archive_cfg.seed),
         files: churned.files.len(),
@@ -1539,6 +1611,10 @@ pub fn solver_speed(cfg: &ScalingConfig) -> SolverSpeed {
         speedup_solver_vs_baseline: ratio(baseline.propagations, function.propagations),
         speedup_wall_vs_baseline: ratio(baseline.wall_us, function.wall_us),
         speedup_function_vs_fragment: ratio(fragment.wall_us, function.wall_us),
+        speedup_unsat_vs_pr9: ratio(pr9.unsat_propagations, function.unsat_propagations),
+        core_cache_hit_rate: ratio(function.core_cache_hits, function.unsat_queries),
+        hbr_binaries_added: function.hbr_binaries_added,
+        minimization_queries_saved: function.minimization_queries_saved,
         default_granularity: "function".to_string(),
         reports_identical: report_streams.windows(2).all(|w| w[0] == w[1]),
         rows,
@@ -1641,6 +1717,7 @@ pub fn checker_scaling(cfg: &ScalingConfig) -> CheckerScaling {
         let mut cache_misses = 0u64;
         let mut incremental_queries = 0u64;
         let mut reused_clauses = 0u64;
+        let mut minimization_queries_saved = 0u64;
         let mut reports = 0usize;
         for module in &modules {
             let result = checker.check_module(module);
@@ -1650,6 +1727,7 @@ pub fn checker_scaling(cfg: &ScalingConfig) -> CheckerScaling {
             cache_misses += result.stats.cache_misses;
             incremental_queries += result.stats.incremental_queries;
             reused_clauses += result.stats.reused_clauses;
+            minimization_queries_saved += result.stats.minimization_queries_saved;
             reports += result.reports.len();
         }
         let elapsed = start.elapsed();
@@ -1673,6 +1751,7 @@ pub fn checker_scaling(cfg: &ScalingConfig) -> CheckerScaling {
             },
             incremental_queries,
             reused_clauses,
+            minimization_queries_saved,
             reports,
         });
     };
@@ -1919,6 +1998,15 @@ impl CheckerScaling {
             self.solver_speed.default_granularity,
             self.solver_speed.reports_identical
         );
+        let _ = writeln!(
+            out,
+            "  unsat path vs PR 9: {:.2}x fewer propagations; core cache served {:.1}% of \
+             unsat answers, {} HBR binaries, {} minimization queries saved",
+            self.solver_speed.speedup_unsat_vs_pr9,
+            100.0 * self.solver_speed.core_cache_hit_rate,
+            self.solver_speed.hbr_binaries_added,
+            self.solver_speed.minimization_queries_saved
+        );
         out
     }
 
@@ -2068,7 +2156,15 @@ mod tests {
         let seed_queries = scaling.rows[0].queries;
         for row in &scaling.rows {
             assert_eq!(row.reports, seed_reports, "{}", row.label);
-            assert_eq!(row.queries, seed_queries, "{}", row.label);
+            // Core-seeded minimization skips queries the memoized assumption
+            // core proves irrelevant; every skip is accounted for, so the
+            // issued + saved total still matches the seed row exactly.
+            assert_eq!(
+                row.queries + row.minimization_queries_saved,
+                seed_queries,
+                "{}",
+                row.label
+            );
         }
         // The seed row never consults the cache; the cached rows must get a
         // nonzero hit rate out of the repeated synthetic idioms.
@@ -2108,10 +2204,35 @@ mod tests {
         // The solver-speed section must measure real work and stay
         // verdict-stable across every configuration it compares.
         let ss = &scaling.solver_speed;
-        assert_eq!(ss.rows.len(), 3, "{ss:?}");
+        assert_eq!(ss.rows.len(), 4, "{ss:?}");
         assert!(ss.rows.iter().all(|r| r.propagations > 0), "{ss:?}");
         assert!(ss.reports_identical, "{ss:?}");
         assert!(ss.speedup_solver_vs_baseline > 1.0, "{ss:?}");
+        // The Unsat fast path must do strictly less solver work than the
+        // PR 9 configuration on the same churned archive, and its savings
+        // must come from measurable sources: core-cache answers and
+        // core-seeded minimization skips.
+        assert!(json.contains("\"speedup_unsat_vs_pr9\""));
+        assert!(json.contains("\"core_cache_hit_rate\""));
+        assert!(json.contains("\"hbr_binaries_added\""));
+        assert!(ss.speedup_unsat_vs_pr9 > 1.0, "{ss:?}");
+        assert!(ss.core_cache_hit_rate > 0.0, "{ss:?}");
+        let pr9 = &ss.rows[1];
+        let default_row = &ss.rows[2];
+        assert!(pr9.preprocess && !pr9.core_cache && !pr9.hbr, "{pr9:?}");
+        assert_eq!(pr9.core_cache_hits, 0, "{pr9:?}");
+        assert!(default_row.core_cache_hits > 0, "{default_row:?}");
+        assert!(default_row.cores_recorded > 0, "{default_row:?}");
+        // Core-seeded minimization must actually skip queries somewhere in
+        // the run: the scaling rows' incremental configurations exercise the
+        // Figure 8 minimal-UB-set loop on workloads with multi-condition
+        // minimizations.
+        let saved: u64 = scaling
+            .rows
+            .iter()
+            .map(|r| r.minimization_queries_saved)
+            .sum();
+        assert!(saved > 0, "no minimization queries saved in any row");
         // The fault-tolerance section must actually measure something.
         let ft = &scaling.fault_tolerance;
         assert!(ft.degraded_queries > 0, "{ft:?}");

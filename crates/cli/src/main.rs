@@ -24,6 +24,11 @@
 //! (failed-literal probing, subsumption, bounded variable elimination,
 //! clause vivification, LBD-aware clause-database reduction) — the
 //! pre-LBD solver, kept reachable as the benchmark baseline —
+//! `--no-core-cache` turns off assumption-core memoization (the Unsat
+//! fast path that answers superset queries from cached final-conflict
+//! cores, and the core-seeded minimal-UB-set search) — the PR 9 Unsat
+//! path, kept reachable as the benchmark baseline — `--no-hbr` turns
+//! off hyper-binary resolution during failed-literal probing,
 //! `--instance-granularity <function|fragment>` picks whether incremental
 //! solving keeps one persistent instance per function (default; fragments
 //! share the encoding) or starts fresh per fragment, and
@@ -122,6 +127,11 @@ struct AnalysisOpts {
     /// `--instance-granularity fragment` starts a fresh incremental solver
     /// instance per checker fragment instead of per function.
     fragment_instances: bool,
+    /// `--no-core-cache` turns assumption-core memoization (and the
+    /// core-seeded minimal-UB-set search) off — the PR 9 Unsat path.
+    core_cache: bool,
+    /// `--no-hbr` turns hyper-binary resolution during probing off.
+    hbr: bool,
     /// Per-query propagation budget (`Some(0)` = unlimited).
     query_budget: Option<u64>,
     cache_file: Option<PathBuf>,
@@ -184,6 +194,8 @@ impl AnalysisOpts {
             incremental: !has_flag(args, "--no-incremental"),
             preprocess: !has_flag(args, "--no-preprocess"),
             fragment_instances,
+            core_cache: !has_flag(args, "--no-core-cache"),
+            hbr: !has_flag(args, "--no-hbr"),
             query_budget: parse_flag_value::<u64>(args, "--query-budget")?,
             cache_file,
             out: flag_value(args, "--out")?.map(PathBuf::from),
@@ -214,6 +226,8 @@ impl AnalysisOpts {
             incremental: self.incremental,
             preprocess: self.preprocess,
             fragment_instances: self.fragment_instances,
+            core_cache: self.core_cache,
+            hbr: self.hbr,
             query_budget: self
                 .query_budget
                 .unwrap_or(CheckerConfig::default().query_budget),
@@ -498,6 +512,32 @@ struct ScanSummary {
     /// literals, subsumed/strengthened clauses, eliminated variables,
     /// vivified clauses).
     preprocess_eliminations: u64,
+    /// Queries the SAT core answered Sat.
+    sat_queries: u64,
+    /// Queries the SAT core answered Unsat.
+    unsat_queries: u64,
+    /// Queries answered from a cached model without search (a previous
+    /// model still satisfied the new assumption set).
+    model_cache_hits: u64,
+    /// Queries answered Unsat in zero propagations because a memoized
+    /// assumption core was a subset of the query's assumptions.
+    core_cache_hits: u64,
+    /// Assumption cores extracted from final conflicts.
+    cores_recorded: u64,
+    /// Average literal count of extracted assumption cores; 0 when none
+    /// were recorded.
+    avg_core_size: f64,
+    /// Binary clauses added by hyper-binary resolution during failed
+    /// literal probing.
+    hbr_binaries_added: u64,
+    /// Learned clauses evicted from the mid tier (unused since the last
+    /// tier-2 sweep).
+    deleted_tier2: u64,
+    /// Learned clauses evicted from the local tier (high-LBD half).
+    deleted_local: u64,
+    /// `minimal_ub_set` queries skipped because the memoized assumption
+    /// core proved the candidate condition irrelevant.
+    minimization_queries_saved: u64,
     store_hits: u64,
     store_misses: u64,
     store_hit_rate: f64,
@@ -578,6 +618,16 @@ fn cmd_scan(args: &[String]) -> ExitCode {
         deleted_clauses: stats.deleted_clauses,
         avg_lbd: stats.avg_lbd(),
         preprocess_eliminations: stats.preprocess_eliminations,
+        sat_queries: stats.sat_queries,
+        unsat_queries: stats.unsat_queries,
+        model_cache_hits: stats.model_cache_hits,
+        core_cache_hits: stats.core_cache_hits,
+        cores_recorded: stats.cores_recorded,
+        avg_core_size: stats.avg_core_size(),
+        hbr_binaries_added: stats.hbr_binaries_added,
+        deleted_tier2: stats.deleted_tier2,
+        deleted_local: stats.deleted_local,
+        minimization_queries_saved: stats.minimization_queries_saved,
         store_hits: stats.cache_hits,
         store_misses: stats.cache_misses,
         store_hit_rate: stats.cache_hit_rate(),
@@ -673,8 +723,8 @@ fn gather_scan_sources(args: &[String]) -> Result<Vec<ScanTask>, String> {
         return Err(
             "usage: stack scan <dir|manifest|file.mc> | --synth N  [--seed S] [--cache-file F] \
              [--scan-cache F] [--jobs N] [--threads N] [--query-budget N] [--compact-store N] \
-             [--shard i/n] [--no-cache] [--no-incremental] [--include-macros] [--json] [--out F] \
-             [--quiet]"
+             [--shard i/n] [--no-cache] [--no-incremental] [--no-core-cache] [--no-hbr] \
+             [--include-macros] [--json] [--out F] [--quiet]"
                 .to_string(),
         );
     };
@@ -752,6 +802,16 @@ fn render_scan_summary(
         "  queries         {:>8}  ({} timeouts)",
         summary.queries, summary.timeouts
     );
+    let _ = writeln!(
+        out,
+        "  verdicts        {:>8} sat / {} unsat / {} degraded / {} from model cache / {} from \
+         core cache",
+        summary.sat_queries,
+        summary.unsat_queries,
+        summary.degraded_queries,
+        summary.model_cache_hits,
+        summary.core_cache_hits
+    );
     if summary.degraded_modules > 0 {
         let _ = writeln!(
             out,
@@ -772,6 +832,20 @@ fn render_scan_summary(
         summary.avg_lbd,
         summary.deleted_clauses,
         summary.preprocess_eliminations
+    );
+    let _ = writeln!(
+        out,
+        "  core cache      {:>8} hits, {} cores recorded (avg size {:.1}), {} minimization \
+         queries saved",
+        summary.core_cache_hits,
+        summary.cores_recorded,
+        summary.avg_core_size,
+        summary.minimization_queries_saved
+    );
+    let _ = writeln!(
+        out,
+        "  hyper-binary    {:>8} binaries added; tier evictions: {} tier2, {} local",
+        summary.hbr_binaries_added, summary.deleted_tier2, summary.deleted_local
     );
     let _ = writeln!(
         out,

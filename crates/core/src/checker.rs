@@ -80,6 +80,19 @@ pub struct CheckerConfig {
     /// functions where instance bloat could dominate. No effect unless
     /// `incremental` is on.
     pub fragment_instances: bool,
+    /// Whether the SAT core memoizes assumption cores: every `Unsat` answer
+    /// under assumptions extracts the final conflict's assumption core, any
+    /// later query assuming a superset of a recorded core is answered
+    /// `Unsat` in zero propagations, and the Figure 8 minimal-UB-set loop
+    /// seeds its greedy search from the extracted core instead of toggling
+    /// conditions blindly. Decided verdicts — and therefore reports — are
+    /// identical with it on or off; off (`--no-core-cache`) restores the
+    /// prior Unsat path as the benchmark baseline.
+    pub core_cache: bool,
+    /// Whether the SAT core runs hyper-binary resolution during its probing
+    /// pass, materializing transitive implications as binary clauses. Off
+    /// (`--no-hbr`) restores plain probing.
+    pub hbr: bool,
 }
 
 impl Default for CheckerConfig {
@@ -92,6 +105,8 @@ impl Default for CheckerConfig {
             incremental: true,
             preprocess: true,
             fragment_instances: false,
+            core_cache: true,
+            hbr: true,
         }
     }
 }
@@ -137,6 +152,10 @@ pub struct CheckStats {
     /// budgets are denominated in, and the `solver_speed` benchmark's
     /// measure of raw solver work.
     pub propagations: u64,
+    /// SAT-core propagations spent on queries that ended `Unsat` — the
+    /// share of `propagations` the Unsat fast path attacks, and the
+    /// denominator of the `speedup_unsat_vs_pr9` benchmark ratio.
+    pub unsat_propagations: u64,
     /// Total SAT-core conflicts across all queries.
     pub conflicts: u64,
     /// Total SAT-core restarts across all queries.
@@ -158,6 +177,32 @@ pub struct CheckStats {
     /// Clause slots reused by incremental queries instead of re-blasted
     /// (summed over queries; the clause-reuse counter of the solver layer).
     pub reused_clauses: u64,
+    /// Queries answered `Sat` (merged across worker threads). Together with
+    /// `unsat_queries`, `timeouts`, and the cache/core counters this is the
+    /// per-scan verdict breakdown.
+    pub sat_queries: u64,
+    /// Queries answered `Unsat` (merged across worker threads).
+    pub unsat_queries: u64,
+    /// `Sat` answers the SAT core served from its model cache in zero
+    /// propagations.
+    pub model_cache_hits: u64,
+    /// `Unsat` answers the SAT core served from its assumption-core cache in
+    /// zero propagations.
+    pub core_cache_hits: u64,
+    /// Assumption cores extracted and recorded after `Unsat` answers.
+    pub cores_recorded: u64,
+    /// Sum of literal counts over recorded cores (`core_size_sum /
+    /// cores_recorded` is the average core size).
+    pub core_size_sum: u64,
+    /// Binary clauses added by hyper-binary resolution during probing.
+    pub hbr_binaries_added: u64,
+    /// Learned clauses evicted from the mid (tier2) clause-database tier.
+    pub deleted_tier2: u64,
+    /// Learned clauses evicted from the local (high-LBD) tier.
+    pub deleted_local: u64,
+    /// Minimal-UB-set queries skipped because an extracted assumption core
+    /// already proved them `Unsat`.
+    pub minimization_queries_saved: u64,
     /// Worker threads the run actually used (maximum across modules for an
     /// aggregate).
     pub threads: usize,
@@ -188,6 +233,16 @@ impl CheckStats {
         }
     }
 
+    /// Average literal count of recorded assumption cores (0 when none were
+    /// recorded).
+    pub fn avg_core_size(&self) -> f64 {
+        if self.cores_recorded == 0 {
+            0.0
+        } else {
+            self.core_size_sum as f64 / self.cores_recorded as f64
+        }
+    }
+
     /// Fold another run's counters into this one (the session aggregate):
     /// counts and times add, `threads` takes the maximum, and the
     /// per-algorithm report counts merge keywise.
@@ -202,6 +257,7 @@ impl CheckStats {
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.propagations += other.propagations;
+        self.unsat_propagations += other.unsat_propagations;
         self.conflicts += other.conflicts;
         self.restarts += other.restarts;
         self.learned_clauses += other.learned_clauses;
@@ -210,6 +266,16 @@ impl CheckStats {
         self.preprocess_eliminations += other.preprocess_eliminations;
         self.incremental_queries += other.incremental_queries;
         self.reused_clauses += other.reused_clauses;
+        self.sat_queries += other.sat_queries;
+        self.unsat_queries += other.unsat_queries;
+        self.model_cache_hits += other.model_cache_hits;
+        self.core_cache_hits += other.core_cache_hits;
+        self.cores_recorded += other.cores_recorded;
+        self.core_size_sum += other.core_size_sum;
+        self.hbr_binaries_added += other.hbr_binaries_added;
+        self.deleted_tier2 += other.deleted_tier2;
+        self.deleted_local += other.deleted_local;
+        self.minimization_queries_saved += other.minimization_queries_saved;
         self.threads = self.threads.max(other.threads);
         self.elapsed += other.elapsed;
         for (algorithm, count) in &other.by_algorithm {

@@ -45,7 +45,15 @@ pub struct AnalysisSession {
     config: CheckerConfig,
     store: Arc<dyn QueryStore>,
     aggregate: Mutex<CheckStats>,
+    /// Assumption cores shared across every solver this session creates
+    /// (all modules, all worker threads), keyed on the blasted formula's
+    /// fingerprint — so a core derived for one function answers the
+    /// identical query of a structurally identical function anywhere else
+    /// in the scan. Only consulted when `config.core_cache` is on.
+    shared_cores: Arc<SharedCoreMutex>,
 }
+
+type SharedCoreMutex = std::sync::Mutex<stack_solver::sat::SharedCoreCache>;
 
 /// The outcome of checking one selected function of a module: its **raw**
 /// reports — in discovery order, before the module-level dedup/suppression
@@ -85,6 +93,7 @@ impl AnalysisSession {
             config,
             store,
             aggregate: Mutex::new(CheckStats::default()),
+            shared_cores: Arc::new(SharedCoreMutex::default()),
         }
     }
 
@@ -139,6 +148,11 @@ impl AnalysisSession {
         solver.set_incremental(self.config.incremental);
         solver.set_preprocessing(self.config.preprocess);
         solver.set_fragment_instances(self.config.fragment_instances);
+        solver.set_core_caching(self.config.core_cache);
+        solver.set_hbr(self.config.hbr);
+        if self.config.core_cache {
+            solver.set_shared_cores(Arc::clone(&self.shared_cores));
+        }
         solver
     }
 
@@ -280,6 +294,7 @@ impl AnalysisSession {
             cache_hits: solver_stats.cache_hits,
             cache_misses: solver_stats.cache_misses,
             propagations: solver_stats.propagations,
+            unsat_propagations: solver_stats.unsat_propagations,
             conflicts: solver_stats.conflicts,
             restarts: solver_stats.restarts,
             learned_clauses: solver_stats.learned_clauses,
@@ -288,6 +303,16 @@ impl AnalysisSession {
             preprocess_eliminations: solver_stats.preprocess_eliminations,
             incremental_queries: solver_stats.incremental_queries,
             reused_clauses: solver_stats.reused_clauses,
+            sat_queries: solver_stats.sat,
+            unsat_queries: solver_stats.unsat,
+            model_cache_hits: solver_stats.model_cache_hits,
+            core_cache_hits: solver_stats.core_cache_hits,
+            cores_recorded: solver_stats.cores_recorded,
+            core_size_sum: solver_stats.core_size_sum,
+            hbr_binaries_added: solver_stats.hbr_binaries_added,
+            deleted_tier2: solver_stats.deleted_tier2,
+            deleted_local: solver_stats.deleted_local,
+            minimization_queries_saved: solver_stats.minimization_queries_saved,
             threads,
             elapsed: start.elapsed(),
             by_algorithm: HashMap::new(),
@@ -592,6 +617,19 @@ fn dominating_conditions(
 /// iteration is a `check_assuming` toggle rather than a fresh bit-blast; the
 /// query store still short-circuits iterations repeated across structurally
 /// identical functions.
+///
+/// When the solver extracted an assumption core for the triggering query
+/// (always the `check` call immediately preceding this one), the loop seeds
+/// its search from it: a core is a subset of `base` plus the asserted
+/// negations that is unsatisfiable on its own, so dropping a condition whose
+/// negation is *outside* the core leaves the whole core asserted and the
+/// query inevitably `Unsat` — the iteration is skipped without entering the
+/// solver (counted as `minimization_queries_saved`). Iterations that do run
+/// and answer `Unsat` refresh the core, shrinking it as the loop proceeds.
+/// Because every iteration tests the full set minus exactly one condition
+/// (never an accumulated subset), a skip reproduces the exact verdict the
+/// query would have returned, so the resulting minimal set — and with it
+/// every report — is byte-identical with seeding on or off.
 fn minimal_ub_set(
     pool: &stack_solver::TermPool,
     solver: &mut BvSolver,
@@ -599,8 +637,15 @@ fn minimal_ub_set(
     dom_conds: &[usize],
     neg_terms: &[TermId],
 ) -> Vec<usize> {
+    let mut core: Option<Vec<TermId>> = solver.last_unsat_core().map(<[TermId]>::to_vec);
     let mut essential = Vec::new();
     for &skip in dom_conds {
+        if let Some(c) = &core {
+            if !c.contains(&neg_terms[skip]) {
+                solver.note_minimization_saved();
+                continue;
+            }
+        }
         let mut assertions = base.to_vec();
         assertions.extend(
             dom_conds
@@ -610,7 +655,15 @@ fn minimal_ub_set(
         );
         match solver.check(pool, &assertions) {
             QueryResult::Sat(_) | QueryResult::Unknown => essential.push(skip),
-            QueryResult::Unsat => {}
+            QueryResult::Unsat => {
+                // A fresh core (absent on store hits, which leave the
+                // previous — still valid — one in place) is a subset of this
+                // query's assertions, so the invariant "core ⊆ base ∪
+                // still-asserted negations" holds.
+                if let Some(fresh) = solver.last_unsat_core() {
+                    core = Some(fresh.to_vec());
+                }
+            }
         }
     }
     if essential.is_empty() {

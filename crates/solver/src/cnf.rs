@@ -30,6 +30,12 @@ pub struct Clause {
     /// database reduction keeps `lbd <= 2` clauses unconditionally. Original
     /// clauses carry 0 (they are never eviction candidates).
     pub lbd: u32,
+    /// Recent-use stamp for tiered database reduction: set whenever the
+    /// clause participates in conflict analysis, cleared when the mid tier
+    /// is swept. A mid-tier clause that stayed unused across a whole sweep
+    /// interval is evicted. Fresh learned clauses start marked so they
+    /// survive at least one interval.
+    pub used: bool,
     /// Marked for deletion by clause-database reduction.
     pub deleted: bool,
 }
@@ -42,6 +48,7 @@ impl Clause {
             learned,
             activity: 0.0,
             lbd: 0,
+            used: true,
             deleted: false,
         }
     }
@@ -53,6 +60,7 @@ impl Clause {
             learned: true,
             activity: 0.0,
             lbd,
+            used: true,
             deleted: false,
         }
     }

@@ -157,6 +157,41 @@ impl SolverInstance {
         self.sat.set_preprocessing(on);
     }
 
+    /// Enable or disable assumption-core memoization on the underlying SAT
+    /// core (on by default). See [`SatSolver::set_core_caching`].
+    pub fn set_core_caching(&mut self, on: bool) {
+        self.sat.set_core_caching(on);
+    }
+
+    /// Enable or disable hyper-binary resolution during probing (on by
+    /// default). See [`SatSolver::set_hbr`].
+    pub fn set_hbr(&mut self, on: bool) {
+        self.sat.set_hbr(on);
+    }
+
+    /// Attach the owning solver's cross-instance core store. See
+    /// [`SatSolver::set_shared_cores`].
+    pub fn set_shared_cores(
+        &mut self,
+        shared: Option<std::sync::Arc<std::sync::Mutex<crate::sat::SharedCoreCache>>>,
+    ) {
+        self.sat.set_shared_cores(shared);
+    }
+
+    /// The assumption core of the last `Unsat` answer: a subset of that
+    /// query's assumption literals already unsatisfiable with the formula
+    /// (empty when the formula itself is unsatisfiable). `None` after
+    /// non-`Unsat` answers or with core caching off.
+    pub fn last_core(&self) -> Option<&[Lit]> {
+        self.sat.last_core()
+    }
+
+    /// The assumption literal a term was registered to, if it has been
+    /// registered, without blasting anything new.
+    pub fn registered_literal(&self, term: TermId) -> Option<Lit> {
+        self.blaster.bool_literal(term)
+    }
+
     /// Epoch of the pool this instance is tied to (`None` until the first
     /// term is registered).
     pub fn epoch(&self) -> Option<u64> {
@@ -221,7 +256,10 @@ impl SolverInstance {
             // the solve below, so degraded verdicts stay byte-reproducible.
             self.sat.cancel_until_root();
             match self.sat.preprocess(self.budget, false) {
-                Some(SatResult::Unsat) => return QueryResult::Unsat,
+                // Root-unsat: fall through to `solve_with`, which answers
+                // immediately and records the (empty) assumption core so
+                // `last_core` cannot report a stale earlier core.
+                Some(SatResult::Unsat) => {}
                 Some(SatResult::Unknown) => return QueryResult::Unknown,
                 _ => {}
             }

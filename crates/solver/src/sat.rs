@@ -20,6 +20,67 @@
 
 use crate::cnf::{Clause, ClauseDb, ClauseRef};
 use crate::lit::{LBool, Lit, Var};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Capacity of a per-solver assumption-core cache (both the instance-local
+/// list and each formula's bucket in the shared store).
+const CORE_CACHE: usize = 32;
+
+/// Assumption cores shared across solver instances, keyed on a formula
+/// fingerprint. Structurally identical functions bit-blast to identical
+/// clause sequences over identically numbered variables, so their
+/// instances compute the same fingerprint — and a core recorded by one is
+/// a valid core for the others (the formulas are equal, not merely
+/// similar, so entailment carries over verbatim). Instances with any
+/// difference in their clause stream get different keys and never share.
+///
+/// The store is owned by a [`BvSolver`](crate::solver::BvSolver) (one per
+/// worker) and handed to each of its instances; the mutex makes the handle
+/// `Send` but is never contended. Bounded FIFO over formula keys.
+#[derive(Default, Debug)]
+pub struct SharedCoreCache {
+    map: HashMap<(u64, u64), Vec<Vec<Lit>>>,
+    order: VecDeque<(u64, u64)>,
+}
+
+/// Formula keys retained in a [`SharedCoreCache`] before FIFO eviction.
+const SHARED_CORE_KEYS: usize = 256;
+
+impl SharedCoreCache {
+    /// A cached core of the fingerprinted formula that the assumption set
+    /// covers, if any.
+    fn lookup(&self, fp: (u64, u64), assumptions: &[Lit]) -> Option<Vec<Lit>> {
+        self.map.get(&fp)?.iter().find_map(|core| {
+            core.iter()
+                .all(|l| assumptions.contains(l))
+                .then(|| core.clone())
+        })
+    }
+
+    /// Bank a core under the formula's fingerprint, dropping entries the
+    /// new core subsumes (same policy as the instance-local cache).
+    fn record(&mut self, fp: (u64, u64), core: &[Lit]) {
+        if !self.map.contains_key(&fp) {
+            if self.order.len() == SHARED_CORE_KEYS {
+                if let Some(old) = self.order.pop_front() {
+                    self.map.remove(&old);
+                }
+            }
+            self.order.push_back(fp);
+        }
+        let bucket = self.map.entry(fp).or_default();
+        if bucket.iter().any(|c| c.iter().all(|l| core.contains(l))) {
+            return;
+        }
+        bucket.retain(|c| !core.iter().all(|l| c.contains(l)));
+        if bucket.len() == CORE_CACHE {
+            bucket.remove(0);
+        }
+        bucket.push(core.to_vec());
+    }
+}
 
 /// Result of a satisfiability query.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -78,6 +139,13 @@ impl Budget {
 pub struct SatStats {
     pub decisions: u64,
     pub propagations: u64,
+    /// The subset of `propagations` spent inside the pre/inprocessing
+    /// passes (probing + HBR harvest, subsumption, BVE, vivification).
+    /// Instance setup and restart-time maintenance, not per-query search —
+    /// callers attributing propagation cost to individual queries subtract
+    /// this so the query that happens to trigger a pass is not charged for
+    /// work amortized across the whole instance.
+    pub preprocess_propagations: u64,
     pub conflicts: u64,
     pub restarts: u64,
     pub learned_literals: u64,
@@ -91,6 +159,25 @@ pub struct SatStats {
     /// Facts removed by pre/inprocessing: eliminated variables, subsumed
     /// clauses, strengthened literals, failed literals, vivified clauses.
     pub preprocess_eliminations: u64,
+    /// `Sat` answers served from the still-valid trail or the cached-model
+    /// store in zero propagations.
+    pub model_cache_hits: u64,
+    /// `Unsat` answers served from the assumption-core cache in zero
+    /// propagations.
+    pub core_cache_hits: u64,
+    /// Assumption cores extracted after `Unsat` answers and stored in the
+    /// core cache.
+    pub cores_recorded: u64,
+    /// Sum of literal counts over recorded cores; the average core size is
+    /// `core_size_sum / cores_recorded`.
+    pub core_size_sum: u64,
+    /// Binary clauses added by hyper-binary resolution during probing.
+    pub hbr_binaries_added: u64,
+    /// Learned clauses evicted from the mid (tier2) tier for staying unused
+    /// across a whole sweep interval.
+    pub deleted_tier2: u64,
+    /// Learned clauses evicted from the local (high-LBD) tier.
+    pub deleted_local: u64,
 }
 
 impl SatStats {
@@ -101,6 +188,16 @@ impl SatStats {
             0.0
         } else {
             self.lbd_sum as f64 / self.learned_clauses as f64
+        }
+    }
+
+    /// Average literal count of recorded assumption cores (0 when none were
+    /// recorded).
+    pub fn avg_core_size(&self) -> f64 {
+        if self.cores_recorded == 0 {
+            0.0
+        } else {
+            self.core_size_sum as f64 / self.cores_recorded as f64
         }
     }
 }
@@ -183,6 +280,39 @@ pub struct SatSolver {
     /// so `model_value` reads the witness that was actually returned rather
     /// than whatever the trail holds. Cleared at the next solve call.
     cached_model_hit: Option<usize>,
+    /// Whether assumption-core extraction and the core cache are enabled.
+    /// The Unsat mirror of the model cache; see `core_cache`.
+    core_caching: bool,
+    /// Whether hyper-binary resolution runs during failed-literal probing.
+    hbr: bool,
+    /// Cached assumption cores (each sorted by literal index). Every core is
+    /// entailed-Unsat by the formula, and `add_clause` only adds constraints,
+    /// so a core stays Unsat forever: any later query whose assumption set is
+    /// a superset of a cached core is answered `Unsat` in zero propagations.
+    /// Never invalidated; bounded FIFO (see `record_core`).
+    core_cache: Vec<Vec<Lit>>,
+    /// The assumption core of the last `Unsat` answer (empty when the
+    /// formula itself is root-unsat), for callers seeding minimization.
+    /// `None` after `Sat`/`Unknown` answers or when core caching is off.
+    last_core: Option<Vec<Lit>>,
+    /// Core clauses (`!a1 | ... | !ak` for a recorded core `{a1..ak}`)
+    /// waiting to be attached. A core clause is formula-entailed, so
+    /// learning it is sound and keeps cached models valid; it lets related
+    /// later queries conflict after propagating just the core's assumptions
+    /// instead of re-deriving the refutation. Attachment is deferred to the
+    /// next solve's root level because at record time assumption literals
+    /// are still assigned on the trail.
+    pending_core_clauses: Vec<Vec<Lit>>,
+    /// Fingerprint of the original formula: a running two-lane hash over
+    /// every `new_var` and the raw literals of every `add_clause` call, in
+    /// order. Learned clauses never fold in, so two instances fed the same
+    /// variable/clause stream keep equal fingerprints regardless of search
+    /// history — the key for [`SharedCoreCache`].
+    formula_fp: (u64, u64),
+    /// Cross-instance core store, if the owning solver attached one.
+    shared_cores: Option<Arc<Mutex<SharedCoreCache>>>,
+    /// Count of `reduce_db` invocations, pacing the tier2 sweep cadence.
+    reduce_calls: u64,
 }
 
 impl Default for SatSolver {
@@ -227,11 +357,40 @@ impl SatSolver {
             eliminated: Vec::new(),
             elim: Vec::new(),
             elim_values: Vec::new(),
+            core_caching: true,
+            hbr: true,
+            core_cache: Vec::new(),
+            last_core: None,
+            pending_core_clauses: Vec::new(),
+            formula_fp: (0xcbf2_9ce4_8422_2325, 0x9e37_79b9_7f4a_7c15),
+            shared_cores: None,
+            reduce_calls: 0,
         }
+    }
+
+    /// Fold one datum into the formula fingerprint. Two independent lanes
+    /// (FNV-1a style and a rotate-multiply mix) so an accidental collision
+    /// needs to defeat both at once.
+    fn fp_fold(&mut self, datum: u64) {
+        let (a, b) = self.formula_fp;
+        self.formula_fp = (
+            (a ^ datum).wrapping_mul(0x0000_0100_0000_01b3),
+            b.rotate_left(23)
+                .wrapping_add(datum)
+                .wrapping_mul(0xc6a4_a793_5bd1_e995),
+        );
+    }
+
+    /// Attach the owning solver's cross-instance core store. Queries then
+    /// consult it (after the instance-local cache) and recorded cores are
+    /// banked in it under the current formula fingerprint.
+    pub fn set_shared_cores(&mut self, shared: Option<Arc<Mutex<SharedCoreCache>>>) {
+        self.shared_cores = shared;
     }
 
     /// Allocate a fresh variable.
     pub fn new_var(&mut self) -> Var {
+        self.fp_fold(u64::MAX);
         let v = Var(self.assigns.len() as u32);
         self.assigns.push(LBool::Undef);
         self.phases.push(false);
@@ -257,6 +416,39 @@ impl SatSolver {
     /// as the benchmark baseline and via `--no-preprocess`.
     pub fn set_preprocessing(&mut self, on: bool) {
         self.preprocessing = on;
+    }
+
+    /// Enable or disable assumption-core extraction and memoization. With it
+    /// off, `Unsat` answers record no core, the core cache is never
+    /// consulted, and [`last_core`](SatSolver::last_core) stays `None` — the
+    /// exact PR 9 Unsat path, kept reachable via `--no-core-cache`.
+    pub fn set_core_caching(&mut self, on: bool) {
+        self.core_caching = on;
+        if !on {
+            self.core_cache.clear();
+            self.last_core = None;
+            self.pending_core_clauses.clear();
+        }
+    }
+
+    /// Enable or disable hyper-binary resolution during failed-literal
+    /// probing (`--no-hbr` reverts to plain probing).
+    pub fn set_hbr(&mut self, on: bool) {
+        self.hbr = on;
+    }
+
+    /// The assumption core of the last `Unsat` answer: a subset of the
+    /// query's assumptions that is already unsatisfiable with the formula
+    /// (empty when the formula is root-unsat, so *any* assumption set is
+    /// Unsat). `None` after non-`Unsat` answers or with core caching off.
+    pub fn last_core(&self) -> Option<&[Lit]> {
+        self.last_core.as_deref()
+    }
+
+    /// The currently cached assumption cores (each sorted by literal index).
+    /// Exposed for tests that re-solve cores fresh to audit soundness.
+    pub fn cached_cores(&self) -> &[Vec<Lit>] {
+        &self.core_cache
     }
 
     /// Number of allocated variables.
@@ -306,6 +498,13 @@ impl SatSolver {
     /// Add a clause to the formula. Returns `false` if the clause makes the
     /// formula trivially unsatisfiable at the root level.
     pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        // Fingerprint the raw clause as given, before any normalization —
+        // normalization depends on the root trail, and the fingerprint must
+        // be a pure function of the caller's variable/clause stream.
+        for &lit in lits {
+            self.fp_fold(lit.index() as u64);
+        }
+        self.fp_fold(u64::MAX - 1);
         // Clauses join the formula at the root: cancel any leftover trail
         // (kept around between solves so a later query can reuse it) before
         // normalizing against root values. The old models no longer speak
@@ -506,6 +705,7 @@ impl SatSolver {
         if !c.learned {
             return;
         }
+        c.used = true;
         c.activity += self.cla_inc;
         if c.activity > 1e20 {
             let refs = self.clauses.learned_refs();
@@ -667,11 +867,23 @@ impl SatSolver {
         self.cla_inc /= 0.999;
     }
 
-    /// Evict half of the learned-clause eviction candidates. With
-    /// preprocessing on, glue clauses (LBD <= 2) are kept unconditionally
-    /// and candidates are ordered worst-first by LBD, then by activity; with
-    /// it off this is the plain lowest-activity-first eviction.
+    /// Learned-clause database reduction. With preprocessing on, the
+    /// database is managed in three tiers by learn-time LBD:
+    ///
+    /// - **core** (`lbd <= 2`): glue clauses, never evicted;
+    /// - **tier2** (`2 < lbd <= TIER2_MAX_LBD`): kept while recently used.
+    ///   Every second reduction sweeps the tier, evicting clauses whose
+    ///   `used` stamp stayed clear since the previous sweep and clearing
+    ///   the stamp on survivors;
+    /// - **local** (`lbd > TIER2_MAX_LBD`): half evicted on every call,
+    ///   worst first.
+    ///
+    /// With preprocessing off this is the plain lowest-activity-first
+    /// halving of the pre-LBD solver. All orderings end with the clause id
+    /// so float-equal activities cannot make eviction order run-dependent.
     fn reduce_db(&mut self) {
+        const TIER2_MAX_LBD: u32 = 6;
+        self.reduce_calls += 1;
         let mut refs = self.clauses.learned_refs();
         refs.retain(|&r| {
             let c = self.clauses.get(r);
@@ -685,14 +897,49 @@ impl SatSolver {
                 .unwrap_or(false)
         });
         if self.preprocessing {
-            refs.sort_by(|&a, &b| {
+            // Local tier: halve, worst (highest LBD, lowest activity) first.
+            let mut local: Vec<ClauseRef> = refs
+                .iter()
+                .copied()
+                .filter(|&r| self.clauses.get(r).lbd > TIER2_MAX_LBD)
+                .collect();
+            local.sort_by(|&a, &b| {
                 let (ca, cb) = (self.clauses.get(a), self.clauses.get(b));
-                cb.lbd.cmp(&ca.lbd).then(
-                    ca.activity
-                        .partial_cmp(&cb.activity)
-                        .unwrap_or(std::cmp::Ordering::Equal),
-                )
+                cb.lbd
+                    .cmp(&ca.lbd)
+                    .then(
+                        ca.activity
+                            .partial_cmp(&cb.activity)
+                            .unwrap_or(std::cmp::Ordering::Equal),
+                    )
+                    .then(a.0.cmp(&b.0))
             });
+            let evict = local.len() / 2;
+            for &r in local.iter().take(evict) {
+                self.detach(r);
+                self.clauses.delete(r);
+                self.stats.deleted_clauses += 1;
+                self.stats.deleted_local += 1;
+            }
+            // Tier2 sweep on alternate calls: evict what stayed unused over
+            // the whole interval, re-arm survivors for the next one.
+            if self.reduce_calls.is_multiple_of(2) {
+                let tier2: Vec<ClauseRef> = refs
+                    .iter()
+                    .copied()
+                    .filter(|&r| self.clauses.get(r).lbd <= TIER2_MAX_LBD)
+                    .collect();
+                for r in tier2 {
+                    if self.clauses.get(r).used {
+                        self.clauses.get_mut(r).used = false;
+                    } else {
+                        self.detach(r);
+                        self.clauses.delete(r);
+                        self.stats.deleted_clauses += 1;
+                        self.stats.deleted_tier2 += 1;
+                    }
+                }
+            }
         } else {
             refs.sort_by(|&a, &b| {
                 self.clauses
@@ -700,12 +947,13 @@ impl SatSolver {
                     .activity
                     .partial_cmp(&self.clauses.get(b).activity)
                     .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.0.cmp(&b.0))
             });
-        }
-        for &r in refs.iter().take(refs.len() / 2) {
-            self.detach(r);
-            self.clauses.delete(r);
-            self.stats.deleted_clauses += 1;
+            for &r in refs.iter().take(refs.len() / 2) {
+                self.detach(r);
+                self.clauses.delete(r);
+                self.stats.deleted_clauses += 1;
+            }
         }
     }
 
@@ -825,7 +1073,12 @@ impl SatSolver {
                 .all(|a| self.eliminated.get(a.var().index()) != Some(&true)),
             "assumptions over BVE-eliminated variables are unsupported"
         );
+        self.last_core = None;
         if self.unsat {
+            // Root-unsat: the empty core. Any assumption set is a superset.
+            if self.core_caching {
+                self.last_core = Some(Vec::new());
+            }
             return SatResult::Unsat;
         }
         // Model shortcut: the last query's total assignment is still on the
@@ -841,6 +1094,7 @@ impl SatSolver {
                 .iter()
                 .all(|&a| self.value_lit(a) == LBool::True)
         {
+            self.stats.model_cache_hits += 1;
             return SatResult::Sat;
         }
         // Second chance: a slightly older cached model. Unlike the trail,
@@ -856,7 +1110,43 @@ impl SatSolver {
             });
             if let Some(i) = hit {
                 self.cached_model_hit = Some(i);
+                self.stats.model_cache_hits += 1;
                 return SatResult::Sat;
+            }
+        }
+        // Unsat shortcut, the mirror image: a cached assumption core whose
+        // every literal this query also assumes proves this query Unsat —
+        // cores are formula-entailed and `add_clause` only adds constraints,
+        // so a recorded core never goes stale. The trail, saved phases, and
+        // cached models are left untouched.
+        if self.core_caching && !assumptions.is_empty() {
+            let hit = self
+                .core_cache
+                .iter()
+                .position(|core| core.iter().all(|l| assumptions.contains(l)));
+            if let Some(i) = hit {
+                self.last_core = Some(self.core_cache[i].clone());
+                self.stats.core_cache_hits += 1;
+                return SatResult::Unsat;
+            }
+            // Cross-instance fallback: a core another instance recorded for
+            // the byte-identical formula (equal fingerprints) answers here
+            // too. Bank it locally so the next superset query skips the
+            // shared store.
+            if let Some(shared) = &self.shared_cores {
+                let hit = shared
+                    .lock()
+                    .expect("shared core store lock")
+                    .lookup(self.formula_fp, assumptions);
+                if let Some(core) = hit {
+                    if self.core_cache.len() == CORE_CACHE {
+                        self.core_cache.remove(0);
+                    }
+                    self.core_cache.push(core.clone());
+                    self.last_core = Some(core);
+                    self.stats.core_cache_hits += 1;
+                    return SatResult::Unsat;
+                }
             }
         }
         self.budget_propagations = budget.max_propagations;
@@ -896,8 +1186,41 @@ impl SatSolver {
             self.last_assumptions.clear();
             assumptions
         };
+        // Learn queued core clauses, but only when this query naturally
+        // lands at the root — forcing a backtrack just to attach them would
+        // forfeit trail reuse, which costs more than the clauses save. The
+        // clauses are an optimization (cache lookups already answer exact
+        // supersets), so deferring them across reused-trail queries is fine.
+        // Root-false literals are dropped (the remainder stays entailed),
+        // root-satisfied clauses are skipped, and a clause emptied by the
+        // filter proves the formula itself unsat.
+        if self.decision_level() == 0 && !self.pending_core_clauses.is_empty() {
+            for mut lits in std::mem::take(&mut self.pending_core_clauses) {
+                lits.retain(|&l| self.value_lit(l) != LBool::False);
+                if lits.iter().any(|&l| self.value_lit(l) == LBool::True) {
+                    continue;
+                }
+                match lits.len() {
+                    0 => {
+                        self.unsat = true;
+                        if self.core_caching {
+                            self.last_core = Some(Vec::new());
+                        }
+                        return SatResult::Unsat;
+                    }
+                    1 => self.enqueue(lits[0], None),
+                    _ => {
+                        let cref = self.clauses.add(Clause::learned_with_lbd(lits, 2));
+                        self.attach(cref);
+                    }
+                }
+            }
+        }
         if self.decision_level() == 0 && self.propagate().is_some() {
             self.unsat = true;
+            if self.core_caching {
+                self.last_core = Some(Vec::new());
+            }
             return SatResult::Unsat;
         }
 
@@ -914,7 +1237,17 @@ impl SatSolver {
                         self.trail_lim.push(self.trail.len());
                         continue;
                     }
-                    LBool::False => break SatResult::Unsat,
+                    LBool::False => {
+                        // The assumption is already falsified: the trail
+                        // implies `!a` from the formula plus earlier
+                        // assumptions. The core is `a` itself plus whatever
+                        // assumptions forced `!a`.
+                        if self.core_caching {
+                            let core = self.analyze_final_from(&[!a], vec![a]);
+                            self.record_core(core);
+                        }
+                        break SatResult::Unsat;
+                    }
                     LBool::Undef => {
                         self.trail_lim.push(self.trail.len());
                         self.enqueue(a, None);
@@ -936,11 +1269,21 @@ impl SatSolver {
                         conflicts_since_restart += 1;
                         if self.decision_level() == 0 {
                             self.unsat = true;
+                            if self.core_caching {
+                                self.last_core = Some(Vec::new());
+                            }
                             return SatResult::Unsat;
                         }
                         if self.decision_level() <= assumptions.len() as u32 {
                             // Conflict within the assumption levels: the
                             // assumptions are inconsistent with the formula.
+                            // Extract the responsible assumption subset from
+                            // the conflicting clause before the trail goes.
+                            if self.core_caching {
+                                let seeds = self.clauses.get(conflict).lits.clone();
+                                let core = self.analyze_final_from(&seeds, Vec::new());
+                                self.record_core(core);
+                            }
                             self.backtrack(0);
                             return SatResult::Unsat;
                         }
@@ -951,6 +1294,14 @@ impl SatSolver {
                         // the asserting literal is already false there, the
                         // assumptions are inconsistent.
                         if self.value_lit(learned[0]) == LBool::False {
+                            // The learned clause is formula-entailed and all
+                            // its literals are falsified by the remaining
+                            // (assumption-level) trail: its seeds trace to an
+                            // assumption core.
+                            if self.core_caching {
+                                let core = self.analyze_final_from(&learned, Vec::new());
+                                self.record_core(core);
+                            }
                             self.backtrack(0);
                             return SatResult::Unsat;
                         }
@@ -1004,8 +1355,13 @@ impl SatSolver {
                 conflicts_since_restart = 0;
                 self.backtrack(0);
                 if self.preprocessing && restart_count.is_multiple_of(4) {
+                    let pre_start = self.stats.propagations;
                     self.vivify_round(24);
+                    self.stats.preprocess_propagations += self.stats.propagations - pre_start;
                     if self.unsat {
+                        if self.core_caching {
+                            self.last_core = Some(Vec::new());
+                        }
                         return SatResult::Unsat;
                     }
                 }
@@ -1044,6 +1400,97 @@ impl SatSolver {
             self.cached_models.remove(0);
         }
         self.cached_models.push(m);
+    }
+
+    /// Final-conflict analysis: compute the subset of the current query's
+    /// assumptions responsible for falsifying the seed literals' negations —
+    /// i.e. every seed's variable is assigned on the trail and the walk
+    /// explains those assignments down to assumption decisions. `core`
+    /// arrives pre-seeded with literals already known to belong (the
+    /// directly falsified assumption at the establish-assumption exit) and
+    /// is returned sorted by literal index, making cores canonical.
+    ///
+    /// Soundness relies on an invariant of the assumption exits: every
+    /// reason-`None` trail literal above the root level is an assumption of
+    /// the current query, because conflicts at or below the assumption
+    /// levels occur before any real decision survives on the trail.
+    fn analyze_final_from(&mut self, seeds: &[Lit], mut core: Vec<Lit>) -> Vec<Lit> {
+        let root = self.trail_lim.first().copied().unwrap_or(self.trail.len());
+        for s in seeds {
+            if self.levels[s.var().index()] > 0 {
+                self.seen[s.var().index()] = true;
+            }
+        }
+        for idx in (root..self.trail.len()).rev() {
+            let lit = self.trail[idx];
+            let v = lit.var();
+            if !self.seen[v.index()] {
+                continue;
+            }
+            self.seen[v.index()] = false;
+            match self.reasons[v.index()] {
+                None => core.push(lit),
+                Some(reason) => {
+                    let lits: Vec<Lit> = self.clauses.get(reason).lits.clone();
+                    for q in lits {
+                        if q.var() != v && self.levels[q.var().index()] > 0 {
+                            self.seen[q.var().index()] = true;
+                        }
+                    }
+                }
+            }
+        }
+        // Every marked variable sits at or above `root` on the trail and is
+        // visited by the walk; scrub the seeds anyway so a future invariant
+        // slip cannot leak flags into conflict analysis.
+        for s in seeds {
+            self.seen[s.var().index()] = false;
+        }
+        core.sort_unstable_by_key(|l| l.index());
+        core.dedup();
+        core
+    }
+
+    /// Store a freshly extracted assumption core: set `last_core`, account
+    /// stats, and insert it into the bounded FIFO cache unless a cached core
+    /// already covers it (a subset answers strictly more queries). Cached
+    /// supersets of the new core are pruned for the same reason. Empty cores
+    /// are never cached — the root-unsat flag already answers everything.
+    fn record_core(&mut self, core: Vec<Lit>) {
+        self.stats.cores_recorded += 1;
+        self.stats.core_size_sum += core.len() as u64;
+        let covered = self
+            .core_cache
+            .iter()
+            .any(|c| c.iter().all(|l| core.contains(l)));
+        if !core.is_empty() && !covered {
+            self.core_cache
+                .retain(|c| !core.iter().all(|l| c.contains(l)));
+            if self.core_cache.len() == CORE_CACHE {
+                self.core_cache.remove(0);
+            }
+            self.core_cache.push(core.clone());
+            // Queue the entailed core clause `!a1 | ... | !ak` for learning:
+            // related later queries then refute themselves by unit
+            // propagation over the core instead of re-running the search
+            // that derived it. Deferred — the core's literals are still
+            // assigned here (see `pending_core_clauses`). Cores from
+            // contradictory assumption sets (containing both l and !l)
+            // would yield tautological clauses; skip those.
+            let tautology = core.iter().any(|&l| core.contains(&!l));
+            if !tautology {
+                self.pending_core_clauses
+                    .push(core.iter().map(|&l| !l).collect());
+            }
+            // Publish for sibling instances of the identical formula.
+            if let Some(shared) = &self.shared_cores {
+                shared
+                    .lock()
+                    .expect("shared core store lock")
+                    .record(self.formula_fp, &core);
+            }
+        }
+        self.last_core = Some(core);
     }
 
     /// Value of a variable in the model found by the last successful solve.
@@ -1139,9 +1586,11 @@ impl SatSolver {
         }
         self.model_valid = false;
         self.backtrack(0);
+        let pre_start = self.stats.propagations;
         self.solve_propagations = std::mem::take(&mut self.carryover);
         if self.propagate().is_some() {
             self.unsat = true;
+            self.stats.preprocess_propagations += self.stats.propagations - pre_start;
             return Some(SatResult::Unsat);
         }
         let mut outcome = self.probe_failed_literals(&budget);
@@ -1151,6 +1600,7 @@ impl SatSolver {
         if outcome.is_none() && enable_bve {
             outcome = self.eliminate_variables(&budget);
         }
+        self.stats.preprocess_propagations += self.stats.propagations - pre_start;
         match outcome {
             Some(result) => {
                 // The budget is spent (Unknown) or the answer is final
@@ -1239,6 +1689,16 @@ impl SatSolver {
                 candidate[c.lits[1].var().index()] = true;
             }
         }
+        // Hyper-binary resolution piggybacks on the same probes: every
+        // literal `q` the probe `lit` forced through a *long* (len > 2)
+        // reason chain is a transitive implication `lit -> q` the binary
+        // implication lists don't know yet. Materializing it as a binary
+        // clause (entailed, so cached models stay valid) lets future
+        // propagation reach `q` in one cache-friendly step and future
+        // probes/vivification resolve against it. Capped per pass and
+        // budget-charged like everything else here.
+        const HBR_CAP: usize = 64;
+        let mut hbr_added = 0usize;
         let mut probed = 0usize;
         let mut result = None;
         'probe: for (idx, &is_candidate) in candidate.iter().enumerate() {
@@ -1260,8 +1720,23 @@ impl SatSolver {
                     break; // the other phase's failure already decided it
                 }
                 self.trail_lim.push(self.trail.len());
+                let level_start = self.trail.len();
                 self.enqueue(lit, None);
                 let failed = self.propagate().is_some();
+                let mut hyper: Vec<Lit> = Vec::new();
+                if !failed && self.hbr && hbr_added < HBR_CAP {
+                    for &q in &self.trail[level_start + 1..] {
+                        if let Some(r) = self.reasons[q.var().index()] {
+                            if self.clauses.get(r).len() > 2
+                                && !self.binary_watches[lit.index()]
+                                    .iter()
+                                    .any(|&(other, _)| other == q)
+                            {
+                                hyper.push(q);
+                            }
+                        }
+                    }
+                }
                 self.backtrack(0);
                 if failed {
                     self.stats.preprocess_eliminations += 1;
@@ -1270,6 +1745,17 @@ impl SatSolver {
                         self.unsat = true;
                         result = Some(SatResult::Unsat);
                         break 'probe;
+                    }
+                } else {
+                    for q in hyper {
+                        if hbr_added >= HBR_CAP {
+                            break;
+                        }
+                        let cref = self.clauses.add(Clause::learned_with_lbd(vec![!lit, q], 2));
+                        self.attach(cref);
+                        self.stats.hbr_binaries_added += 1;
+                        self.solve_propagations += 1;
+                        hbr_added += 1;
                     }
                 }
             }
@@ -1353,6 +1839,12 @@ impl SatSolver {
             const MAX_SUBSUMER_LEN: usize = 12;
             const MAX_CANDIDATES: usize = 32;
             if c_lits.len() > MAX_SUBSUMER_LEN {
+                continue;
+            }
+            // A tautological C subsumes nothing, and self-subsuming
+            // resolution against it is the identity — `subsumes` would
+            // still report a flipped literal and unsoundly strengthen D.
+            if c_lits.iter().any(|&l| c_lits.contains(&!l)) {
                 continue;
             }
             let key = c_lits

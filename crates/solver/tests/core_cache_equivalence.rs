@@ -1,0 +1,169 @@
+//! Property-based equivalence for the assumption-core cache (ISSUE 10).
+//!
+//! Two contracts:
+//!
+//! 1. With an unlimited budget, a solver with core caching (and HBR) on
+//!    answers every query in an incremental sequence — including queries
+//!    after mid-sequence clause growth — with the same `Sat`/`Unsat`
+//!    verdict as a solver with both switched off.
+//! 2. Every core the caching solver memoizes is genuinely an unsat core:
+//!    re-solving the core's literals as assumptions against the clauses
+//!    loaded so far, in a fresh solver with no caches at all, yields
+//!    `Unsat`. This would catch an over-narrow core (the bug class where
+//!    an unsound root assignment shrank a core to a satisfiable subset).
+//!
+//! Assumption sets are drawn with `prop::collection::sample` over a fixed
+//! literal pool so queries overlap heavily — that is what makes cores
+//! recur as subsets of later assumption sets and drives the cache-hit
+//! path under test.
+
+use proptest::prelude::*;
+use stack_solver::lit::{Lit, Var};
+use stack_solver::sat::{Budget, SatResult, SatSolver};
+
+/// A clause or assumption set as (variable index, polarity) pairs.
+type Lits = Vec<(usize, bool)>;
+
+const NUM_VARS: usize = 12;
+
+fn to_lits(spec: &[(usize, bool)]) -> Vec<Lit> {
+    spec.iter()
+        .map(|&(v, pos)| Lit::new(Var(v as u32), pos))
+        .collect()
+}
+
+fn fresh_solver(core_cache: bool, hbr: bool) -> SatSolver {
+    let mut s = SatSolver::new();
+    s.set_preprocessing(true);
+    s.set_core_caching(core_cache);
+    s.set_hbr(hbr);
+    for _ in 0..NUM_VARS {
+        s.new_var();
+    }
+    s
+}
+
+fn add_all(s: &mut SatSolver, clauses: &[Lits]) {
+    for c in clauses {
+        s.add_clause(&to_lits(c));
+    }
+}
+
+/// The literal pool queries sample from: both polarities of a handful of
+/// variables, so overlapping and contradictory assumption sets both occur.
+fn literal_pool() -> Vec<(usize, bool)> {
+    (0..NUM_VARS / 2)
+        .flat_map(|v| [(v, true), (v, false)])
+        .collect()
+}
+
+fn clause_set() -> impl Strategy<Value = Vec<Lits>> {
+    prop::collection::vec(
+        prop::collection::vec((0..NUM_VARS, any::<bool>()), 1..4),
+        1..50,
+    )
+}
+
+fn query_seq() -> impl Strategy<Value = Vec<Lits>> {
+    prop::collection::vec(prop::collection::sample(literal_pool(), 1..5), 1..24)
+}
+
+/// Each cached core, re-solved as assumptions in a completely fresh
+/// cache-free solver over `loaded`, must come back `Unsat`.
+fn cores_are_genuine(cores: &[Vec<Lit>], loaded: &[Lits]) -> Result<(), String> {
+    for core in cores {
+        let mut fresh = SatSolver::new();
+        for _ in 0..NUM_VARS {
+            fresh.new_var();
+        }
+        add_all(&mut fresh, loaded);
+        if fresh.solve_with(core, Budget::unlimited()) != SatResult::Unsat {
+            return Err(format!("cached core {core:?} is not unsat"));
+        }
+    }
+    Ok(())
+}
+
+/// Deterministic smoke check that the machinery under test actually fires:
+/// an unsat query banks a core, and a superset query is then answered from
+/// the cache (visible as a `core_cache_hits` tick) with the same verdict.
+#[test]
+fn superset_query_is_served_from_cache() {
+    let mut s = fresh_solver(true, true);
+    // x0, and x1 -> x2; assuming !x0 is unsat on its own.
+    add_all(&mut s, &[vec![(0, true)], vec![(1, false), (2, true)]]);
+    let first = s.solve_with(&to_lits(&[(0, false), (1, true)]), Budget::unlimited());
+    assert_eq!(first, SatResult::Unsat);
+    let core = s.last_core().expect("core after unsat").to_vec();
+    assert!(core.contains(&Lit::new(Var(0), false)));
+    let hits_before = s.stats().core_cache_hits;
+    let again = s.solve_with(&to_lits(&[(0, false), (2, false)]), Budget::unlimited());
+    assert_eq!(again, SatResult::Unsat);
+    assert_eq!(s.stats().core_cache_hits, hits_before + 1);
+    assert_eq!(s.last_core().expect("cached core"), &core[..]);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Incremental sequence with the cache on vs off: verdicts agree query
+    /// for query, before and after mid-sequence clause growth, and every
+    /// core the caching solver banks along the way is independently
+    /// re-derivable as `Unsat` from the clauses alone.
+    #[test]
+    fn core_cache_on_off_agree_and_cores_are_unsat(
+        clauses in clause_set(),
+        extra in prop::collection::vec(
+            prop::collection::vec((0..NUM_VARS, any::<bool>()), 1..4), 0..20),
+        queries in query_seq(),
+    ) {
+        let mut on = fresh_solver(true, true);
+        let mut off = fresh_solver(false, false);
+        add_all(&mut on, &clauses);
+        add_all(&mut off, &clauses);
+        prop_assert!(on.preprocess(Budget::unlimited(), false) != Some(SatResult::Unknown));
+        prop_assert!(off.preprocess(Budget::unlimited(), false) != Some(SatResult::Unknown));
+
+        let mut loaded = clauses.clone();
+        let split = queries.len() / 2;
+        // Cores audited so far, by content — the cache itself evicts and
+        // drops subsumed entries, so indices are not stable.
+        let mut audited: Vec<Vec<Lit>> = Vec::new();
+        for (i, q) in queries.iter().enumerate() {
+            if i == split {
+                add_all(&mut on, &extra);
+                add_all(&mut off, &extra);
+                loaded.extend(extra.iter().cloned());
+                prop_assert!(
+                    on.preprocess(Budget::unlimited(), false) != Some(SatResult::Unknown));
+                prop_assert!(
+                    off.preprocess(Budget::unlimited(), false) != Some(SatResult::Unknown));
+            }
+            let assumptions = to_lits(q);
+            let got = on.solve_with(&assumptions, Budget::unlimited());
+            let want = off.solve_with(&assumptions, Budget::unlimited());
+            prop_assert_eq!(got, want, "query {} of {:?}", i, q);
+            if got == SatResult::Unsat {
+                // The reported core must be a subset of the assumptions
+                // (cores only ever name assumption literals).
+                let core = on.last_core().expect("unsat under assumptions must report a core");
+                prop_assert!(
+                    core.iter().all(|l| assumptions.contains(l)),
+                    "query {}: core {:?} not within assumptions {:?}", i, core, q);
+            }
+            // Audit cores as they are banked, against the clauses loaded
+            // at the time — a core recorded before the growth point must
+            // already be unsat without `extra`.
+            let fresh: Vec<Vec<Lit>> = on
+                .cached_cores()
+                .iter()
+                .filter(|c| !audited.contains(c))
+                .cloned()
+                .collect();
+            if let Err(msg) = cores_are_genuine(&fresh, &loaded) {
+                prop_assert!(false, "query {}: {}", i, msg);
+            }
+            audited.extend(fresh);
+        }
+    }
+}

@@ -128,6 +128,62 @@ fn preprocessing_and_granularity_do_not_change_reports() {
     }
 }
 
+/// The unsat-side acceleration contract (core-cache memoization, hyper-
+/// binary resolution, tiered clause DB): like preprocessing, these change
+/// how an answer is produced — a memoized core short-circuits the search,
+/// HBR binaries reshape propagation — but never the answer itself. The
+/// report stream must be byte-identical across the full core-cache × HBR
+/// × jobs matrix, compared against the everything-off sequential reference.
+#[test]
+fn core_cache_and_hbr_do_not_change_reports() {
+    let archive_cfg = ArchiveConfig {
+        packages: 6,
+        seed: 0xC0DE,
+        ..ArchiveConfig::default()
+    };
+    let files = generate_archive(&archive_cfg);
+    let tasks: Vec<ScanTask> = files
+        .iter()
+        .map(|f| ScanTask {
+            name: f.name.clone(),
+            source: ScanSource::Inline(f.source.clone()),
+        })
+        .collect();
+    let run = |core_cache: bool, hbr: bool, jobs: usize| {
+        let session = AnalysisSession::new(CheckerConfig {
+            threads: Some(1),
+            query_cache: false,
+            core_cache,
+            hbr,
+            ..CheckerConfig::default()
+        });
+        let mut reports = Vec::new();
+        ScanPipeline::new(&session, jobs).run(&tasks, &mut |event| {
+            if let ScanEvent::Report(r) = event {
+                reports.push(format!("{r:?}"));
+            }
+        });
+        reports
+    };
+
+    let reference = run(false, false, 1);
+    assert!(!reference.is_empty(), "the archive must produce reports");
+    for (core_cache, hbr, jobs) in [
+        (true, false, 1),
+        (false, true, 1),
+        (true, true, 1),
+        (true, false, 4),
+        (false, true, 4),
+        (true, true, 4),
+    ] {
+        assert_eq!(
+            reference,
+            run(core_cache, hbr, jobs),
+            "core_cache={core_cache} hbr={hbr} jobs={jobs}"
+        );
+    }
+}
+
 /// One archive pass through a session backed by the given cache file:
 /// every report rendered in order, plus the session's aggregate stats.
 fn archive_run(path: &std::path::Path) -> (Vec<String>, stack_repro::core::CheckStats) {

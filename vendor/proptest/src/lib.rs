@@ -138,6 +138,63 @@ pub mod collection {
             (0..n).map(|_| self.element.sample(rng)).collect()
         }
     }
+
+    /// Strategy producing subsets of a fixed base vector (see [`subset`]).
+    #[derive(Clone, Debug)]
+    pub struct SubsetStrategy<T> {
+        base: Vec<T>,
+    }
+
+    /// A subset of `base`: each element is independently kept with
+    /// probability 1/2, preserving the base order. May be empty or the
+    /// full set.
+    pub fn subset<T: Clone>(base: Vec<T>) -> SubsetStrategy<T> {
+        SubsetStrategy { base }
+    }
+
+    impl<T: Clone> Strategy for SubsetStrategy<T> {
+        type Value = Vec<T>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<T> {
+            self.base
+                .iter()
+                .filter(|_| rng.next_u64() & 1 == 1)
+                .cloned()
+                .collect()
+        }
+    }
+
+    /// Strategy producing fixed-size draws from a base vector (see
+    /// [`sample`]).
+    #[derive(Clone, Debug)]
+    pub struct SampleStrategy<T> {
+        base: Vec<T>,
+        count: Range<usize>,
+    }
+
+    /// `n` distinct elements of `base` (with `n` drawn from `count`,
+    /// clamped to the base length), in base order. Unlike [`subset`] the
+    /// draw size is controlled, which keeps e.g. assumption sets small
+    /// relative to the literal pool.
+    pub fn sample<T: Clone>(base: Vec<T>, count: Range<usize>) -> SampleStrategy<T> {
+        SampleStrategy { base, count }
+    }
+
+    impl<T: Clone> Strategy for SampleStrategy<T> {
+        type Value = Vec<T>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<T> {
+            let n = Strategy::sample(&self.count, rng).min(self.base.len());
+            // Partial Fisher-Yates over an index vector: the first `n`
+            // slots end up holding a uniform distinct draw.
+            let mut idx: Vec<usize> = (0..self.base.len()).collect();
+            for i in 0..n {
+                let j = i + (rng.next_u64() as usize) % (idx.len() - i);
+                idx.swap(i, j);
+            }
+            let mut picked: Vec<usize> = idx[..n].to_vec();
+            picked.sort_unstable();
+            picked.into_iter().map(|i| self.base[i].clone()).collect()
+        }
+    }
 }
 
 /// Strategy returned by [`any`].
@@ -225,6 +282,18 @@ mod tests {
         fn any_is_exercised(v in any::<u16>()) {
             let widened = u32::from(v);
             prop_assert!(widened <= u32::from(u16::MAX));
+        }
+
+        #[test]
+        fn subsets_preserve_order(s in prop::collection::subset(vec![1u32, 2, 3, 4, 5])) {
+            prop_assert!(s.len() <= 5);
+            prop_assert!(s.windows(2).all(|w| w[0] < w[1]));
+        }
+
+        #[test]
+        fn samples_are_distinct(s in prop::collection::sample(vec![10u32, 20, 30, 40], 1..4)) {
+            prop_assert!(!s.is_empty() && s.len() < 4);
+            prop_assert!(s.windows(2).all(|w| w[0] < w[1]));
         }
     }
 
